@@ -1,0 +1,263 @@
+//! Distributed Bellman-Ford over a partially replicated PRAM memory
+//! (paper §6.1, Figures 7–9).
+//!
+//! Each network node `i` runs an application process `ap_i` that repeatedly
+//! recomputes its tentative distance
+//! `x_i := min_{j ∈ Γ⁻¹(i)} (x_j + w(j, i))`
+//! and advances its iteration counter `k_i`. The counters act as a weak
+//! barrier: a process starts iteration `k` only once every predecessor's
+//! counter has reached `k` (line 6 of Figure 7). Because every shared
+//! variable (`x_i`, `k_i`) has a **single writer** and each reader only
+//! needs that writer's updates in program order, PRAM consistency is
+//! sufficient for both safety and liveness — and the variable distribution
+//! of §6.1 (a process replicates only its own and its predecessors'
+//! variables) makes partial replication effective.
+//!
+//! The driver below runs the computation over any [`ProtocolSpec`], so the
+//! benchmarks can compare the PRAM-partial deployment the paper advocates
+//! against causal-full / causal-partial / sequencer deployments on the same
+//! workload.
+
+use crate::graphs::{Network, INFINITY};
+use dsm::{DsmSystem, ProtocolSpec};
+use histories::{Distribution, ProcId, Value, VarId};
+use simnet::SimConfig;
+
+/// Result of one distributed run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BellmanFordRun {
+    /// Final distance estimates, one per node (`INFINITY` if unreachable).
+    pub distances: Vec<i64>,
+    /// Scheduler rounds executed before every process finished.
+    pub rounds: usize,
+    /// Whether every process completed its `N` iterations.
+    pub converged: bool,
+    /// Total messages sent by the MCS.
+    pub messages: u64,
+    /// Total protocol control bytes sent by the MCS.
+    pub control_bytes: u64,
+    /// Total data bytes sent by the MCS.
+    pub data_bytes: u64,
+    /// Application operations issued (reads + writes).
+    pub operations: u64,
+}
+
+/// The variable ids used by the computation: `x_i` is `VarId(i)`, `k_i` is
+/// `VarId(n + i)`.
+pub fn distance_var(i: usize) -> VarId {
+    VarId(i)
+}
+
+/// The iteration-counter variable of node `i` in an `n`-node network.
+pub fn counter_var(n: usize, i: usize) -> VarId {
+    VarId(n + i)
+}
+
+/// The variable distribution of §6.1: process `i` replicates `x_h` and
+/// `k_h` for `h = i` and for every predecessor `h ∈ Γ⁻¹(i)`.
+pub fn bellman_ford_distribution(net: &Network) -> Distribution {
+    let n = net.node_count();
+    let mut dist = Distribution::new(n, 2 * n);
+    for i in 0..n {
+        dist.assign(ProcId(i), distance_var(i));
+        dist.assign(ProcId(i), counter_var(n, i));
+        for h in net.predecessors(i) {
+            dist.assign(ProcId(i), distance_var(h));
+            dist.assign(ProcId(i), counter_var(n, h));
+        }
+    }
+    dist
+}
+
+fn value_or_infinity(v: Value) -> i64 {
+    v.as_int().unwrap_or(INFINITY)
+}
+
+/// Run the distributed Bellman-Ford of Figure 7 from `source` over the MCS
+/// protocol `P`.
+///
+/// The scheduler emulates the per-process polling loop: in every round each
+/// process whose barrier condition holds executes one iteration (lines 6–8
+/// of Figure 7), then all in-flight updates are delivered. A process stops
+/// after `N` iterations; the run aborts (with `converged = false`) if it
+/// exceeds `4·N + 8` rounds, which cannot happen with reliable delivery.
+pub fn run_bellman_ford<P: ProtocolSpec>(
+    net: &Network,
+    source: usize,
+    config: SimConfig,
+) -> BellmanFordRun {
+    let n = net.node_count();
+    assert!(source < n, "source out of range");
+    let dist = bellman_ford_distribution(net);
+    let mut dsm: DsmSystem<P> = DsmSystem::with_config(dist, config);
+
+    // Line 1-4 of Figure 7: initialize k_i and x_i.
+    for i in 0..n {
+        let x0 = if i == source { 0 } else { INFINITY };
+        dsm.write(ProcId(i), distance_var(i), x0)
+            .expect("process replicates its own distance");
+        dsm.write(ProcId(i), counter_var(n, i), 0)
+            .expect("process replicates its own counter");
+    }
+    dsm.settle();
+
+    let mut k = vec![0i64; n];
+    let max_rounds = 4 * n + 8;
+    let mut rounds = 0;
+    while k.iter().any(|&ki| ki < n as i64) && rounds < max_rounds {
+        rounds += 1;
+        for i in 0..n {
+            if k[i] >= n as i64 {
+                continue;
+            }
+            // Line 6: wait until every predecessor's counter has caught up.
+            let preds = net.predecessors(i);
+            let ready = preds.iter().all(|&h| {
+                // A counter that has never been received reads as ⊥ and
+                // counts as "not yet started" (-1).
+                let kh = dsm
+                    .read(ProcId(i), counter_var(n, h))
+                    .ok()
+                    .and_then(Value::as_int)
+                    .unwrap_or(-1);
+                kh >= k[i]
+            });
+            if !ready {
+                continue;
+            }
+            // Line 7: recompute x_i from the predecessors' current estimates.
+            if i != source {
+                let mut best = INFINITY;
+                for &h in &preds {
+                    let xh = value_or_infinity(dsm.read(ProcId(i), distance_var(h)).unwrap());
+                    best = best.min(xh.saturating_add(net.weight(h, i)));
+                }
+                dsm.write(ProcId(i), distance_var(i), best).unwrap();
+            }
+            // Line 8: advance the iteration counter.
+            k[i] += 1;
+            dsm.write(ProcId(i), counter_var(n, i), k[i]).unwrap();
+        }
+        dsm.settle();
+    }
+
+    let distances = (0..n)
+        .map(|i| value_or_infinity(dsm.peek(ProcId(i), distance_var(i))))
+        .collect();
+    let stats = dsm.network_stats();
+    BellmanFordRun {
+        distances,
+        rounds,
+        converged: k.iter().all(|&ki| ki >= n as i64),
+        messages: stats.total_messages(),
+        control_bytes: stats.total_control_bytes(),
+        data_bytes: stats.total_data_bytes(),
+        operations: dsm.operation_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::shortest_paths_reference;
+    use dsm::{CausalFull, CausalPartial, PramPartial, Sequential};
+
+    #[test]
+    fn distribution_matches_the_papers_example() {
+        let net = Network::fig8();
+        let d = bellman_ford_distribution(&net);
+        let n = 5;
+        // X_1 = {x1, k1}
+        assert_eq!(d.vars_of(ProcId(0)).len(), 2);
+        // X_2 = {x1, x2, x3, k1, k2, k3}
+        let x2: Vec<VarId> = d.vars_of(ProcId(1)).iter().copied().collect();
+        assert!(x2.contains(&distance_var(0)));
+        assert!(x2.contains(&distance_var(1)));
+        assert!(x2.contains(&distance_var(2)));
+        assert!(x2.contains(&counter_var(n, 0)));
+        assert_eq!(x2.len(), 6);
+        // X_5 = {x3, x4, x5, k3, k4, k5}
+        let x5 = d.vars_of(ProcId(4));
+        assert_eq!(x5.len(), 6);
+        assert!(!x5.contains(&distance_var(0)));
+    }
+
+    #[test]
+    fn fig8_distances_match_the_reference_under_pram_partial() {
+        let net = Network::fig8();
+        let run = run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default());
+        assert!(run.converged);
+        assert_eq!(run.distances, shortest_paths_reference(&net, 0));
+        assert_eq!(run.distances, vec![0, 2, 1, 3, 4]);
+        assert!(run.messages > 0);
+    }
+
+    #[test]
+    fn all_protocols_compute_the_same_distances() {
+        let net = Network::fig8();
+        let reference = shortest_paths_reference(&net, 0);
+        let pram = run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default());
+        let cfull = run_bellman_ford::<CausalFull>(&net, 0, SimConfig::default());
+        let cpart = run_bellman_ford::<CausalPartial>(&net, 0, SimConfig::default());
+        let seq = run_bellman_ford::<Sequential>(&net, 0, SimConfig::default());
+        assert_eq!(pram.distances, reference);
+        assert_eq!(cfull.distances, reference);
+        assert_eq!(cpart.distances, reference);
+        assert_eq!(seq.distances, reference);
+    }
+
+    #[test]
+    fn pram_partial_sends_less_control_than_causal_variants() {
+        let net = Network::fig8();
+        let pram = run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default());
+        let cfull = run_bellman_ford::<CausalFull>(&net, 0, SimConfig::default());
+        let cpart = run_bellman_ford::<CausalPartial>(&net, 0, SimConfig::default());
+        assert!(
+            pram.control_bytes < cfull.control_bytes,
+            "pram {} vs causal-full {}",
+            pram.control_bytes,
+            cfull.control_bytes
+        );
+        assert!(
+            pram.control_bytes < cpart.control_bytes,
+            "pram {} vs causal-partial {}",
+            pram.control_bytes,
+            cpart.control_bytes
+        );
+        assert!(pram.messages < cfull.messages);
+    }
+
+    #[test]
+    fn larger_random_networks_converge_to_the_reference() {
+        for seed in [1, 2, 3] {
+            let net = Network::random_reachable(9, 12, 7, seed);
+            let run = run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default());
+            assert!(run.converged, "seed {seed}");
+            assert_eq!(
+                run.distances,
+                shortest_paths_reference(&net, 0),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_keep_infinite_distance() {
+        let mut net = Network::new(4);
+        net.add_edge(0, 1, 2);
+        net.add_edge(1, 2, 2);
+        // Node 3 is isolated.
+        let run = run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default());
+        assert!(run.converged);
+        assert_eq!(run.distances, vec![0, 2, 4, INFINITY]);
+    }
+
+    #[test]
+    fn ring_network_distances() {
+        let net = Network::ring(7);
+        let run = run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default());
+        assert_eq!(run.distances, shortest_paths_reference(&net, 0));
+        assert!(run.rounds <= 4 * 7 + 8);
+        assert!(run.operations > 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Pipelined dynamic programming over the DSM: longest common subsequence.
+//!
+//! Dynamic programming is the second family of applications Lipton &
+//! Sandberg cite as solvable on a PRAM memory (paper §5): the DP table is
+//! filled in a wavefront where each row has a single writer and each
+//! process reads only the row written by its predecessor in the pipeline.
+//! Process `i` computes rows `i, i + p, i + 2p, …` of the LCS table and the
+//! reader of row `r` is always the owner of row `r + 1`, so the variable
+//! distribution keeps every row on exactly two processes.
+
+use dsm::{DsmSystem, ProtocolSpec};
+use histories::{Distribution, ProcId, VarId};
+use simnet::SimConfig;
+
+/// Result of a distributed LCS run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LcsRun {
+    /// The LCS length.
+    pub length: i64,
+    /// Messages sent by the MCS.
+    pub messages: u64,
+    /// Control bytes sent by the MCS.
+    pub control_bytes: u64,
+}
+
+/// Sequential reference LCS length.
+pub fn lcs_reference(a: &[u8], b: &[u8]) -> i64 {
+    let mut prev = vec![0i64; b.len() + 1];
+    let mut cur = vec![0i64; b.len() + 1];
+    for &ca in a {
+        for (j, &cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur.fill(0);
+    }
+    prev[b.len()]
+}
+
+/// Variable id of DP cell `(row, col)` in a table with `cols` columns
+/// (row 0 is the all-zero boundary row and is not shared).
+fn cell_var(cols: usize, row: usize, col: usize) -> VarId {
+    VarId((row - 1) * (cols + 1) + col)
+}
+
+/// Counter variable signalling that `row` is complete.
+fn row_done_var(rows: usize, cols: usize, row: usize) -> VarId {
+    VarId(rows * (cols + 1) + row - 1)
+}
+
+/// The distribution: row `r` (and its completion flag) lives on its writer
+/// (process `(r-1) mod p`) and on the writer of row `r + 1`.
+pub fn lcs_distribution(rows: usize, cols: usize, procs: usize) -> Distribution {
+    let mut dist = Distribution::new(procs, rows * (cols + 1) + rows);
+    for row in 1..=rows {
+        let owner = ProcId((row - 1) % procs);
+        let reader = if row < rows {
+            Some(ProcId(row % procs))
+        } else {
+            None
+        };
+        for col in 0..=cols {
+            dist.assign(owner, cell_var(cols, row, col));
+            if let Some(r) = reader {
+                dist.assign(r, cell_var(cols, row, col));
+            }
+        }
+        dist.assign(owner, row_done_var(rows, cols, row));
+        if let Some(r) = reader {
+            dist.assign(r, row_done_var(rows, cols, row));
+        }
+    }
+    dist
+}
+
+/// Run the distributed LCS of `a` and `b` over `procs` processes using
+/// protocol `P`.
+pub fn run_lcs<P: ProtocolSpec>(a: &[u8], b: &[u8], procs: usize, config: SimConfig) -> LcsRun {
+    assert!(procs >= 1);
+    assert!(!a.is_empty() && !b.is_empty(), "inputs must be non-empty");
+    let rows = a.len();
+    let cols = b.len();
+    let dist = lcs_distribution(rows, cols, procs);
+    let mut dsm: DsmSystem<P> = DsmSystem::with_config(dist, config);
+    dsm.disable_recording();
+
+    // Rows are processed in order; each row's owner reads the previous row
+    // from its local replicas (delivered because the previous owner wrote
+    // and settled before the flag was observed).
+    let mut last = 0i64;
+    for row in 1..=rows {
+        let owner = ProcId((row - 1) % procs);
+        if row > 1 {
+            // Wait for the previous row (spin on the completion flag).
+            let flag = row_done_var(rows, cols, row - 1);
+            let mut guard = 0;
+            while dsm.read(owner, flag).unwrap().as_int() != Some(1) {
+                dsm.settle();
+                guard += 1;
+                assert!(guard < 4, "previous row must become visible");
+            }
+        }
+        for col in 0..=cols {
+            let value = if col == 0 {
+                0
+            } else {
+                let up = if row == 1 {
+                    0
+                } else {
+                    dsm.read(owner, cell_var(cols, row - 1, col))
+                        .unwrap()
+                        .as_int()
+                        .unwrap()
+                };
+                let up_left = if row == 1 {
+                    0
+                } else {
+                    dsm.read(owner, cell_var(cols, row - 1, col - 1))
+                        .unwrap()
+                        .as_int()
+                        .unwrap()
+                };
+                let left = dsm
+                    .read(owner, cell_var(cols, row, col - 1))
+                    .unwrap()
+                    .as_int()
+                    .unwrap();
+                if a[row - 1] == b[col - 1] {
+                    up_left + 1
+                } else {
+                    up.max(left)
+                }
+            };
+            dsm.write(owner, cell_var(cols, row, col), value).unwrap();
+            if row == rows && col == cols {
+                last = value;
+            }
+        }
+        dsm.write(owner, row_done_var(rows, cols, row), 1).unwrap();
+        dsm.settle();
+    }
+
+    let stats = dsm.network_stats();
+    LcsRun {
+        length: last,
+        messages: stats.total_messages(),
+        control_bytes: stats.total_control_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm::{CausalPartial, PramPartial};
+
+    #[test]
+    fn reference_lcs_known_cases() {
+        assert_eq!(lcs_reference(b"ABCBDAB", b"BDCABA"), 4);
+        assert_eq!(lcs_reference(b"AAAA", b"AA"), 2);
+        assert_eq!(lcs_reference(b"ABC", b"XYZ"), 0);
+        assert_eq!(lcs_reference(b"X", b"X"), 1);
+    }
+
+    #[test]
+    fn distributed_lcs_matches_reference() {
+        let a = b"ABCBDABXY";
+        let b = b"BDCABAYX";
+        let run = run_lcs::<PramPartial>(a, b, 3, SimConfig::default());
+        assert_eq!(run.length, lcs_reference(a, b));
+        assert!(run.messages > 0);
+    }
+
+    #[test]
+    fn distributed_lcs_single_process() {
+        let a = b"GATTACA";
+        let b = b"TAGACCA";
+        let run = run_lcs::<PramPartial>(a, b, 1, SimConfig::default());
+        assert_eq!(run.length, lcs_reference(a, b));
+    }
+
+    #[test]
+    fn pram_partial_beats_causal_partial_on_control_bytes() {
+        let a = b"ABCBDABAB";
+        let b = b"BDCABABAB";
+        let pram = run_lcs::<PramPartial>(a, b, 4, SimConfig::default());
+        let causal = run_lcs::<CausalPartial>(a, b, 4, SimConfig::default());
+        assert_eq!(pram.length, causal.length);
+        assert!(pram.control_bytes < causal.control_bytes);
+    }
+
+    #[test]
+    fn distribution_keeps_each_row_on_at_most_two_processes() {
+        let d = lcs_distribution(6, 5, 3);
+        for row in 1..=6 {
+            for col in 0..=5 {
+                let replicas = d.replicas_of(cell_var(5, row, col));
+                assert!(replicas.len() <= 2, "row {row} col {col}: {replicas:?}");
+                assert!(replicas.contains(&ProcId((row - 1) % 3)));
+            }
+        }
+    }
+}

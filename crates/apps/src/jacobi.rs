@@ -1,0 +1,263 @@
+//! Asynchronous iterative fixed-point computation (Jacobi-style) over the
+//! DSM.
+//!
+//! The paper (§5) cites Sinha's observation that *totally asynchronous
+//! iterative methods* converge even on memories weaker than PRAM. This
+//! module solves a diagonally dominant linear system `x = M·x + b` by
+//! fixed-point iteration in which each process owns one component of `x`,
+//! publishes it through the shared memory, and reads its neighbours'
+//! components from whatever (possibly stale) values its local replicas
+//! hold. Because the iteration map is a contraction, convergence tolerates
+//! the staleness — this is the workload that stresses *weak* consistency
+//! rather than ordering.
+//!
+//! Values are fixed-point scaled integers (scale 1e6) so the shared
+//! variables stay `i64` like everything else in the DSM.
+
+use dsm::{DsmSystem, ProtocolSpec};
+use histories::{Distribution, ProcId, VarId};
+use simnet::SimConfig;
+
+/// Fixed-point scale for representing reals in shared `i64` variables.
+pub const SCALE: i64 = 1_000_000;
+
+/// A fixed-point iteration problem `x = M·x + b` with `‖M‖∞ < 1`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FixedPointProblem {
+    /// Row-major iteration matrix `M` (n×n).
+    pub m: Vec<f64>,
+    /// The constant vector `b`.
+    pub b: Vec<f64>,
+}
+
+impl FixedPointProblem {
+    /// Number of unknowns.
+    pub fn size(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Build a well-conditioned random problem: off-diagonal coefficients
+    /// sum to at most `contraction < 1` per row.
+    pub fn random(n: usize, contraction: f64, seed: u64) -> Self {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        assert!(n >= 1 && contraction > 0.0 && contraction < 1.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut m = vec![0.0; n * n];
+        for i in 0..n {
+            let mut weights: Vec<f64> = (0..n)
+                .map(|j| if i == j { 0.0 } else { rng.gen_range(0.0..1.0) })
+                .collect();
+            let sum: f64 = weights.iter().sum();
+            if sum > 0.0 {
+                for w in &mut weights {
+                    *w = *w / sum * contraction;
+                }
+            }
+            for j in 0..n {
+                m[i * n + j] = weights[j];
+            }
+        }
+        let b = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        FixedPointProblem { m, b }
+    }
+
+    /// Sequential reference solution by synchronous iteration to tolerance.
+    pub fn reference_solution(&self, tolerance: f64, max_iters: usize) -> Vec<f64> {
+        let n = self.size();
+        let mut x = vec![0.0; n];
+        for _ in 0..max_iters {
+            let mut next = vec![0.0; n];
+            for i in 0..n {
+                let mut acc = self.b[i];
+                for j in 0..n {
+                    acc += self.m[i * n + j] * x[j];
+                }
+                next[i] = acc;
+            }
+            let delta = x
+                .iter()
+                .zip(&next)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            x = next;
+            if delta < tolerance {
+                break;
+            }
+        }
+        x
+    }
+}
+
+/// Result of a distributed fixed-point run.
+#[derive(Clone, Debug)]
+pub struct JacobiRun {
+    /// The computed solution (un-scaled back to `f64`).
+    pub solution: Vec<f64>,
+    /// Rounds of asynchronous iteration executed.
+    pub rounds: usize,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+    /// Messages sent by the MCS.
+    pub messages: u64,
+    /// Control bytes sent by the MCS.
+    pub control_bytes: u64,
+}
+
+/// The distribution: component `x_j` is replicated on its owner `p_j` and
+/// on every process `p_i` whose row has a non-zero coefficient `M[i][j]`.
+pub fn jacobi_distribution(problem: &FixedPointProblem) -> Distribution {
+    let n = problem.size();
+    let mut dist = Distribution::new(n, n);
+    for i in 0..n {
+        dist.assign(ProcId(i), VarId(i));
+        for j in 0..n {
+            if problem.m[i * n + j] != 0.0 {
+                dist.assign(ProcId(i), VarId(j));
+            }
+        }
+    }
+    dist
+}
+
+/// Run the asynchronous fixed-point iteration over protocol `P`.
+///
+/// `settle_every` controls how much staleness the run tolerates: in-flight
+/// updates are only delivered every that-many rounds, so larger values mean
+/// processes iterate on older neighbour values (the totally-asynchronous
+/// regime). Convergence is declared when every component moves by less than
+/// `tolerance` in a round *after* a full delivery.
+pub fn run_jacobi<P: ProtocolSpec>(
+    problem: &FixedPointProblem,
+    tolerance: f64,
+    max_rounds: usize,
+    settle_every: usize,
+    config: SimConfig,
+) -> JacobiRun {
+    let n = problem.size();
+    assert!(settle_every >= 1);
+    let dist = jacobi_distribution(problem);
+    let mut dsm: DsmSystem<P> = DsmSystem::with_config(dist, config);
+    dsm.disable_recording();
+
+    // Initial estimates: 0.
+    for i in 0..n {
+        dsm.write(ProcId(i), VarId(i), 0).unwrap();
+    }
+    dsm.settle();
+
+    let mut current = vec![0.0f64; n];
+    let mut rounds = 0;
+    let mut converged = false;
+    while rounds < max_rounds {
+        rounds += 1;
+        // Convergence may only be declared on rounds that consumed freshly
+        // delivered neighbour values; otherwise a process iterating on
+        // frozen inputs reaches a spurious local fixed point immediately.
+        let fresh_inputs = rounds == 1 || (rounds - 1) % settle_every == 0;
+        let mut max_delta: f64 = 0.0;
+        for i in 0..n {
+            let mut acc = problem.b[i];
+            for j in 0..n {
+                let coeff = problem.m[i * n + j];
+                if coeff != 0.0 {
+                    let raw = dsm
+                        .read(ProcId(i), VarId(j))
+                        .unwrap()
+                        .as_int()
+                        .unwrap_or(0);
+                    acc += coeff * (raw as f64 / SCALE as f64);
+                }
+            }
+            max_delta = max_delta.max((acc - current[i]).abs());
+            current[i] = acc;
+            dsm.write(ProcId(i), VarId(i), (acc * SCALE as f64) as i64)
+                .unwrap();
+        }
+        if rounds % settle_every == 0 {
+            dsm.settle();
+        }
+        if fresh_inputs && max_delta < tolerance {
+            converged = true;
+            break;
+        }
+    }
+    dsm.settle();
+
+    let stats = dsm.network_stats();
+    JacobiRun {
+        solution: current,
+        rounds,
+        converged,
+        messages: stats.total_messages(),
+        control_bytes: stats.total_control_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm::{CausalFull, PramPartial};
+
+    fn close(a: &[f64], b: &[f64], eps: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < eps)
+    }
+
+    #[test]
+    fn reference_solution_solves_the_fixed_point() {
+        let p = FixedPointProblem::random(5, 0.5, 1);
+        let x = p.reference_solution(1e-9, 500);
+        // Check residual: x ≈ Mx + b.
+        for i in 0..5 {
+            let mut acc = p.b[i];
+            for j in 0..5 {
+                acc += p.m[i * 5 + j] * x[j];
+            }
+            assert!((acc - x[i]).abs() < 1e-6, "component {i}");
+        }
+    }
+
+    #[test]
+    fn distributed_jacobi_converges_to_the_reference() {
+        let p = FixedPointProblem::random(6, 0.5, 2);
+        let reference = p.reference_solution(1e-9, 500);
+        let run = run_jacobi::<PramPartial>(&p, 1e-7, 400, 1, SimConfig::default());
+        assert!(run.converged, "should converge within the round budget");
+        assert!(close(&run.solution, &reference, 1e-3));
+        assert!(run.messages > 0);
+    }
+
+    #[test]
+    fn staleness_slows_but_does_not_break_convergence() {
+        let p = FixedPointProblem::random(5, 0.4, 3);
+        let reference = p.reference_solution(1e-9, 500);
+        let fresh = run_jacobi::<PramPartial>(&p, 1e-7, 600, 1, SimConfig::default());
+        let stale = run_jacobi::<PramPartial>(&p, 1e-7, 600, 4, SimConfig::default());
+        assert!(fresh.converged && stale.converged);
+        assert!(close(&stale.solution, &reference, 1e-3));
+        assert!(stale.rounds >= fresh.rounds);
+    }
+
+    #[test]
+    fn causal_full_and_pram_partial_agree() {
+        let p = FixedPointProblem::random(4, 0.5, 4);
+        let a = run_jacobi::<PramPartial>(&p, 1e-7, 400, 1, SimConfig::default());
+        let b = run_jacobi::<CausalFull>(&p, 1e-7, 400, 1, SimConfig::default());
+        assert!(a.converged && b.converged);
+        assert!(close(&a.solution, &b.solution, 1e-3));
+    }
+
+    #[test]
+    fn distribution_covers_rows_with_nonzero_coefficients() {
+        let p = FixedPointProblem::random(5, 0.5, 5);
+        let d = jacobi_distribution(&p);
+        for i in 0..5 {
+            assert!(d.replicates(ProcId(i), VarId(i)));
+            for j in 0..5 {
+                if p.m[i * 5 + j] != 0.0 {
+                    assert!(d.replicates(ProcId(i), VarId(j)));
+                }
+            }
+        }
+    }
+}

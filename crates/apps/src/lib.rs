@@ -1,0 +1,39 @@
+//! # apps — workloads programmed against the partial-replication DSM
+//!
+//! The applications the paper uses to motivate PRAM-consistent partial
+//! replication, implemented on top of the [`dsm`] crate:
+//!
+//! * [`bellman_ford`] — the distributed Bellman-Ford shortest-path
+//!   computation of §6 (Figures 7–9), including the exact Figure 8 network.
+//! * [`matrix`] — blocked matrix product, one of the oblivious computations
+//!   of Lipton & Sandberg (§5).
+//! * [`dynprog`] — pipelined dynamic programming (longest common
+//!   subsequence), the second Lipton & Sandberg family.
+//! * [`jacobi`] — totally asynchronous fixed-point iteration (Sinha's
+//!   observation that such methods converge even on weak memories).
+//! * [`graphs`] — weighted digraphs, the Figure 8 network, generators, and
+//!   the sequential Bellman-Ford reference.
+//! * [`workload`] — synthetic read/write workload generation and execution
+//!   used by the efficiency benchmarks.
+//!
+//! Every distributed run is validated against a sequential reference
+//! implementation in the module's tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bellman_ford;
+pub mod dynprog;
+pub mod graphs;
+pub mod jacobi;
+pub mod matrix;
+pub mod workload;
+
+pub use bellman_ford::{
+    bellman_ford_distribution, counter_var, distance_var, run_bellman_ford, BellmanFordRun,
+};
+pub use dynprog::{lcs_distribution, lcs_reference, run_lcs, LcsRun};
+pub use graphs::{shortest_paths_reference, Network, INFINITY};
+pub use jacobi::{jacobi_distribution, run_jacobi, FixedPointProblem, JacobiRun, SCALE};
+pub use matrix::{matrix_distribution, run_matrix_product, Matrix, MatrixRun};
+pub use workload::{execute, generate, WorkloadOp, WorkloadOutcome, WorkloadSpec};

@@ -1,0 +1,102 @@
+//! E5: cost of the consistency checkers (Figures 4–6 classifications and
+//! growing atomic histories) and of the share-graph analysis (Figures 1–2:
+//! clique construction, hoop enumeration, Theorem 1 relevance sets).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use histories::checker::{check, Criterion as Crit};
+use histories::figures;
+use histories::hoop::enumerate_hoops;
+use histories::relevance::relevant_processes;
+use histories::{Distribution, HistoryBuilder, ProcId, ShareGraph, Value, VarId};
+
+/// A sequentially consistent history of `ops` operations over `procs`
+/// processes (single-copy semantics, round-robin issuing).
+fn atomic_history(procs: usize, vars: usize, ops: usize) -> histories::History {
+    let mut hb = HistoryBuilder::new(procs);
+    let mut mem = vec![Value::Bottom; vars];
+    let mut next = 1i64;
+    for i in 0..ops {
+        let p = ProcId(i % procs);
+        let v = i % vars;
+        if i % 3 == 0 {
+            hb.write(p, VarId(v), next);
+            mem[v] = Value::Int(next);
+            next += 1;
+        } else {
+            hb.read(p, VarId(v), mem[v]);
+        }
+    }
+    hb.build()
+}
+
+fn bench_figure_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker_figures");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let cases = [
+        ("fig4", figures::fig4_history()),
+        ("fig5", figures::fig5_history()),
+        ("fig6", figures::fig6_history()),
+    ];
+    for (name, h) in &cases {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                Crit::ALL
+                    .iter()
+                    .map(|&crit| check(h, crit).consistent)
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_checker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for ops in [12usize, 18, 24] {
+        let h = atomic_history(3, 3, ops);
+        group.bench_with_input(BenchmarkId::new("causal", ops), &ops, |b, _| {
+            b.iter(|| check(&h, Crit::Causal).consistent)
+        });
+        group.bench_with_input(BenchmarkId::new("pram", ops), &ops, |b, _| {
+            b.iter(|| check(&h, Crit::Pram).consistent)
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", ops), &ops, |b, _| {
+            b.iter(|| check(&h, Crit::Sequential).consistent)
+        });
+    }
+    group.finish();
+}
+
+fn bench_share_graph_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("share_graph");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for n in [8usize, 16, 32] {
+        let dist = Distribution::random(n, n, 2, 3);
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| ShareGraph::new(&dist))
+        });
+        let sg = ShareGraph::new(&dist);
+        group.bench_with_input(BenchmarkId::new("hoops_x0", n), &n, |b, _| {
+            b.iter(|| enumerate_hoops(&sg, VarId(0), 5).len())
+        });
+        group.bench_with_input(BenchmarkId::new("relevance_x0", n), &n, |b, _| {
+            b.iter(|| relevant_processes(&dist, VarId(0), 5).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figure_classification,
+    bench_checker_scaling,
+    bench_share_graph_analysis
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E1: control-information overhead per protocol as the system grows.
+//!
+//! For each system size, runs the standard synthetic workload under all
+//! four protocols and reports the wall time of driving the whole simulated
+//! deployment; the byte counts themselves are printed by the `efficiency`
+//! binary — here Criterion tracks the simulation cost and keeps the
+//! comparison honest across code changes.
+
+use apps::workload::{execute, generate, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsm::{CausalFull, CausalPartial, PramPartial, Sequential};
+use histories::Distribution;
+use simnet::SimConfig;
+
+fn workload(n: usize) -> (Distribution, Vec<apps::workload::WorkloadOp>) {
+    let dist = Distribution::random(n, 2 * n, 2, 7);
+    let spec = WorkloadSpec {
+        ops_per_process: 8,
+        write_ratio: 0.5,
+        settle_every: 6,
+        seed: 11,
+    };
+    let ops = generate(&dist, &spec);
+    (dist, ops)
+}
+
+fn bench_control_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for n in [4usize, 8, 16] {
+        let (dist, ops) = workload(n);
+        group.bench_with_input(BenchmarkId::new("pram-partial", n), &n, |b, _| {
+            b.iter(|| execute::<PramPartial>(&dist, &ops, SimConfig::default(), false))
+        });
+        group.bench_with_input(BenchmarkId::new("causal-partial", n), &n, |b, _| {
+            b.iter(|| execute::<CausalPartial>(&dist, &ops, SimConfig::default(), false))
+        });
+        group.bench_with_input(BenchmarkId::new("causal-full", n), &n, |b, _| {
+            b.iter(|| execute::<CausalFull>(&dist, &ops, SimConfig::default(), false))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| execute::<Sequential>(&dist, &ops, SimConfig::default(), false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_control_overhead);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E2: cost as the number of shared variables and the replication factor
+//! grow, at a fixed process count.
+
+use apps::workload::{execute, generate, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsm::{CausalPartial, PramPartial};
+use histories::Distribution;
+use simnet::SimConfig;
+
+fn bench_variable_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variable_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for vars in [8usize, 32, 64] {
+        let dist = Distribution::random(8, vars, 2, 3);
+        let spec = WorkloadSpec {
+            ops_per_process: 8,
+            write_ratio: 0.5,
+            settle_every: 6,
+            seed: 5,
+        };
+        let ops = generate(&dist, &spec);
+        group.bench_with_input(BenchmarkId::new("pram-partial", vars), &vars, |b, _| {
+            b.iter(|| execute::<PramPartial>(&dist, &ops, SimConfig::default(), false))
+        });
+        group.bench_with_input(BenchmarkId::new("causal-partial", vars), &vars, |b, _| {
+            b.iter(|| execute::<CausalPartial>(&dist, &ops, SimConfig::default(), false))
+        });
+    }
+    group.finish();
+}
+
+fn bench_replication_factor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication_factor");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for replicas in [1usize, 3, 6, 12] {
+        let dist = Distribution::random(12, 24, replicas, 5);
+        let spec = WorkloadSpec {
+            ops_per_process: 6,
+            write_ratio: 0.5,
+            settle_every: 6,
+            seed: 9,
+        };
+        let ops = generate(&dist, &spec);
+        group.bench_with_input(BenchmarkId::new("pram-partial", replicas), &replicas, |b, _| {
+            b.iter(|| execute::<PramPartial>(&dist, &ops, SimConfig::default(), false))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("causal-partial", replicas),
+            &replicas,
+            |b, _| b.iter(|| execute::<CausalPartial>(&dist, &ops, SimConfig::default(), false)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variable_scaling, bench_replication_factor);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Regenerate the efficiency experiments (E1–E4 of `EXPERIMENTS.md`) as
+//! text tables.
+//!
+//! ```text
+//! cargo run --release -p bench --bin efficiency
+//! cargo run --release -p bench --bin efficiency -- --max-procs 32
+//! ```
+
+use bench::{
+    bellman_ford_point, distribution_families, efficiency_sweep_point, relevance_fraction,
+};
+use histories::Distribution;
+
+fn main() {
+    let mut max_procs = 16usize;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--max-procs") {
+        if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            max_procs = v;
+        }
+    }
+
+    println!("E1/E2 — control overhead vs system size (replication factor 2, 10 ops/process, 50% writes)");
+    println!(
+        "{:>6} {:<16} {:>10} {:>12} {:>14} {:>14} {:>12}",
+        "procs", "protocol", "messages", "data bytes", "control bytes", "ctl bytes/op", "max relevant"
+    );
+    let mut n = 4;
+    while n <= max_procs {
+        let dist = Distribution::random(n, 2 * n, 2, 7);
+        for row in efficiency_sweep_point(&dist, 10, 11) {
+            println!(
+                "{:>6} {:<16} {:>10} {:>12} {:>14} {:>14.1} {:>12}",
+                row.processes,
+                row.protocol.name(),
+                row.messages,
+                row.data_bytes,
+                row.control_bytes,
+                row.control_bytes_per_op,
+                row.max_relevant_nodes
+            );
+        }
+        println!();
+        n *= 2;
+    }
+
+    println!("E2 — control overhead vs replication factor (12 processes)");
+    println!(
+        "{:>8} {:<16} {:>14} {:>14}",
+        "replicas", "protocol", "control bytes", "ctl bytes/op"
+    );
+    for replicas in [1, 2, 4, 8, 12] {
+        let dist = Distribution::random(12, 24, replicas, 5);
+        for row in efficiency_sweep_point(&dist, 8, 13) {
+            println!(
+                "{:>8} {:<16} {:>14} {:>14.1}",
+                replicas,
+                row.protocol.name(),
+                row.control_bytes,
+                row.control_bytes_per_op
+            );
+        }
+        println!();
+    }
+
+    println!("E3 — fraction of x-relevant processes (Theorem 1) by distribution family (10 processes)");
+    println!("{:<18} {:>12} {:>22}", "family", "repl. factor", "relevant fraction");
+    for (name, dist) in distribution_families(10, 3) {
+        println!(
+            "{:<18} {:>12.2} {:>22.2}",
+            name,
+            dist.mean_replication_factor(),
+            relevance_fraction(&dist, 8)
+        );
+    }
+    println!();
+
+    println!("E4 — distributed Bellman-Ford cost vs network size");
+    println!(
+        "{:>6} {:<16} {:>10} {:>14} {:>8} {:>8}",
+        "nodes", "protocol", "messages", "control bytes", "rounds", "correct"
+    );
+    let mut n = 5;
+    while n <= max_procs {
+        for row in bellman_ford_point(n, 9) {
+            println!(
+                "{:>6} {:<16} {:>10} {:>14} {:>8} {:>8}",
+                row.nodes,
+                row.protocol.name(),
+                row.messages,
+                row.control_bytes,
+                row.rounds,
+                row.correct
+            );
+        }
+        println!();
+        n *= 2;
+    }
+}

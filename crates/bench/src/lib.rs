@@ -1,0 +1,203 @@
+//! Shared helpers for the benchmark harness: experiment runners that both
+//! the Criterion benches and the report binaries (`figures`, `efficiency`)
+//! reuse, so every number in `EXPERIMENTS.md` can be regenerated two ways.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use apps::workload::{execute, generate, WorkloadSpec};
+use apps::{run_bellman_ford, Network};
+use dsm::{CausalFull, CausalPartial, PramPartial, ProtocolKind, Sequential};
+use histories::{Distribution, VarId};
+use simnet::SimConfig;
+
+/// One row of an efficiency table: the cost of running a workload under one
+/// protocol.
+#[derive(Clone, Debug)]
+pub struct EfficiencyRow {
+    /// Protocol measured.
+    pub protocol: ProtocolKind,
+    /// Number of processes.
+    pub processes: usize,
+    /// Number of shared variables.
+    pub variables: usize,
+    /// Messages sent.
+    pub messages: u64,
+    /// Data bytes sent.
+    pub data_bytes: u64,
+    /// Control bytes sent.
+    pub control_bytes: u64,
+    /// Control bytes per application operation.
+    pub control_bytes_per_op: f64,
+    /// Maximum (over variables) number of nodes that handled metadata about
+    /// a single variable.
+    pub max_relevant_nodes: usize,
+    /// Mean replication factor of the distribution.
+    pub replication_factor: f64,
+}
+
+/// Run the standard synthetic workload (`ops_per_process` ops, 50% writes)
+/// under every protocol for the given distribution. This regenerates one
+/// system-size point of experiments E1–E3.
+pub fn efficiency_sweep_point(
+    dist: &Distribution,
+    ops_per_process: usize,
+    seed: u64,
+) -> Vec<EfficiencyRow> {
+    let spec = WorkloadSpec {
+        ops_per_process,
+        write_ratio: 0.5,
+        settle_every: 6,
+        seed,
+    };
+    let ops = generate(dist, &spec);
+
+    fn row<P: dsm::ProtocolSpec>(
+        dist: &Distribution,
+        ops: &[apps::workload::WorkloadOp],
+        kind: ProtocolKind,
+    ) -> EfficiencyRow {
+        let out = execute::<P>(dist, ops, SimConfig::default(), false);
+        let max_relevant = (0..dist.var_count())
+            .map(|x| out.control.relevant_nodes(VarId(x)).len())
+            .max()
+            .unwrap_or(0);
+        EfficiencyRow {
+            protocol: kind,
+            processes: dist.process_count(),
+            variables: dist.var_count(),
+            messages: out.messages,
+            data_bytes: out.data_bytes,
+            control_bytes: out.control_bytes,
+            control_bytes_per_op: out.control_bytes_per_op(),
+            max_relevant_nodes: max_relevant,
+            replication_factor: dist.mean_replication_factor(),
+        }
+    }
+
+    vec![
+        row::<PramPartial>(dist, &ops, ProtocolKind::PramPartial),
+        row::<CausalPartial>(dist, &ops, ProtocolKind::CausalPartial),
+        row::<CausalFull>(dist, &ops, ProtocolKind::CausalFull),
+        row::<Sequential>(dist, &ops, ProtocolKind::Sequential),
+    ]
+}
+
+/// One row of the Bellman-Ford scaling table (experiment E4).
+#[derive(Clone, Debug)]
+pub struct BellmanFordRow {
+    /// Protocol measured.
+    pub protocol: ProtocolKind,
+    /// Network size.
+    pub nodes: usize,
+    /// Messages sent during the whole computation.
+    pub messages: u64,
+    /// Control bytes sent.
+    pub control_bytes: u64,
+    /// Scheduler rounds until convergence.
+    pub rounds: usize,
+    /// Whether the distances matched the sequential reference.
+    pub correct: bool,
+}
+
+/// Run the distributed Bellman-Ford on a random reachable network of `n`
+/// nodes under every protocol.
+pub fn bellman_ford_point(n: usize, seed: u64) -> Vec<BellmanFordRow> {
+    let net = Network::random_reachable(n, 2 * n, 9, seed);
+    let reference = apps::shortest_paths_reference(&net, 0);
+
+    fn row<P: dsm::ProtocolSpec>(
+        net: &Network,
+        reference: &[i64],
+        kind: ProtocolKind,
+    ) -> BellmanFordRow {
+        let run = run_bellman_ford::<P>(net, 0, SimConfig::default());
+        BellmanFordRow {
+            protocol: kind,
+            nodes: net.node_count(),
+            messages: run.messages,
+            control_bytes: run.control_bytes,
+            rounds: run.rounds,
+            correct: run.converged && run.distances == reference,
+        }
+    }
+
+    vec![
+        row::<PramPartial>(&net, &reference, ProtocolKind::PramPartial),
+        row::<CausalPartial>(&net, &reference, ProtocolKind::CausalPartial),
+        row::<CausalFull>(&net, &reference, ProtocolKind::CausalFull),
+        row::<Sequential>(&net, &reference, ProtocolKind::Sequential),
+    ]
+}
+
+/// Fraction of processes that are x-relevant (Theorem 1) averaged over all
+/// variables, for a distribution family (experiment E3).
+pub fn relevance_fraction(dist: &Distribution, max_hoop_len: usize) -> f64 {
+    let n = dist.process_count();
+    if n == 0 || dist.var_count() == 0 {
+        return 0.0;
+    }
+    let total: usize = (0..dist.var_count())
+        .map(|x| histories::relevance::relevant_processes(dist, VarId(x), max_hoop_len).len())
+        .sum();
+    total as f64 / (n * dist.var_count()) as f64
+}
+
+/// The distribution families compared by experiment E3.
+pub fn distribution_families(n: usize, seed: u64) -> Vec<(&'static str, Distribution)> {
+    vec![
+        ("full", Distribution::full(n, n)),
+        ("disjoint-blocks", Distribution::disjoint_blocks(n, n)),
+        ("ring-overlap", Distribution::ring_overlap(n)),
+        ("random-2", Distribution::random(n, n, 2.min(n), seed)),
+        ("random-3", Distribution::random(n, n, 3.min(n), seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_sweep_orders_protocols_as_the_paper_predicts() {
+        let dist = Distribution::random(8, 12, 2, 1);
+        let rows = efficiency_sweep_point(&dist, 8, 5);
+        assert_eq!(rows.len(), 4);
+        let pram = &rows[0];
+        let cpart = &rows[1];
+        let cfull = &rows[2];
+        assert_eq!(pram.protocol, ProtocolKind::PramPartial);
+        assert!(pram.control_bytes < cpart.control_bytes);
+        assert!(pram.control_bytes < cfull.control_bytes);
+        // PRAM metadata never reaches more nodes than the replica set.
+        assert!(pram.max_relevant_nodes <= 3);
+        // Causal partial metadata reaches every node for some variable.
+        assert_eq!(cpart.max_relevant_nodes, 8);
+    }
+
+    #[test]
+    fn bellman_ford_point_is_correct_for_all_protocols() {
+        for row in bellman_ford_point(8, 3) {
+            assert!(row.correct, "{:?}", row.protocol);
+            assert!(row.messages > 0);
+        }
+    }
+
+    #[test]
+    fn relevance_fractions_by_family() {
+        let families = distribution_families(8, 2);
+        assert_eq!(families.len(), 5);
+        let lookup = |name: &str| {
+            families
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, d)| relevance_fraction(d, 8))
+                .unwrap()
+        };
+        assert_eq!(lookup("full"), 1.0);
+        assert!(lookup("disjoint-blocks") < 0.2);
+        // Ring overlap creates hoops around the ring, making most processes
+        // relevant despite a replication factor of 2.
+        assert!(lookup("ring-overlap") > lookup("disjoint-blocks"));
+    }
+}

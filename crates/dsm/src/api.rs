@@ -1,0 +1,121 @@
+//! Public API types: protocol identifiers and errors.
+
+use histories::{ProcId, VarId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The Memory Consistency System protocols provided by this crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Causal consistency with **full replication**: every node replicates
+    /// every variable; updates carry vector clocks and are broadcast to all
+    /// nodes (the classical Ahamad et al. style implementation).
+    CausalFull,
+    /// Causal consistency with **partial replication**: data updates go
+    /// only to the replicas of the written variable, but — as the paper
+    /// proves unavoidable — dependency control information about every
+    /// write is propagated to every node.
+    CausalPartial,
+    /// PRAM consistency with **partial replication**: per-writer FIFO
+    /// sequence numbers, updates sent only to the replicas of the written
+    /// variable. The efficient implementation Theorem 2 licenses.
+    PramPartial,
+    /// Sequential consistency baseline: a sequencer totally orders all
+    /// writes and broadcasts them to every node (full replication).
+    Sequential,
+}
+
+impl ProtocolKind {
+    /// All protocols, in the order used by benchmark tables.
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::CausalFull,
+        ProtocolKind::CausalPartial,
+        ProtocolKind::PramPartial,
+        ProtocolKind::Sequential,
+    ];
+
+    /// Short display name used in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::CausalFull => "causal-full",
+            ProtocolKind::CausalPartial => "causal-partial",
+            ProtocolKind::PramPartial => "pram-partial",
+            ProtocolKind::Sequential => "sequential",
+        }
+    }
+
+    /// Whether the protocol replicates every variable everywhere.
+    pub fn is_fully_replicated(self) -> bool {
+        matches!(self, ProtocolKind::CausalFull | ProtocolKind::Sequential)
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Errors returned by the DSM runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DsmError {
+    /// The application process tried to access a variable its MCS process
+    /// does not replicate (only possible under partial replication).
+    NotReplicated {
+        /// The process that issued the access.
+        proc: ProcId,
+        /// The variable it tried to access.
+        var: VarId,
+    },
+    /// A process id outside the configured system was used.
+    UnknownProcess {
+        /// The offending process id.
+        proc: ProcId,
+    },
+}
+
+impl fmt::Display for DsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsmError::NotReplicated { proc, var } => {
+                write!(f, "process {proc} does not replicate variable {var}")
+            }
+            DsmError::UnknownProcess { proc } => write!(f, "unknown process {proc}"),
+        }
+    }
+}
+
+impl std::error::Error for DsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_names_are_unique() {
+        let names: std::collections::BTreeSet<&str> =
+            ProtocolKind::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), ProtocolKind::ALL.len());
+        assert_eq!(ProtocolKind::PramPartial.to_string(), "pram-partial");
+    }
+
+    #[test]
+    fn replication_classification() {
+        assert!(ProtocolKind::CausalFull.is_fully_replicated());
+        assert!(ProtocolKind::Sequential.is_fully_replicated());
+        assert!(!ProtocolKind::CausalPartial.is_fully_replicated());
+        assert!(!ProtocolKind::PramPartial.is_fully_replicated());
+    }
+
+    #[test]
+    fn error_messages_mention_ids() {
+        let e = DsmError::NotReplicated {
+            proc: ProcId(2),
+            var: VarId(7),
+        };
+        assert!(e.to_string().contains("p2"));
+        assert!(e.to_string().contains("x7"));
+        let u = DsmError::UnknownProcess { proc: ProcId(9) };
+        assert!(u.to_string().contains("p9"));
+    }
+}

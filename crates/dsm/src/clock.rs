@@ -1,0 +1,213 @@
+//! Vector clocks and per-writer sequence numbers.
+//!
+//! The causal protocols timestamp every update with a vector clock (one
+//! entry per MCS process); the PRAM protocol only needs a per-writer
+//! sequence number. Both types report their wire size so that the paper's
+//! "control information" costs can be measured precisely.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A vector clock over `n` processes.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    entries: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock over `n` processes.
+    pub fn new(n: usize) -> Self {
+        VectorClock {
+            entries: vec![0; n],
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the clock has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The component for process `i`.
+    pub fn get(&self, i: usize) -> u64 {
+        self.entries[i]
+    }
+
+    /// Increment the component for process `i` and return its new value.
+    pub fn increment(&mut self, i: usize) -> u64 {
+        self.entries[i] += 1;
+        self.entries[i]
+    }
+
+    /// Component-wise maximum with another clock.
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(self.entries.len(), other.entries.len());
+        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether `self ≤ other` component-wise.
+    pub fn dominated_by(&self, other: &VectorClock) -> bool {
+        self.entries
+            .iter()
+            .zip(&other.entries)
+            .all(|(a, b)| a <= b)
+    }
+
+    /// Causal comparison: `Less` if `self` strictly precedes `other`,
+    /// `Greater` for the converse, `Equal` if identical, `None` if
+    /// concurrent.
+    pub fn causal_cmp(&self, other: &VectorClock) -> Option<Ordering> {
+        let le = self.dominated_by(other);
+        let ge = other.dominated_by(self);
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    /// Standard causal-broadcast delivery condition: a message carrying
+    /// clock `msg` from `sender` is deliverable at a node with local clock
+    /// `self` when `msg[sender] == self[sender] + 1` and
+    /// `msg[k] <= self[k]` for every `k != sender`.
+    pub fn deliverable_from(&self, msg: &VectorClock, sender: usize) -> bool {
+        if msg.get(sender) != self.get(sender) + 1 {
+            return false;
+        }
+        (0..self.len()).all(|k| k == sender || msg.get(k) <= self.get(k))
+    }
+
+    /// Wire size in bytes (8 bytes per entry).
+    pub fn wire_bytes(&self) -> usize {
+        self.entries.len() * 8
+    }
+
+    /// Sum of all entries (total writes observed).
+    pub fn total(&self) -> u64 {
+        self.entries.iter().sum()
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VC{:?}", self.entries)
+    }
+}
+
+/// Per-writer FIFO sequence numbers: the only ordering metadata the PRAM
+/// protocol needs.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SequenceTracker {
+    next_expected: Vec<u64>,
+}
+
+impl SequenceTracker {
+    /// Tracker over `n` writers, all starting at sequence 1.
+    pub fn new(n: usize) -> Self {
+        SequenceTracker {
+            next_expected: vec![1; n],
+        }
+    }
+
+    /// The next sequence number expected from `writer`.
+    pub fn expected(&self, writer: usize) -> u64 {
+        self.next_expected[writer]
+    }
+
+    /// Record that `seq` from `writer` has been observed. Returns `true` if
+    /// the sequence was monotonically non-decreasing (gaps are allowed —
+    /// under partial replication a node only sees the subsequence of a
+    /// writer's updates that concern variables it replicates).
+    pub fn observe(&mut self, writer: usize, seq: u64) -> bool {
+        let ok = seq >= self.next_expected[writer];
+        if ok {
+            self.next_expected[writer] = seq + 1;
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increment_and_get() {
+        let mut vc = VectorClock::new(3);
+        assert_eq!(vc.get(1), 0);
+        assert_eq!(vc.increment(1), 1);
+        assert_eq!(vc.increment(1), 2);
+        assert_eq!(vc.get(1), 2);
+        assert_eq!(vc.total(), 2);
+        assert_eq!(vc.len(), 3);
+        assert!(!vc.is_empty());
+    }
+
+    #[test]
+    fn merge_takes_componentwise_max() {
+        let mut a = VectorClock::new(3);
+        a.increment(0);
+        a.increment(0);
+        let mut b = VectorClock::new(3);
+        b.increment(1);
+        a.merge(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(a.get(2), 0);
+    }
+
+    #[test]
+    fn causal_comparison() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        assert_eq!(a.causal_cmp(&b), Some(Ordering::Equal));
+        a.increment(0);
+        assert_eq!(a.causal_cmp(&b), Some(Ordering::Greater));
+        assert_eq!(b.causal_cmp(&a), Some(Ordering::Less));
+        b.increment(1);
+        assert_eq!(a.causal_cmp(&b), None);
+        assert!(!a.dominated_by(&b));
+    }
+
+    #[test]
+    fn delivery_condition_requires_exact_next_and_no_missing_deps() {
+        let local = VectorClock::new(3);
+        // Message is the first write of process 1 with no dependencies.
+        let mut msg = VectorClock::new(3);
+        msg.increment(1);
+        assert!(local.deliverable_from(&msg, 1));
+        // A message that depends on an unseen write of process 2 must wait.
+        let mut msg2 = msg.clone();
+        msg2.increment(2);
+        assert!(!local.deliverable_from(&msg2, 1));
+        // A duplicate / old message is not deliverable either.
+        let mut advanced = local.clone();
+        advanced.increment(1);
+        assert!(!advanced.deliverable_from(&msg, 1));
+    }
+
+    #[test]
+    fn wire_bytes_scales_with_process_count() {
+        assert_eq!(VectorClock::new(4).wire_bytes(), 32);
+        assert_eq!(VectorClock::new(100).wire_bytes(), 800);
+    }
+
+    #[test]
+    fn sequence_tracker_allows_gaps_but_not_reordering() {
+        let mut t = SequenceTracker::new(2);
+        assert_eq!(t.expected(0), 1);
+        assert!(t.observe(0, 1));
+        assert!(t.observe(0, 5)); // gap: updates for variables we don't hold
+        assert_eq!(t.expected(0), 6);
+        assert!(!t.observe(0, 3)); // reordering would violate FIFO
+        assert!(t.observe(1, 2));
+    }
+}

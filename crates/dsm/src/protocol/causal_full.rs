@@ -1,0 +1,252 @@
+//! Causal consistency with full replication.
+//!
+//! The classical implementation the paper cites as the norm ([3], [4],
+//! [8]): every node replicates every variable; each update carries the
+//! writer's vector clock and is broadcast to all other nodes; delivery is
+//! delayed until the causal-broadcast condition holds, so applying updates
+//! in delivery order yields a causally consistent memory.
+//!
+//! The cost profile is the baseline the paper argues against for large
+//! systems: every node receives every update (data **and** an `O(n)`
+//! vector clock of control information), regardless of whether its
+//! application process ever touches the variable.
+
+use crate::api::ProtocolKind;
+use crate::clock::VectorClock;
+use crate::control::ControlStats;
+use crate::protocol::{McsNode, ProtocolSpec};
+use histories::{Distribution, ProcId, Value, VarId};
+use simnet::{Node, NodeContext, NodeId, WireSize};
+use std::collections::BTreeMap;
+
+/// A causally timestamped update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CausalMsg {
+    /// The writing process.
+    pub writer: usize,
+    /// The written variable.
+    pub var: VarId,
+    /// The written value.
+    pub value: i64,
+    /// The writer's vector clock *after* incrementing its own entry.
+    pub vc: VectorClock,
+}
+
+impl CausalMsg {
+    /// Control bytes: the vector clock plus writer and variable ids.
+    pub fn control_size(&self) -> usize {
+        self.vc.wire_bytes() + 8
+    }
+}
+
+impl WireSize for CausalMsg {
+    fn data_bytes(&self) -> usize {
+        8
+    }
+    fn control_bytes(&self) -> usize {
+        self.control_size()
+    }
+}
+
+/// The fully replicated causal MCS process.
+#[derive(Clone, Debug)]
+pub struct CausalFullNode {
+    me: ProcId,
+    n: usize,
+    store: BTreeMap<VarId, Value>,
+    vc: VectorClock,
+    pending: Vec<CausalMsg>,
+    control: ControlStats,
+    delivered: u64,
+}
+
+impl CausalFullNode {
+    /// Build the node for process `me` in a system of `n` processes.
+    pub fn new(me: ProcId, n: usize) -> Self {
+        CausalFullNode {
+            me,
+            n,
+            store: BTreeMap::new(),
+            vc: VectorClock::new(n),
+            pending: Vec::new(),
+            control: ControlStats::new(),
+            delivered: 0,
+        }
+    }
+
+    /// The node's current vector clock.
+    pub fn clock(&self) -> &VectorClock {
+        &self.vc
+    }
+
+    /// Updates applied (excluding the node's own writes).
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages buffered awaiting causal delivery.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn apply(&mut self, msg: &CausalMsg) {
+        self.store.insert(msg.var, Value::Int(msg.value));
+        self.vc.merge(&msg.vc);
+        self.delivered += 1;
+    }
+
+    fn deliver_ready(&mut self) {
+        loop {
+            let ready = self
+                .pending
+                .iter()
+                .position(|m| self.vc.deliverable_from(&m.vc, m.writer));
+            match ready {
+                Some(i) => {
+                    let msg = self.pending.remove(i);
+                    self.apply(&msg);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl Node<CausalMsg> for CausalFullNode {
+    fn on_message(&mut self, _ctx: &mut NodeContext<CausalMsg>, _from: NodeId, msg: CausalMsg) {
+        self.control.charge_received(msg.var, msg.control_size());
+        self.pending.push(msg);
+        self.deliver_ready();
+    }
+}
+
+impl McsNode for CausalFullNode {
+    type Msg = CausalMsg;
+
+    fn local_read(&self, var: VarId) -> Value {
+        self.store.get(&var).copied().unwrap_or(Value::Bottom)
+    }
+
+    fn local_write(&mut self, ctx: &mut NodeContext<CausalMsg>, var: VarId, value: i64) {
+        self.vc.increment(self.me.index());
+        self.store.insert(var, Value::Int(value));
+        self.control.track(var);
+        let msg = CausalMsg {
+            writer: self.me.index(),
+            var,
+            value,
+            vc: self.vc.clone(),
+        };
+        let bytes = msg.control_size();
+        for i in 0..self.n {
+            if i != self.me.index() {
+                self.control.charge_sent(var, bytes);
+                ctx.send(NodeId(i), msg.clone());
+            }
+        }
+    }
+
+    fn replicates(&self, _var: VarId) -> bool {
+        true
+    }
+
+    fn control(&self) -> &ControlStats {
+        &self.control
+    }
+}
+
+/// Marker type selecting the fully replicated causal protocol.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CausalFull;
+
+impl ProtocolSpec for CausalFull {
+    type Msg = CausalMsg;
+    type Node = CausalFullNode;
+    const KIND: ProtocolKind = ProtocolKind::CausalFull;
+
+    fn build_nodes(dist: &Distribution) -> Vec<CausalFullNode> {
+        let n = dist.process_count();
+        (0..n).map(|i| CausalFullNode::new(ProcId(i), n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_bytes_scale_with_system_size() {
+        let small = CausalMsg {
+            writer: 0,
+            var: VarId(0),
+            value: 1,
+            vc: VectorClock::new(3),
+        };
+        let big = CausalMsg {
+            writer: 0,
+            var: VarId(0),
+            value: 1,
+            vc: VectorClock::new(30),
+        };
+        assert_eq!(small.data_bytes(), 8);
+        assert_eq!(small.control_bytes(), 3 * 8 + 8);
+        assert_eq!(big.control_bytes(), 30 * 8 + 8);
+        assert!(big.total_bytes() > small.total_bytes());
+    }
+
+    #[test]
+    fn node_replicates_everything_and_starts_empty() {
+        let node = CausalFullNode::new(ProcId(1), 4);
+        assert!(node.replicates(VarId(99)));
+        assert_eq!(node.local_read(VarId(0)), Value::Bottom);
+        assert_eq!(node.clock().total(), 0);
+        assert_eq!(node.pending_count(), 0);
+        assert_eq!(node.delivered_count(), 0);
+    }
+
+    #[test]
+    fn out_of_order_messages_wait_for_dependencies() {
+        let mut node = CausalFullNode::new(ProcId(2), 3);
+        // Writer 0's second write (depends on its first, unseen here).
+        let mut vc2 = VectorClock::new(3);
+        vc2.increment(0);
+        vc2.increment(0);
+        let m2 = CausalMsg {
+            writer: 0,
+            var: VarId(0),
+            value: 2,
+            vc: vc2,
+        };
+        // Deliver the dependent message first: it must be buffered.
+        let mut ctx_unused = NodeContext::new(NodeId(2), simnet::SimTime::ZERO);
+        node.on_message(&mut ctx_unused, NodeId(0), m2);
+        assert_eq!(node.pending_count(), 1);
+        assert_eq!(node.local_read(VarId(0)), Value::Bottom);
+        // Now the first write arrives; both become deliverable in order.
+        let mut vc1 = VectorClock::new(3);
+        vc1.increment(0);
+        let m1 = CausalMsg {
+            writer: 0,
+            var: VarId(0),
+            value: 1,
+            vc: vc1,
+        };
+        node.on_message(&mut ctx_unused, NodeId(0), m1);
+        assert_eq!(node.pending_count(), 0);
+        assert_eq!(node.delivered_count(), 2);
+        assert_eq!(node.local_read(VarId(0)), Value::Int(2));
+    }
+
+    #[test]
+    fn local_write_broadcasts_to_all_other_nodes() {
+        let dist = Distribution::full(4, 2);
+        let mut nodes = CausalFull::build_nodes(&dist);
+        let mut ctx = NodeContext::new(NodeId(0), simnet::SimTime::ZERO);
+        nodes[0].local_write(&mut ctx, VarId(1), 7);
+        assert_eq!(ctx.queued_messages(), 3);
+        assert_eq!(nodes[0].local_read(VarId(1)), Value::Int(7));
+        assert_eq!(nodes[0].clock().get(0), 1);
+        assert_eq!(nodes[0].control().sent_bytes(VarId(1)), 3 * (4 * 8 + 8) as u64);
+        assert_eq!(CausalFull::KIND, ProtocolKind::CausalFull);
+    }
+}

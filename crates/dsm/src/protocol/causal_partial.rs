@@ -1,0 +1,348 @@
+//! Causal consistency with partial replication.
+//!
+//! Data updates are sent only to the replicas of the written variable, but
+//! — as Theorem 1 makes unavoidable when the variable distribution is not
+//! known to be hoop-free — *dependency control information about every
+//! write is still propagated to every other node*: a node that does not
+//! replicate `x` receives a control-only record for each write of `x` so
+//! that it can (a) order later updates it *does* replicate after that write
+//! and (b) relay the dependency when its own writes are causally after it.
+//!
+//! This is the style of implementation the paper attributes to [7] and
+//! [14] and criticizes: partial replication of the *data* without partial
+//! replication of the *metadata*. Its measured control overhead is what the
+//! efficiency benchmarks compare against the PRAM protocol.
+
+use crate::api::ProtocolKind;
+use crate::clock::VectorClock;
+use crate::control::ControlStats;
+use crate::protocol::{McsNode, ProtocolSpec};
+use histories::{Distribution, ProcId, Value, VarId};
+use simnet::{Node, NodeContext, NodeId, WireSize};
+use std::collections::BTreeMap;
+
+/// Messages of the partially replicated causal protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CausalPartialMsg {
+    /// A full update: data value plus causal timestamp. Sent to the
+    /// replicas of the written variable.
+    Update {
+        /// The writing process.
+        writer: usize,
+        /// The written variable.
+        var: VarId,
+        /// The written value.
+        value: i64,
+        /// The writer's vector clock after the write.
+        vc: VectorClock,
+    },
+    /// A control-only dependency record: everything but the data. Sent to
+    /// every node that does not replicate the written variable.
+    Control {
+        /// The writing process.
+        writer: usize,
+        /// The written variable.
+        var: VarId,
+        /// The writer's vector clock after the write.
+        vc: VectorClock,
+    },
+}
+
+impl CausalPartialMsg {
+    /// The variable the message concerns.
+    pub fn var(&self) -> VarId {
+        match self {
+            CausalPartialMsg::Update { var, .. } | CausalPartialMsg::Control { var, .. } => *var,
+        }
+    }
+
+    /// The writing process.
+    pub fn writer(&self) -> usize {
+        match self {
+            CausalPartialMsg::Update { writer, .. } | CausalPartialMsg::Control { writer, .. } => {
+                *writer
+            }
+        }
+    }
+
+    /// The attached vector clock.
+    pub fn vc(&self) -> &VectorClock {
+        match self {
+            CausalPartialMsg::Update { vc, .. } | CausalPartialMsg::Control { vc, .. } => vc,
+        }
+    }
+}
+
+impl WireSize for CausalPartialMsg {
+    fn data_bytes(&self) -> usize {
+        match self {
+            CausalPartialMsg::Update { .. } => 8,
+            CausalPartialMsg::Control { .. } => 0,
+        }
+    }
+    fn control_bytes(&self) -> usize {
+        self.vc().wire_bytes() + 8
+    }
+}
+
+/// The partially replicated causal MCS process.
+#[derive(Clone, Debug)]
+pub struct CausalPartialNode {
+    me: ProcId,
+    dist: Distribution,
+    store: BTreeMap<VarId, Value>,
+    vc: VectorClock,
+    pending: Vec<CausalPartialMsg>,
+    control: ControlStats,
+    delivered_updates: u64,
+    delivered_control: u64,
+}
+
+impl CausalPartialNode {
+    /// Build the node for process `me` under the given distribution.
+    pub fn new(me: ProcId, dist: &Distribution) -> Self {
+        CausalPartialNode {
+            me,
+            dist: dist.clone(),
+            store: BTreeMap::new(),
+            vc: VectorClock::new(dist.process_count()),
+            pending: Vec::new(),
+            control: ControlStats::new(),
+            delivered_updates: 0,
+            delivered_control: 0,
+        }
+    }
+
+    /// The node's current vector clock.
+    pub fn clock(&self) -> &VectorClock {
+        &self.vc
+    }
+
+    /// Data updates applied so far.
+    pub fn delivered_updates(&self) -> u64 {
+        self.delivered_updates
+    }
+
+    /// Control-only records processed so far — each one is metadata about a
+    /// variable this node does not replicate.
+    pub fn delivered_control(&self) -> u64 {
+        self.delivered_control
+    }
+
+    /// Messages buffered awaiting causal delivery.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn apply(&mut self, msg: &CausalPartialMsg) {
+        match msg {
+            CausalPartialMsg::Update { var, value, vc, .. } => {
+                self.store.insert(*var, Value::Int(*value));
+                self.vc.merge(vc);
+                self.delivered_updates += 1;
+            }
+            CausalPartialMsg::Control { vc, .. } => {
+                self.vc.merge(vc);
+                self.delivered_control += 1;
+            }
+        }
+    }
+
+    fn deliver_ready(&mut self) {
+        loop {
+            let ready = self
+                .pending
+                .iter()
+                .position(|m| self.vc.deliverable_from(m.vc(), m.writer()));
+            match ready {
+                Some(i) => {
+                    let msg = self.pending.remove(i);
+                    self.apply(&msg);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl Node<CausalPartialMsg> for CausalPartialNode {
+    fn on_message(
+        &mut self,
+        _ctx: &mut NodeContext<CausalPartialMsg>,
+        _from: NodeId,
+        msg: CausalPartialMsg,
+    ) {
+        self.control
+            .charge_received(msg.var(), msg.control_bytes());
+        self.pending.push(msg);
+        self.deliver_ready();
+    }
+}
+
+impl McsNode for CausalPartialNode {
+    type Msg = CausalPartialMsg;
+
+    fn local_read(&self, var: VarId) -> Value {
+        self.store.get(&var).copied().unwrap_or(Value::Bottom)
+    }
+
+    fn local_write(&mut self, ctx: &mut NodeContext<CausalPartialMsg>, var: VarId, value: i64) {
+        self.vc.increment(self.me.index());
+        self.store.insert(var, Value::Int(value));
+        self.control.track(var);
+        let replicas = self.dist.replicas_of(var);
+        let update = CausalPartialMsg::Update {
+            writer: self.me.index(),
+            var,
+            value,
+            vc: self.vc.clone(),
+        };
+        let control = CausalPartialMsg::Control {
+            writer: self.me.index(),
+            var,
+            vc: self.vc.clone(),
+        };
+        for i in 0..self.dist.process_count() {
+            let target = ProcId(i);
+            if target == self.me {
+                continue;
+            }
+            if replicas.contains(&target) {
+                self.control.charge_sent(var, update.control_bytes());
+                ctx.send(NodeId(i), update.clone());
+            } else {
+                self.control.charge_sent(var, control.control_bytes());
+                ctx.send(NodeId(i), control.clone());
+            }
+        }
+    }
+
+    fn replicates(&self, var: VarId) -> bool {
+        self.dist.replicates(self.me, var)
+    }
+
+    fn control(&self) -> &ControlStats {
+        &self.control
+    }
+}
+
+/// Marker type selecting the partially replicated causal protocol.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CausalPartial;
+
+impl ProtocolSpec for CausalPartial {
+    type Msg = CausalPartialMsg;
+    type Node = CausalPartialNode;
+    const KIND: ProtocolKind = ProtocolKind::CausalPartial;
+
+    fn build_nodes(dist: &Distribution) -> Vec<CausalPartialNode> {
+        (0..dist.process_count())
+            .map(|i| CausalPartialNode::new(ProcId(i), dist))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimTime;
+
+    #[test]
+    fn control_only_messages_carry_no_data() {
+        let upd = CausalPartialMsg::Update {
+            writer: 0,
+            var: VarId(0),
+            value: 1,
+            vc: VectorClock::new(4),
+        };
+        let ctl = CausalPartialMsg::Control {
+            writer: 0,
+            var: VarId(0),
+            vc: VectorClock::new(4),
+        };
+        assert_eq!(upd.data_bytes(), 8);
+        assert_eq!(ctl.data_bytes(), 0);
+        assert_eq!(upd.control_bytes(), ctl.control_bytes());
+        assert_eq!(ctl.control_bytes(), 4 * 8 + 8);
+        assert_eq!(upd.var(), VarId(0));
+        assert_eq!(ctl.writer(), 0);
+    }
+
+    #[test]
+    fn writes_send_updates_to_replicas_and_control_to_everyone_else() {
+        // 4 processes; x0 replicated on p0 and p1 only.
+        let mut dist = Distribution::new(4, 1);
+        dist.assign(ProcId(0), VarId(0));
+        dist.assign(ProcId(1), VarId(0));
+        let mut nodes = CausalPartial::build_nodes(&dist);
+        let mut ctx = NodeContext::new(NodeId(0), SimTime::ZERO);
+        nodes[0].local_write(&mut ctx, VarId(0), 5);
+        // 1 update (to p1) + 2 control records (to p2, p3).
+        assert_eq!(ctx.queued_messages(), 3);
+        assert_eq!(nodes[0].local_read(VarId(0)), Value::Int(5));
+        // Every other node will therefore track x0 — the runtime witness of
+        // the paper's impossibility result.
+        assert!(nodes[0].control().tracks(VarId(0)));
+    }
+
+    #[test]
+    fn control_records_advance_the_clock_without_storing_data() {
+        let mut dist = Distribution::new(3, 1);
+        dist.assign(ProcId(0), VarId(0));
+        dist.assign(ProcId(1), VarId(0));
+        let mut node = CausalPartialNode::new(ProcId(2), &dist);
+        let mut vc = VectorClock::new(3);
+        vc.increment(0);
+        let mut ctx = NodeContext::new(NodeId(2), SimTime::ZERO);
+        node.on_message(
+            &mut ctx,
+            NodeId(0),
+            CausalPartialMsg::Control {
+                writer: 0,
+                var: VarId(0),
+                vc,
+            },
+        );
+        assert_eq!(node.delivered_control(), 1);
+        assert_eq!(node.delivered_updates(), 0);
+        assert_eq!(node.local_read(VarId(0)), Value::Bottom);
+        assert_eq!(node.clock().get(0), 1);
+        // p2 does not replicate x0 yet had to process metadata about it.
+        assert!(node.control().tracks(VarId(0)));
+        assert!(!node.replicates(VarId(0)));
+    }
+
+    #[test]
+    fn out_of_order_control_waits_for_dependencies() {
+        let dist = Distribution::new(2, 1);
+        let mut node = CausalPartialNode::new(ProcId(1), &dist);
+        let mut vc2 = VectorClock::new(2);
+        vc2.increment(0);
+        vc2.increment(0);
+        let mut ctx = NodeContext::new(NodeId(1), SimTime::ZERO);
+        node.on_message(
+            &mut ctx,
+            NodeId(0),
+            CausalPartialMsg::Control {
+                writer: 0,
+                var: VarId(0),
+                vc: vc2,
+            },
+        );
+        assert_eq!(node.pending_count(), 1);
+        let mut vc1 = VectorClock::new(2);
+        vc1.increment(0);
+        node.on_message(
+            &mut ctx,
+            NodeId(0),
+            CausalPartialMsg::Control {
+                writer: 0,
+                var: VarId(0),
+                vc: vc1,
+            },
+        );
+        assert_eq!(node.pending_count(), 0);
+        assert_eq!(node.delivered_control(), 2);
+        assert_eq!(CausalPartial::KIND, ProtocolKind::CausalPartial);
+    }
+}

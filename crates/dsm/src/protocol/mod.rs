@@ -1,0 +1,66 @@
+//! MCS protocol implementations.
+//!
+//! Each protocol provides a node state machine (implementing both
+//! [`simnet::Node`] for message handling and [`McsNode`] for the
+//! application-facing read/write interface) and a message type that
+//! accounts for its own data/control byte split.
+//!
+//! | module | criterion | replication | control metadata |
+//! |---|---|---|---|
+//! | [`causal_full`] | causal | full | vector clock per update, broadcast |
+//! | [`causal_partial`] | causal | partial | vector clock per update to replicas **plus** control-only records to every other node |
+//! | [`pram_partial`] | PRAM | partial | per-writer sequence number, sent only to replicas |
+//! | [`sequential`] | sequential (baseline) | full | sequencer round trip + global sequence number |
+
+pub mod causal_full;
+pub mod causal_partial;
+pub mod pram_partial;
+pub mod sequential;
+
+use crate::api::ProtocolKind;
+use crate::control::ControlStats;
+use histories::{Distribution, Value, VarId};
+use simnet::{Node, NodeContext, WireSize};
+use std::fmt;
+
+/// The application-facing interface of an MCS process.
+///
+/// Reads are wait-free: they return the local replica's current value
+/// without any communication (this is the defining performance property of
+/// the causal/PRAM family the paper builds on). Writes update the local
+/// replica and hand propagation messages to the provided context.
+pub trait McsNode: Node<<Self as McsNode>::Msg> {
+    /// The message type exchanged between nodes of this protocol.
+    type Msg: WireSize + fmt::Debug + Clone;
+
+    /// Wait-free local read. Returns `⊥` if the variable has never been
+    /// written (or is not replicated here — callers are expected to check
+    /// [`McsNode::replicates`] first; the runtime enforces it).
+    fn local_read(&self, var: VarId) -> Value;
+
+    /// Apply a write locally and emit whatever propagation messages the
+    /// protocol requires.
+    fn local_write(&mut self, ctx: &mut NodeContext<Self::Msg>, var: VarId, value: i64);
+
+    /// Whether this node manages a replica of `var`.
+    fn replicates(&self, var: VarId) -> bool;
+
+    /// The node's control-information accounting.
+    fn control(&self) -> &ControlStats;
+}
+
+/// A protocol family: how to instantiate one node per process for a given
+/// variable distribution.
+pub trait ProtocolSpec {
+    /// Message type.
+    type Msg: WireSize + fmt::Debug + Clone;
+    /// Node type.
+    type Node: McsNode<Msg = Self::Msg>;
+
+    /// Which protocol this is.
+    const KIND: ProtocolKind;
+
+    /// Build the MCS nodes for a system with the given variable
+    /// distribution (one node per process, in process-id order).
+    fn build_nodes(dist: &Distribution) -> Vec<Self::Node>;
+}

@@ -1,0 +1,186 @@
+//! PRAM consistency with partial replication — the efficient implementation
+//! licensed by Theorem 2.
+//!
+//! Each write is tagged with the writer's sequence number and multicast
+//! **only to the processes replicating the written variable**. Channels are
+//! FIFO, so every replica applies a given writer's updates in that writer's
+//! program order, which is exactly the PRAM obligation; writes by different
+//! writers may be applied in different orders at different replicas, which
+//! PRAM allows. No process ever receives (or stores) any metadata about a
+//! variable outside its replica set: the control information about `x`
+//! stays inside `C(x)`.
+
+use crate::api::ProtocolKind;
+use crate::control::ControlStats;
+use crate::protocol::{McsNode, ProtocolSpec};
+use histories::{Distribution, ProcId, Value, VarId};
+use simnet::{Node, NodeContext, NodeId, WireSize};
+use std::collections::BTreeMap;
+
+use crate::clock::SequenceTracker;
+
+/// An update message: the written value plus the writer's sequence number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PramMsg {
+    /// The writing process.
+    pub writer: usize,
+    /// The writer's per-process sequence number for this write.
+    pub seq: u64,
+    /// The written variable.
+    pub var: VarId,
+    /// The written value.
+    pub value: i64,
+}
+
+impl PramMsg {
+    /// Control bytes: sequence number (8) + writer id (4) + variable id (4).
+    pub const CONTROL_BYTES: usize = 16;
+    /// Data bytes: the 8-byte value.
+    pub const DATA_BYTES: usize = 8;
+}
+
+impl WireSize for PramMsg {
+    fn data_bytes(&self) -> usize {
+        Self::DATA_BYTES
+    }
+    fn control_bytes(&self) -> usize {
+        Self::CONTROL_BYTES
+    }
+}
+
+/// The PRAM MCS process.
+#[derive(Clone, Debug)]
+pub struct PramNode {
+    me: ProcId,
+    dist: Distribution,
+    store: BTreeMap<VarId, Value>,
+    seq: u64,
+    seen: SequenceTracker,
+    control: ControlStats,
+}
+
+impl PramNode {
+    /// Build the node for process `me` under the given distribution.
+    pub fn new(me: ProcId, dist: &Distribution) -> Self {
+        PramNode {
+            me,
+            dist: dist.clone(),
+            store: BTreeMap::new(),
+            seq: 0,
+            seen: SequenceTracker::new(dist.process_count()),
+            control: ControlStats::new(),
+        }
+    }
+
+    /// The writer's own sequence counter (number of writes issued so far).
+    pub fn writes_issued(&self) -> u64 {
+        self.seq
+    }
+
+    /// The per-writer FIFO tracker (exposed for tests).
+    pub fn sequence_tracker(&self) -> &SequenceTracker {
+        &self.seen
+    }
+}
+
+impl Node<PramMsg> for PramNode {
+    fn on_message(&mut self, _ctx: &mut NodeContext<PramMsg>, _from: NodeId, msg: PramMsg) {
+        debug_assert!(
+            self.dist.replicates(self.me, msg.var),
+            "PRAM partial replication never sends updates to non-replicas"
+        );
+        self.control
+            .charge_received(msg.var, PramMsg::CONTROL_BYTES);
+        let fifo_ok = self.seen.observe(msg.writer, msg.seq);
+        debug_assert!(fifo_ok, "FIFO channels deliver a writer's updates in order");
+        self.store.insert(msg.var, Value::Int(msg.value));
+    }
+}
+
+impl McsNode for PramNode {
+    type Msg = PramMsg;
+
+    fn local_read(&self, var: VarId) -> Value {
+        self.store.get(&var).copied().unwrap_or(Value::Bottom)
+    }
+
+    fn local_write(&mut self, ctx: &mut NodeContext<PramMsg>, var: VarId, value: i64) {
+        self.seq += 1;
+        self.store.insert(var, Value::Int(value));
+        self.control.track(var);
+        let msg = PramMsg {
+            writer: self.me.index(),
+            seq: self.seq,
+            var,
+            value,
+        };
+        for replica in self.dist.replicas_of(var) {
+            if replica != self.me {
+                self.control.charge_sent(var, PramMsg::CONTROL_BYTES);
+                ctx.send(NodeId(replica.index()), msg.clone());
+            }
+        }
+    }
+
+    fn replicates(&self, var: VarId) -> bool {
+        self.dist.replicates(self.me, var)
+    }
+
+    fn control(&self) -> &ControlStats {
+        &self.control
+    }
+}
+
+/// Marker type selecting the PRAM partial-replication protocol.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PramPartial;
+
+impl ProtocolSpec for PramPartial {
+    type Msg = PramMsg;
+    type Node = PramNode;
+    const KIND: ProtocolKind = ProtocolKind::PramPartial;
+
+    fn build_nodes(dist: &Distribution) -> Vec<PramNode> {
+        (0..dist.process_count())
+            .map(|i| PramNode::new(ProcId(i), dist))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_split() {
+        let m = PramMsg {
+            writer: 0,
+            seq: 1,
+            var: VarId(0),
+            value: 42,
+        };
+        assert_eq!(m.data_bytes(), 8);
+        assert_eq!(m.control_bytes(), 16);
+        assert_eq!(m.total_bytes(), 24);
+    }
+
+    #[test]
+    fn local_read_defaults_to_bottom() {
+        let dist = Distribution::full(2, 2);
+        let node = PramNode::new(ProcId(0), &dist);
+        assert_eq!(node.local_read(VarId(0)), Value::Bottom);
+        assert!(node.replicates(VarId(1)));
+        assert_eq!(node.writes_issued(), 0);
+    }
+
+    #[test]
+    fn build_nodes_creates_one_per_process() {
+        let dist = Distribution::ring_overlap(4);
+        let nodes = PramPartial::build_nodes(&dist);
+        assert_eq!(nodes.len(), 4);
+        assert!(nodes[1].replicates(VarId(1)));
+        assert!(nodes[1].replicates(VarId(2)));
+        assert!(!nodes[1].replicates(VarId(3)));
+        assert_eq!(PramPartial::KIND, ProtocolKind::PramPartial);
+    }
+}

@@ -1,0 +1,291 @@
+//! The DSM runtime: application processes issuing reads and writes against
+//! MCS nodes hosted on a simulated cluster.
+//!
+//! [`DsmSystem`] glues the pieces together: it owns a [`simnet::Simulator`]
+//! whose nodes are the protocol's MCS processes, validates that application
+//! accesses respect the variable distribution (under partial replication a
+//! process may only touch the variables it replicates), records every
+//! operation for offline consistency checking, and exposes the network and
+//! control-information statistics the benchmarks report.
+
+use crate::api::{DsmError, ProtocolKind};
+use crate::control::ControlSummary;
+use crate::protocol::{McsNode, ProtocolSpec};
+use crate::recorder::Recorder;
+use histories::{Distribution, History, ProcId, Value, VarId};
+use simnet::{NetworkStats, NodeId, RunOutcome, SimConfig, SimTime, Simulator, Topology};
+
+/// A complete simulated DSM deployment for protocol `P`.
+pub struct DsmSystem<P: ProtocolSpec> {
+    sim: Simulator<P::Msg, P::Node>,
+    dist: Distribution,
+    recorder: Recorder,
+}
+
+impl<P: ProtocolSpec> DsmSystem<P> {
+    /// Build a system with the default simulation configuration.
+    pub fn new(dist: Distribution) -> Self {
+        Self::with_config(dist, SimConfig::default())
+    }
+
+    /// Build a system with an explicit simulation configuration.
+    pub fn with_config(dist: Distribution, config: SimConfig) -> Self {
+        let nodes = P::build_nodes(&dist);
+        let topology = Topology::full_mesh(dist.process_count());
+        let sim = Simulator::new(topology, config, nodes);
+        let recorder = Recorder::new(dist.process_count());
+        DsmSystem {
+            sim,
+            dist,
+            recorder,
+        }
+    }
+
+    /// Disable operation recording (useful for large benchmark runs).
+    pub fn disable_recording(&mut self) {
+        self.recorder = Recorder::disabled(self.dist.process_count());
+    }
+
+    /// The protocol this system runs.
+    pub fn kind(&self) -> ProtocolKind {
+        P::KIND
+    }
+
+    /// The variable distribution.
+    pub fn distribution(&self) -> &Distribution {
+        &self.dist
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.dist.process_count()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    fn validate(&self, p: ProcId, var: VarId) -> Result<(), DsmError> {
+        if p.index() >= self.dist.process_count() {
+            return Err(DsmError::UnknownProcess { proc: p });
+        }
+        if !P::KIND.is_fully_replicated() && !self.dist.replicates(p, var) {
+            return Err(DsmError::NotReplicated { proc: p, var });
+        }
+        Ok(())
+    }
+
+    /// Issue `w_p(var)value`.
+    pub fn write(&mut self, p: ProcId, var: VarId, value: i64) -> Result<(), DsmError> {
+        self.validate(p, var)?;
+        self.recorder.record_write(p, var, value);
+        self.sim.with_node(NodeId(p.index()), |node, ctx| {
+            node.local_write(ctx, var, value);
+        });
+        Ok(())
+    }
+
+    /// Issue `r_p(var)` and return the value the local replica holds.
+    pub fn read(&mut self, p: ProcId, var: VarId) -> Result<Value, DsmError> {
+        self.validate(p, var)?;
+        let value = self
+            .sim
+            .with_node(NodeId(p.index()), |node, _ctx| node.local_read(var));
+        self.recorder.record_read(p, var, value);
+        Ok(value)
+    }
+
+    /// Deliver every in-flight message (run the network to quiescence).
+    pub fn settle(&mut self) -> RunOutcome {
+        self.sim.run_until_quiescent()
+    }
+
+    /// Deliver at most one pending message; returns `false` when idle.
+    pub fn step(&mut self) -> bool {
+        self.sim.step()
+    }
+
+    /// Number of messages still in flight.
+    pub fn pending_messages(&self) -> usize {
+        self.sim.pending_events()
+    }
+
+    /// Network-level statistics (messages, data bytes, control bytes).
+    pub fn network_stats(&self) -> &NetworkStats {
+        self.sim.stats()
+    }
+
+    /// Per-node control-information accounting.
+    pub fn control_summary(&self) -> ControlSummary {
+        let stats = (0..self.process_count())
+            .map(|i| self.sim.node(NodeId(i)).control().clone())
+            .collect();
+        ControlSummary::new(stats)
+    }
+
+    /// The history of all application operations issued so far.
+    pub fn history(&self) -> History {
+        self.recorder.history()
+    }
+
+    /// Number of application operations issued so far.
+    pub fn operation_count(&self) -> u64 {
+        self.recorder.read_count() + self.recorder.write_count()
+    }
+
+    /// Direct read of a node's replica without recording an application
+    /// operation (used by tests and convergence checks).
+    pub fn peek(&self, p: ProcId, var: VarId) -> Value {
+        self.sim.node(NodeId(p.index())).local_read(var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::causal_full::CausalFull;
+    use crate::protocol::causal_partial::CausalPartial;
+    use crate::protocol::pram_partial::PramPartial;
+    use crate::protocol::sequential::Sequential;
+    use histories::{check, Criterion};
+
+    fn partial_dist() -> Distribution {
+        // 4 processes; x0 on {p0,p1}, x1 on {p1,p2}, x2 on {p2,p3}.
+        let mut d = Distribution::new(4, 3);
+        d.assign(ProcId(0), VarId(0));
+        d.assign(ProcId(1), VarId(0));
+        d.assign(ProcId(1), VarId(1));
+        d.assign(ProcId(2), VarId(1));
+        d.assign(ProcId(2), VarId(2));
+        d.assign(ProcId(3), VarId(2));
+        d
+    }
+
+    #[test]
+    fn pram_partial_propagates_only_to_replicas() {
+        let mut sys: DsmSystem<PramPartial> = DsmSystem::new(partial_dist());
+        sys.write(ProcId(0), VarId(0), 10).unwrap();
+        sys.settle();
+        assert_eq!(sys.peek(ProcId(1), VarId(0)), Value::Int(10));
+        // p2 and p3 never hear about x0 in any form.
+        let summary = sys.control_summary();
+        assert!(!summary.node(ProcId(2)).tracks(VarId(0)));
+        assert!(!summary.node(ProcId(3)).tracks(VarId(0)));
+        // Exactly one message was needed.
+        assert_eq!(sys.network_stats().total_messages(), 1);
+    }
+
+    #[test]
+    fn causal_partial_spreads_control_info_everywhere() {
+        let mut sys: DsmSystem<CausalPartial> = DsmSystem::new(partial_dist());
+        sys.write(ProcId(0), VarId(0), 10).unwrap();
+        sys.settle();
+        let summary = sys.control_summary();
+        for p in 0..4 {
+            assert!(
+                summary.node(ProcId(p)).tracks(VarId(0)),
+                "p{p} must process metadata about x0"
+            );
+        }
+        // Three messages: one data update (p1) + two control records.
+        assert_eq!(sys.network_stats().total_messages(), 3);
+        assert_eq!(sys.peek(ProcId(1), VarId(0)), Value::Int(10));
+        assert_eq!(sys.peek(ProcId(2), VarId(0)), Value::Bottom);
+    }
+
+    #[test]
+    fn partial_protocols_reject_non_replicated_access() {
+        let mut sys: DsmSystem<PramPartial> = DsmSystem::new(partial_dist());
+        assert_eq!(
+            sys.write(ProcId(0), VarId(2), 1),
+            Err(DsmError::NotReplicated {
+                proc: ProcId(0),
+                var: VarId(2)
+            })
+        );
+        assert_eq!(
+            sys.read(ProcId(3), VarId(0)),
+            Err(DsmError::NotReplicated {
+                proc: ProcId(3),
+                var: VarId(0)
+            })
+        );
+        assert_eq!(
+            sys.read(ProcId(9), VarId(0)),
+            Err(DsmError::UnknownProcess { proc: ProcId(9) })
+        );
+    }
+
+    #[test]
+    fn full_replication_protocols_accept_any_variable() {
+        let mut sys: DsmSystem<CausalFull> = DsmSystem::new(partial_dist());
+        sys.write(ProcId(0), VarId(2), 5).unwrap();
+        sys.settle();
+        for p in 0..4 {
+            assert_eq!(sys.peek(ProcId(p), VarId(2)), Value::Int(5));
+        }
+        assert_eq!(sys.kind(), ProtocolKind::CausalFull);
+    }
+
+    #[test]
+    fn recorded_histories_satisfy_the_protocols_criterion() {
+        // A small concurrent workload on the causal-full system.
+        let mut sys: DsmSystem<CausalFull> = DsmSystem::new(Distribution::full(3, 2));
+        sys.write(ProcId(0), VarId(0), 1).unwrap();
+        sys.write(ProcId(1), VarId(1), 2).unwrap();
+        sys.settle();
+        let _ = sys.read(ProcId(2), VarId(0)).unwrap();
+        let _ = sys.read(ProcId(2), VarId(1)).unwrap();
+        sys.write(ProcId(2), VarId(0), 3).unwrap();
+        sys.settle();
+        let _ = sys.read(ProcId(0), VarId(0)).unwrap();
+        let h = sys.history();
+        assert!(check(&h, Criterion::Causal).consistent, "{}", h.pretty());
+        assert!(check(&h, Criterion::Pram).consistent);
+    }
+
+    #[test]
+    fn pram_history_is_pram_consistent() {
+        let mut sys: DsmSystem<PramPartial> = DsmSystem::new(partial_dist());
+        sys.write(ProcId(0), VarId(0), 1).unwrap();
+        sys.write(ProcId(1), VarId(1), 2).unwrap();
+        sys.settle();
+        let _ = sys.read(ProcId(1), VarId(0)).unwrap();
+        let _ = sys.read(ProcId(2), VarId(1)).unwrap();
+        sys.write(ProcId(2), VarId(2), 3).unwrap();
+        sys.settle();
+        let _ = sys.read(ProcId(3), VarId(2)).unwrap();
+        let h = sys.history();
+        assert!(check(&h, Criterion::Pram).consistent, "{}", h.pretty());
+        assert_eq!(sys.operation_count(), 6);
+    }
+
+    #[test]
+    fn sequencer_converges_all_replicas() {
+        let mut sys: DsmSystem<Sequential> = DsmSystem::new(Distribution::full(4, 1));
+        sys.write(ProcId(1), VarId(0), 11).unwrap();
+        sys.write(ProcId(2), VarId(0), 22).unwrap();
+        sys.write(ProcId(3), VarId(0), 33).unwrap();
+        sys.settle();
+        let final_value = sys.peek(ProcId(0), VarId(0));
+        for p in 1..4 {
+            assert_eq!(sys.peek(ProcId(p), VarId(0)), final_value);
+        }
+        // Requests reach the sequencer, which broadcasts each ordered write.
+        assert!(sys.network_stats().total_messages() >= 3 + 3 * 3);
+    }
+
+    #[test]
+    fn disabled_recording_still_counts_operations() {
+        let mut sys: DsmSystem<PramPartial> = DsmSystem::new(partial_dist());
+        sys.disable_recording();
+        sys.write(ProcId(0), VarId(0), 1).unwrap();
+        let _ = sys.read(ProcId(0), VarId(0)).unwrap();
+        assert_eq!(sys.history().len(), 0);
+        assert_eq!(sys.operation_count(), 2);
+        assert!(sys.pending_messages() > 0);
+        sys.settle();
+        assert_eq!(sys.pending_messages(), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! The read-from order relation `7→ro` (paper §2, identical to the
+//! "writes-into" relation of Ahamad et al.).
+//!
+//! Given operations `o1`, `o2`, the relation satisfies:
+//!
+//! 1. if `o1 7→ro o2` then there are `x`, `v` with `o1 = w(x)v`, `o2 = r(x)v`;
+//! 2. for any `o2` there is at most one `o1` with `o1 7→ro o2`;
+//! 3. if `o2 = r(x)v` has no `o1` with `o1 7→ro o2` then `v = ⊥`.
+//!
+//! The relation is not unique in general (two writes may store the same
+//! value in the same variable). [`ReadFrom::infer`] reconstructs it from a
+//! history under the standard *data-independence* assumption that any two
+//! writes to the same variable store distinct values; this holds for every
+//! history in the paper and for every workload our generators produce, and
+//! makes the relation unique. When the assumption is violated the inference
+//! reports the ambiguity instead of guessing.
+
+use crate::history::{History, OpIdx};
+use crate::op::{Value, VarId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why the read-from relation could not be inferred.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadFromError {
+    /// A read returned a non-`⊥` value that no write stored in that variable.
+    DanglingRead {
+        /// The offending read.
+        read: OpIdx,
+    },
+    /// Two writes to the same variable store the same value, so the relation
+    /// is ambiguous for reads of that value.
+    AmbiguousWrites {
+        /// The variable written twice with the same value.
+        var: VarId,
+        /// The duplicated value.
+        value: Value,
+    },
+}
+
+impl fmt::Display for ReadFromError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadFromError::DanglingRead { read } => {
+                write!(f, "read {read:?} returns a value never written")
+            }
+            ReadFromError::AmbiguousWrites { var, value } => write!(
+                f,
+                "variable {var} is written twice with value {value}; read-from is ambiguous"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReadFromError {}
+
+/// The inferred read-from relation of a history.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReadFrom {
+    /// For each read (by global index), the write it reads from, if any.
+    /// Reads of `⊥` have no entry.
+    source: BTreeMap<OpIdx, OpIdx>,
+}
+
+impl ReadFrom {
+    /// Infer the relation from a history (see module docs for assumptions).
+    pub fn infer(h: &History) -> Result<ReadFrom, ReadFromError> {
+        // Map (var, value) -> writer op.
+        let mut writer: BTreeMap<(VarId, Value), OpIdx> = BTreeMap::new();
+        for (idx, op) in h.writes() {
+            if writer.insert((op.var, op.value), idx).is_some() {
+                return Err(ReadFromError::AmbiguousWrites {
+                    var: op.var,
+                    value: op.value,
+                });
+            }
+        }
+        let mut source = BTreeMap::new();
+        for (idx, op) in h.reads() {
+            if op.value.is_bottom() {
+                continue;
+            }
+            match writer.get(&(op.var, op.value)) {
+                Some(&w) => {
+                    source.insert(idx, w);
+                }
+                None => return Err(ReadFromError::DanglingRead { read: idx }),
+            }
+        }
+        Ok(ReadFrom { source })
+    }
+
+    /// The write `o1` such that `o1 7→ro read`, if any.
+    pub fn source_of(&self, read: OpIdx) -> Option<OpIdx> {
+        self.source.get(&read).copied()
+    }
+
+    /// Whether `w 7→ro r`.
+    pub fn relates(&self, w: OpIdx, r: OpIdx) -> bool {
+        self.source_of(r) == Some(w)
+    }
+
+    /// All `(write, read)` pairs of the relation.
+    pub fn pairs(&self) -> impl Iterator<Item = (OpIdx, OpIdx)> + '_ {
+        self.source.iter().map(|(&r, &w)| (w, r))
+    }
+
+    /// Number of related pairs.
+    pub fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.source.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::op::ProcId;
+
+    #[test]
+    fn infers_unique_sources() {
+        let mut hb = HistoryBuilder::new(2);
+        let w1 = hb.write(ProcId(0), VarId(0), 1);
+        let w2 = hb.write(ProcId(0), VarId(0), 2);
+        let r1 = hb.read_int(ProcId(1), VarId(0), 1);
+        let r2 = hb.read_int(ProcId(1), VarId(0), 2);
+        let rb = hb.read_bottom(ProcId(1), VarId(1));
+        let h = hb.build();
+        let rf = ReadFrom::infer(&h).unwrap();
+        assert_eq!(rf.source_of(r1), Some(w1));
+        assert_eq!(rf.source_of(r2), Some(w2));
+        assert_eq!(rf.source_of(rb), None);
+        assert!(rf.relates(w1, r1));
+        assert!(!rf.relates(w2, r1));
+        assert_eq!(rf.len(), 2);
+        assert!(!rf.is_empty());
+    }
+
+    #[test]
+    fn bottom_reads_have_no_source() {
+        let mut hb = HistoryBuilder::new(1);
+        hb.read_bottom(ProcId(0), VarId(0));
+        let h = hb.build();
+        let rf = ReadFrom::infer(&h).unwrap();
+        assert!(rf.is_empty());
+    }
+
+    #[test]
+    fn dangling_read_is_rejected() {
+        let mut hb = HistoryBuilder::new(2);
+        hb.write(ProcId(0), VarId(0), 1);
+        let r = hb.read_int(ProcId(1), VarId(0), 99);
+        let h = hb.build();
+        assert_eq!(
+            ReadFrom::infer(&h),
+            Err(ReadFromError::DanglingRead { read: r })
+        );
+    }
+
+    #[test]
+    fn same_value_in_different_variables_is_fine() {
+        let mut hb = HistoryBuilder::new(1);
+        hb.write(ProcId(0), VarId(0), 7);
+        hb.write(ProcId(0), VarId(1), 7);
+        let h = hb.build();
+        assert!(ReadFrom::infer(&h).is_ok());
+    }
+
+    #[test]
+    fn duplicate_writes_are_ambiguous() {
+        let mut hb = HistoryBuilder::new(2);
+        hb.write(ProcId(0), VarId(0), 7);
+        hb.write(ProcId(1), VarId(0), 7);
+        let h = hb.build();
+        assert_eq!(
+            ReadFrom::infer(&h),
+            Err(ReadFromError::AmbiguousWrites {
+                var: VarId(0),
+                value: Value::Int(7)
+            })
+        );
+    }
+
+    #[test]
+    fn pairs_enumerates_relation() {
+        let mut hb = HistoryBuilder::new(2);
+        let w = hb.write(ProcId(0), VarId(0), 1);
+        let r = hb.read_int(ProcId(1), VarId(0), 1);
+        let h = hb.build();
+        let rf = ReadFrom::infer(&h).unwrap();
+        assert_eq!(rf.pairs().collect::<Vec<_>>(), vec![(w, r)]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ReadFromError::AmbiguousWrites {
+            var: VarId(0),
+            value: Value::Int(7),
+        };
+        assert!(e.to_string().contains("ambiguous"));
+        let d = ReadFromError::DanglingRead { read: OpIdx(3) };
+        assert!(d.to_string().contains("never written"));
+    }
+}

@@ -1,0 +1,222 @@
+//! A small directed-relation toolkit over operation indices.
+//!
+//! All the order relations of the paper (causal, lazy causal, lazy
+//! semi-causal, PRAM) are built by adding edges to a [`RelationGraph`] and,
+//! where the definition takes a transitive closure, materializing a
+//! [`Reachability`] matrix.
+
+use crate::history::OpIdx;
+
+/// A directed graph over `n` operations, stored as adjacency lists.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RelationGraph {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl RelationGraph {
+    /// An empty relation over `n` operations.
+    pub fn new(n: usize) -> Self {
+        RelationGraph {
+            n,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the relation covers zero operations.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Add the edge `a → b` (idempotent).
+    pub fn add_edge(&mut self, a: OpIdx, b: OpIdx) {
+        assert!(a.index() < self.n && b.index() < self.n, "edge out of range");
+        if a == b {
+            return;
+        }
+        if !self.adj[a.index()].contains(&b.index()) {
+            self.adj[a.index()].push(b.index());
+        }
+    }
+
+    /// Whether the direct edge `a → b` exists.
+    pub fn has_edge(&self, a: OpIdx, b: OpIdx) -> bool {
+        self.adj[a.index()].contains(&b.index())
+    }
+
+    /// Direct successors of `a`.
+    pub fn successors(&self, a: OpIdx) -> impl Iterator<Item = OpIdx> + '_ {
+        self.adj[a.index()].iter().copied().map(OpIdx)
+    }
+
+    /// Number of direct edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|v| v.len()).sum()
+    }
+
+    /// Union with another relation over the same operation set.
+    pub fn union(&self, other: &RelationGraph) -> RelationGraph {
+        assert_eq!(self.n, other.n, "relations cover different op sets");
+        let mut out = self.clone();
+        for a in 0..other.n {
+            for &b in &other.adj[a] {
+                out.add_edge(OpIdx(a), OpIdx(b));
+            }
+        }
+        out
+    }
+
+    /// Compute the reachability (transitive closure) of the relation.
+    pub fn closure(&self) -> Reachability {
+        let words = self.n.div_ceil(64).max(1);
+        let mut reach = vec![vec![0u64; words]; self.n];
+        // DFS from every vertex; fine for the history sizes we handle.
+        for start in 0..self.n {
+            let mut stack: Vec<usize> = self.adj[start].clone();
+            while let Some(v) = stack.pop() {
+                let (w, bit) = (v / 64, v % 64);
+                if reach[start][w] & (1 << bit) != 0 {
+                    continue;
+                }
+                reach[start][w] |= 1 << bit;
+                stack.extend_from_slice(&self.adj[v]);
+            }
+        }
+        Reachability { n: self.n, reach }
+    }
+
+    /// Whether the relation (viewed as a digraph) has a cycle.
+    pub fn has_cycle(&self) -> bool {
+        let closure = self.closure();
+        (0..self.n).any(|v| closure.reaches(OpIdx(v), OpIdx(v)))
+    }
+}
+
+/// Reachability matrix: `reaches(a, b)` means `a →+ b` (non-reflexive unless
+/// the graph has a cycle through `a`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reachability {
+    n: usize,
+    reach: Vec<Vec<u64>>,
+}
+
+impl Reachability {
+    /// Whether `a` reaches `b` through one or more edges.
+    pub fn reaches(&self, a: OpIdx, b: OpIdx) -> bool {
+        let (w, bit) = (b.index() / 64, b.index() % 64);
+        self.reach[a.index()][w] & (1 << bit) != 0
+    }
+
+    /// Whether `a` and `b` are unrelated in both directions (concurrent).
+    pub fn concurrent(&self, a: OpIdx, b: OpIdx) -> bool {
+        a != b && !self.reaches(a, b) && !self.reaches(b, a)
+    }
+
+    /// Number of operations covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers zero operations.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = RelationGraph::new(3);
+        g.add_edge(OpIdx(0), OpIdx(1));
+        g.add_edge(OpIdx(0), OpIdx(1)); // idempotent
+        g.add_edge(OpIdx(1), OpIdx(2));
+        assert!(g.has_edge(OpIdx(0), OpIdx(1)));
+        assert!(!g.has_edge(OpIdx(1), OpIdx(0)));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.successors(OpIdx(0)).collect::<Vec<_>>(), vec![OpIdx(1)]);
+    }
+
+    #[test]
+    fn self_edges_are_ignored() {
+        let mut g = RelationGraph::new(2);
+        g.add_edge(OpIdx(0), OpIdx(0));
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn closure_computes_transitive_reachability() {
+        let mut g = RelationGraph::new(4);
+        g.add_edge(OpIdx(0), OpIdx(1));
+        g.add_edge(OpIdx(1), OpIdx(2));
+        g.add_edge(OpIdx(2), OpIdx(3));
+        let c = g.closure();
+        assert!(c.reaches(OpIdx(0), OpIdx(3)));
+        assert!(c.reaches(OpIdx(1), OpIdx(3)));
+        assert!(!c.reaches(OpIdx(3), OpIdx(0)));
+        assert!(!c.reaches(OpIdx(0), OpIdx(0)));
+        assert!(c.concurrent(OpIdx(0), OpIdx(0)) == false);
+    }
+
+    #[test]
+    fn concurrent_detects_unrelated_pairs() {
+        let mut g = RelationGraph::new(4);
+        g.add_edge(OpIdx(0), OpIdx(1));
+        g.add_edge(OpIdx(2), OpIdx(3));
+        let c = g.closure();
+        assert!(c.concurrent(OpIdx(0), OpIdx(2)));
+        assert!(c.concurrent(OpIdx(1), OpIdx(3)));
+        assert!(!c.concurrent(OpIdx(0), OpIdx(1)));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = RelationGraph::new(3);
+        g.add_edge(OpIdx(0), OpIdx(1));
+        g.add_edge(OpIdx(1), OpIdx(2));
+        assert!(!g.has_cycle());
+        g.add_edge(OpIdx(2), OpIdx(0));
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn union_merges_edge_sets() {
+        let mut a = RelationGraph::new(3);
+        a.add_edge(OpIdx(0), OpIdx(1));
+        let mut b = RelationGraph::new(3);
+        b.add_edge(OpIdx(1), OpIdx(2));
+        let u = a.union(&b);
+        assert!(u.has_edge(OpIdx(0), OpIdx(1)));
+        assert!(u.has_edge(OpIdx(1), OpIdx(2)));
+        assert_eq!(u.edge_count(), 2);
+    }
+
+    #[test]
+    fn closure_on_large_index_space_uses_multiple_words() {
+        let n = 130;
+        let mut g = RelationGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(OpIdx(i), OpIdx(i + 1));
+        }
+        let c = g.closure();
+        assert!(c.reaches(OpIdx(0), OpIdx(n - 1)));
+        assert!(!c.reaches(OpIdx(n - 1), OpIdx(0)));
+        assert_eq!(c.len(), n);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let g = RelationGraph::new(0);
+        assert!(g.is_empty());
+        let c = g.closure();
+        assert!(c.is_empty());
+    }
+}

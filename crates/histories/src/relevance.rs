@@ -1,0 +1,235 @@
+//! x-relevant processes (paper §3.2, Theorem 1) and the witness-history
+//! construction used in its necessity proof (Figure 3), plus the Theorem 2
+//! check for PRAM.
+//!
+//! A process is *x-relevant* when, in at least one history, it must
+//! transmit information on the occurrence of operations performed on `x` in
+//! order for the memory to stay causally consistent. Theorem 1
+//! characterizes the x-relevant processes as exactly
+//! `C(x) ∪ {processes on some x-hoop}`.
+
+use crate::dependency::{has_dependency_chain, ChainOrder};
+use crate::distribution::Distribution;
+use crate::history::{History, HistoryBuilder};
+use crate::hoop::{enumerate_hoops, Hoop};
+use crate::op::{ProcId, VarId};
+use crate::share_graph::ShareGraph;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors from the witness-history constructor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelevanceError {
+    /// The hoop is malformed (fewer than three processes or mismatched
+    /// edge-variable list).
+    MalformedHoop,
+}
+
+impl fmt::Display for RelevanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelevanceError::MalformedHoop => write!(f, "hoop must have at least one intermediate process and one edge variable per edge"),
+        }
+    }
+}
+
+impl std::error::Error for RelevanceError {}
+
+/// The x-relevant processes of a distribution according to Theorem 1:
+/// `C(x)` plus every process lying on some x-hoop of at most `max_hoop_len`
+/// edges.
+pub fn relevant_processes(dist: &Distribution, x: VarId, max_hoop_len: usize) -> BTreeSet<ProcId> {
+    let sg = ShareGraph::new(dist);
+    let mut relevant = sg.clique(x);
+    for hoop in enumerate_hoops(&sg, x, max_hoop_len) {
+        relevant.extend(hoop.path.iter().copied());
+    }
+    relevant
+}
+
+/// Build the witness history of Theorem 1's necessity proof (the Figure 3
+/// pattern) along `hoop`: the start endpoint writes `x` and then the first
+/// edge variable; each intermediate process reads the previous edge
+/// variable and writes the next one; the end endpoint reads the last edge
+/// variable and then reads `x`, returning the initial write's value.
+///
+/// The resulting history is causally consistent and contains an
+/// x-dependency chain along the hoop whose derivation passes through every
+/// intermediate process — demonstrating that each of them must propagate
+/// information about `x` even though none replicates it.
+pub fn witness_history(hoop: &Hoop) -> Result<History, RelevanceError> {
+    if hoop.path.len() < 3 || hoop.edge_vars.len() + 1 != hoop.path.len() {
+        return Err(RelevanceError::MalformedHoop);
+    }
+    let n = hoop.path.iter().map(|p| p.index() + 1).max().unwrap_or(0);
+    let mut hb = HistoryBuilder::new(n);
+
+    // Values: the write on x stores 1000; edge variable x_h carries h+1.
+    let x_value = 1000;
+    let a = hoop.start();
+    hb.write(a, hoop.var, x_value);
+    hb.write(a, hoop.edge_vars[0], 1);
+
+    for (h, &p) in hoop.intermediates().iter().enumerate() {
+        // p_h reads x_h (value h+1) and writes x_{h+1} (value h+2).
+        hb.read_int(p, hoop.edge_vars[h], (h + 1) as i64);
+        hb.write(p, hoop.edge_vars[h + 1], (h + 2) as i64);
+    }
+
+    let b = hoop.end();
+    let k = hoop.edge_vars.len();
+    hb.read_int(b, hoop.edge_vars[k - 1], k as i64);
+    hb.read_int(b, hoop.var, x_value);
+    Ok(hb.build())
+}
+
+/// Check Theorem 1's necessity argument on a concrete hoop: the witness
+/// history contains a causal x-dependency chain along the hoop.
+pub fn witness_has_causal_chain(hoop: &Hoop) -> Result<bool, RelevanceError> {
+    let h = witness_history(hoop)?;
+    let rf = crate::read_from::ReadFrom::infer(&h).expect("witness history has unique values");
+    Ok(has_dependency_chain(&h, &rf, ChainOrder::Causal, hoop).is_some())
+}
+
+/// Check Theorem 2 on a history: under the PRAM relation, no x-dependency
+/// chain exists along any x-hoop of the distribution (up to `max_hoop_len`).
+/// Returns the list of hoops violating it (always empty if the theorem —
+/// and our implementation — are right).
+pub fn pram_chain_violations(
+    h: &History,
+    dist: &Distribution,
+    max_hoop_len: usize,
+) -> Vec<Hoop> {
+    let sg = ShareGraph::new(dist);
+    let Ok(rf) = crate::read_from::ReadFrom::infer(h) else {
+        return Vec::new();
+    };
+    let mut violations = Vec::new();
+    for x in 0..dist.var_count() {
+        for hoop in enumerate_hoops(&sg, VarId(x), max_hoop_len) {
+            if has_dependency_chain(h, &rf, ChainOrder::Pram, &hoop).is_some() {
+                violations.push(hoop);
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, Criterion};
+
+    fn chain_distribution() -> Distribution {
+        let mut d = Distribution::new(4, 4);
+        d.assign(ProcId(0), VarId(0));
+        d.assign(ProcId(3), VarId(0));
+        d.assign(ProcId(0), VarId(1));
+        d.assign(ProcId(1), VarId(1));
+        d.assign(ProcId(1), VarId(2));
+        d.assign(ProcId(2), VarId(2));
+        d.assign(ProcId(2), VarId(3));
+        d.assign(ProcId(3), VarId(3));
+        d
+    }
+
+    #[test]
+    fn theorem1_relevant_set_is_clique_plus_hoop_members() {
+        let d = chain_distribution();
+        let relevant = relevant_processes(&d, VarId(0), 8);
+        assert_eq!(
+            relevant,
+            BTreeSet::from([ProcId(0), ProcId(1), ProcId(2), ProcId(3)])
+        );
+        // The distribution is a ring, so the edge variable x1 also has a
+        // hoop (the long way around the ring) and every process is
+        // x1-relevant too.
+        assert_eq!(relevant_processes(&d, VarId(1), 8).len(), 4);
+        // Breaking the ring (removing the p2–p3 link) leaves x1 with no
+        // hoop: only its clique is relevant.
+        let mut open = Distribution::new(4, 4);
+        open.assign(ProcId(0), VarId(0));
+        open.assign(ProcId(3), VarId(0));
+        open.assign(ProcId(0), VarId(1));
+        open.assign(ProcId(1), VarId(1));
+        open.assign(ProcId(1), VarId(2));
+        open.assign(ProcId(2), VarId(2));
+        assert_eq!(
+            relevant_processes(&open, VarId(1), 8),
+            BTreeSet::from([ProcId(0), ProcId(1)])
+        );
+    }
+
+    #[test]
+    fn full_replication_makes_only_the_clique_relevant() {
+        let d = Distribution::full(5, 2);
+        for x in 0..2 {
+            let rel = relevant_processes(&d, VarId(x), 10);
+            assert_eq!(rel.len(), 5, "everyone replicates, everyone is in C(x)");
+        }
+    }
+
+    #[test]
+    fn disjoint_blocks_make_only_the_owner_relevant() {
+        let d = Distribution::disjoint_blocks(4, 8);
+        for x in 0..8 {
+            assert_eq!(relevant_processes(&d, VarId(x), 10).len(), 1);
+        }
+    }
+
+    #[test]
+    fn witness_history_is_causally_consistent_and_has_a_chain() {
+        let d = chain_distribution();
+        let sg = ShareGraph::new(&d);
+        let hoops = enumerate_hoops(&sg, VarId(0), 8);
+        assert_eq!(hoops.len(), 1);
+        let hoop = &hoops[0];
+        let h = witness_history(hoop).unwrap();
+        // The witness is a legitimate (causally consistent) history...
+        assert!(check(&h, Criterion::Causal).consistent, "{}", h.pretty());
+        // ...that nevertheless forces information about x through p1 and p2.
+        assert!(witness_has_causal_chain(hoop).unwrap());
+    }
+
+    #[test]
+    fn witness_history_has_no_pram_chain() {
+        let d = chain_distribution();
+        let sg = ShareGraph::new(&d);
+        let hoops = enumerate_hoops(&sg, VarId(0), 8);
+        let h = witness_history(&hoops[0]).unwrap();
+        assert!(pram_chain_violations(&h, &d, 8).is_empty());
+    }
+
+    #[test]
+    fn malformed_hoop_is_rejected() {
+        let bad = Hoop {
+            var: VarId(0),
+            path: vec![ProcId(0), ProcId(1)],
+            edge_vars: vec![VarId(1)],
+        };
+        assert_eq!(witness_history(&bad), Err(RelevanceError::MalformedHoop));
+        let mismatched = Hoop {
+            var: VarId(0),
+            path: vec![ProcId(0), ProcId(1), ProcId(2)],
+            edge_vars: vec![VarId(1)],
+        };
+        assert_eq!(
+            witness_history(&mismatched),
+            Err(RelevanceError::MalformedHoop)
+        );
+        assert!(RelevanceError::MalformedHoop.to_string().contains("hoop"));
+    }
+
+    #[test]
+    fn relevance_on_random_distributions_contains_the_clique() {
+        for seed in 0..5 {
+            let d = Distribution::random(6, 4, 2, seed);
+            for x in 0..4 {
+                let rel = relevant_processes(&d, VarId(x), 6);
+                for p in d.replicas_of(VarId(x)) {
+                    assert!(rel.contains(&p));
+                }
+            }
+        }
+    }
+}

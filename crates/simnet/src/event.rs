@@ -1,0 +1,200 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)` where the sequence number is the
+//! global order in which events were scheduled; this makes simulation runs
+//! deterministic even when many events share a timestamp.
+
+use crate::message::NodeId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind<P> {
+    /// Deliver a message payload to `to`, sent by `from`.
+    Deliver {
+        /// Sender of the message.
+        from: NodeId,
+        /// Receiver of the message.
+        to: NodeId,
+        /// Per-sender-channel sequence number.
+        seq: u64,
+        /// The payload.
+        payload: P,
+    },
+    /// Wake node `node` for a timer it requested.
+    Timer {
+        /// The node to wake.
+        node: NodeId,
+        /// Protocol-chosen tag identifying which timer fired.
+        tag: u64,
+    },
+}
+
+/// A scheduled event.
+#[derive(Clone, Debug)]
+pub struct Event<P> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Global scheduling order, used to break ties deterministically.
+    pub order: u64,
+    /// The action to perform.
+    pub kind: EventKind<P>,
+}
+
+impl<P> PartialEq for Event<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.order == other.order
+    }
+}
+impl<P> Eq for Event<P> {}
+
+impl<P> PartialOrd for Event<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P> Ord for Event<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, order) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.order.cmp(&self.order))
+    }
+}
+
+/// A deterministic min-priority queue of events.
+#[derive(Debug)]
+pub struct EventQueue<P> {
+    heap: BinaryHeap<Event<P>>,
+    next_order: u64,
+}
+
+impl<P> Default for EventQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> EventQueue<P> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_order: 0,
+        }
+    }
+
+    /// Schedule `kind` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind<P>) {
+        let order = self.next_order;
+        self.next_order += 1;
+        self.heap.push(Event { at, order, kind });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<P>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: usize, tag: u64) -> EventKind<()> {
+        EventKind::Timer {
+            node: NodeId(node),
+            tag,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), timer(0, 0));
+        q.push(SimTime(10), timer(1, 1));
+        q.push(SimTime(20), timer(2, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_nanos())
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for tag in 0..10u64 {
+            q.push(SimTime(100), timer(0, tag));
+        }
+        let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len_track_contents() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime(5), timer(0, 0));
+        q.push(SimTime(3), timer(0, 1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime(3)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime(5)));
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn deliver_events_round_trip_payload() {
+        let mut q = EventQueue::new();
+        q.push(
+            SimTime(1),
+            EventKind::Deliver {
+                from: NodeId(0),
+                to: NodeId(1),
+                seq: 9,
+                payload: "hello",
+            },
+        );
+        match q.pop().unwrap().kind {
+            EventKind::Deliver {
+                from,
+                to,
+                seq,
+                payload,
+            } => {
+                assert_eq!((from, to, seq, payload), (NodeId(0), NodeId(1), 9, "hello"));
+            }
+            _ => panic!("expected deliver"),
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # simnet — deterministic cluster emulation for DSM protocols
+//!
+//! The paper ("About the efficiency of partial replication to implement
+//! Distributed Shared Memory", Hélary & Milani) assumes a classical
+//! asynchronous distributed system: a finite set of nodes, each hosting an
+//! application process and a Memory Consistency System (MCS) process,
+//! communicating through **reliable FIFO point-to-point channels**.
+//!
+//! This crate provides that substrate as a *deterministic discrete-event
+//! simulator*:
+//!
+//! * [`time::SimTime`] — a virtual clock (nanosecond granularity).
+//! * [`message::Envelope`] — typed message envelopes with explicit payload
+//!   and control-metadata byte accounting (see [`message::WireSize`]).
+//! * [`channel::Channel`] and [`channel::LatencyModel`] — reliable FIFO
+//!   links with constant or seeded-jitter latency.
+//! * [`network::Topology`] — which pairs of nodes may communicate.
+//! * [`node::Node`] — the trait protocol state machines implement.
+//! * [`sim::Simulator`] — the event-driven driver (run to quiescence,
+//!   bounded runs, deterministic tie-breaking).
+//! * [`stats::NetworkStats`] — per-link and per-node counters used by the
+//!   benchmark harness to quantify "control information" overhead.
+//! * [`trace::EventTrace`] — optional structured trace of every delivery.
+//!
+//! Determinism: given the same nodes, the same latency model seed, and the
+//! same sequence of external injections, a simulation run is bit-for-bit
+//! reproducible. Ties in delivery time are broken by (time, sequence
+//! number), where sequence numbers are assigned in send order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod event;
+pub mod message;
+pub mod network;
+pub mod node;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use channel::{Channel, LatencyModel};
+pub use event::{Event, EventKind, EventQueue};
+pub use message::{Envelope, NodeId, WireSize};
+pub use network::Topology;
+pub use node::{Node, NodeContext};
+pub use sim::{RunOutcome, SimConfig, Simulator};
+pub use stats::{LinkStats, NetworkStats, NodeStats};
+pub use time::{SimDuration, SimTime};
+pub use trace::{EventTrace, TraceEntry};

@@ -1,0 +1,156 @@
+//! Network topology: which node pairs may exchange messages.
+//!
+//! MCS protocols in the paper assume any process can send to any other
+//! (logical full mesh), but the Bellman-Ford case study is defined over an
+//! arbitrary directed communication graph, so [`Topology`] supports both.
+
+use crate::message::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The set of directed links available in the simulated cluster.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    n: usize,
+    /// If `None`, the topology is a full mesh over `n` nodes. Otherwise the
+    /// explicit set of directed (from, to) pairs.
+    links: Option<BTreeSet<(usize, usize)>>,
+}
+
+impl Topology {
+    /// A full mesh over `n` nodes (every ordered pair of distinct nodes).
+    pub fn full_mesh(n: usize) -> Self {
+        Topology { n, links: None }
+    }
+
+    /// An explicitly enumerated directed topology over `n` nodes.
+    ///
+    /// Self-links are ignored; out-of-range endpoints panic.
+    pub fn explicit(n: usize, links: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut set = BTreeSet::new();
+        for (a, b) in links {
+            assert!(a < n && b < n, "link ({a},{b}) out of range for {n} nodes");
+            if a != b {
+                set.insert((a, b));
+            }
+        }
+        Topology {
+            n,
+            links: Some(set),
+        }
+    }
+
+    /// A bidirectional ring over `n` nodes.
+    pub fn ring(n: usize) -> Self {
+        let mut links = Vec::new();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            if i != j {
+                links.push((i, j));
+                links.push((j, i));
+            }
+        }
+        Topology::explicit(n, links)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n).map(NodeId)
+    }
+
+    /// Whether a directed link from `from` to `to` exists.
+    pub fn connected(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to || from.index() >= self.n || to.index() >= self.n {
+            return false;
+        }
+        match &self.links {
+            None => true,
+            Some(set) => set.contains(&(from.index(), to.index())),
+        }
+    }
+
+    /// Outgoing neighbours of `from`.
+    pub fn neighbours(&self, from: NodeId) -> Vec<NodeId> {
+        (0..self.n)
+            .map(NodeId)
+            .filter(|&to| self.connected(from, to))
+            .collect()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        match &self.links {
+            None => self.n.saturating_mul(self.n.saturating_sub(1)),
+            Some(set) => set.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mesh_connects_all_distinct_pairs() {
+        let t = Topology::full_mesh(4);
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.link_count(), 12);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(t.connected(NodeId(i), NodeId(j)), i != j);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_topology_filters_self_links() {
+        let t = Topology::explicit(3, [(0, 1), (1, 1), (2, 0)]);
+        assert!(t.connected(NodeId(0), NodeId(1)));
+        assert!(!t.connected(NodeId(1), NodeId(1)));
+        assert!(!t.connected(NodeId(1), NodeId(0)));
+        assert!(t.connected(NodeId(2), NodeId(0)));
+        assert_eq!(t.link_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn explicit_topology_rejects_out_of_range() {
+        Topology::explicit(2, [(0, 5)]);
+    }
+
+    #[test]
+    fn ring_has_two_links_per_node() {
+        let t = Topology::ring(5);
+        assert_eq!(t.link_count(), 10);
+        for i in 0..5 {
+            let ns = t.neighbours(NodeId(i));
+            assert_eq!(ns.len(), 2);
+        }
+    }
+
+    #[test]
+    fn ring_of_one_has_no_links() {
+        let t = Topology::ring(1);
+        assert_eq!(t.link_count(), 0);
+        assert!(t.neighbours(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_queries_are_disconnected() {
+        let t = Topology::full_mesh(2);
+        assert!(!t.connected(NodeId(0), NodeId(9)));
+        assert!(!t.connected(NodeId(9), NodeId(0)));
+    }
+
+    #[test]
+    fn nodes_iterator_enumerates_all() {
+        let t = Topology::full_mesh(3);
+        let ids: Vec<_> = t.nodes().collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+}

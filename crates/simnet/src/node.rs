@@ -1,0 +1,130 @@
+//! The [`Node`] trait implemented by protocol state machines, and the
+//! [`NodeContext`] handle through which a node sends messages and requests
+//! timers during a callback.
+
+use crate::message::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// Actions a node may take while handling an event.
+///
+/// A `NodeContext` is passed to every [`Node`] callback; sends and timer
+/// requests are buffered and materialized by the simulator after the
+/// callback returns, which keeps callbacks free of borrow conflicts with
+/// the simulator state.
+#[derive(Debug)]
+pub struct NodeContext<P> {
+    /// Identity of the node being invoked.
+    me: NodeId,
+    /// Current virtual time.
+    now: SimTime,
+    /// Buffered outgoing messages `(to, payload)`.
+    pub(crate) outbox: Vec<(NodeId, P)>,
+    /// Buffered timer requests `(delay, tag)`.
+    pub(crate) timers: Vec<(SimDuration, u64)>,
+}
+
+impl<P> NodeContext<P> {
+    /// Create a context for node `me` at virtual time `now`.
+    ///
+    /// Exposed publicly so protocol crates can unit-test their node state
+    /// machines without spinning up a full simulator; inside a simulation
+    /// the simulator constructs and flushes contexts itself.
+    pub fn new(me: NodeId, now: SimTime) -> Self {
+        NodeContext {
+            me,
+            now,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// The node this context belongs to.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Send `payload` to `to` over the (reliable FIFO) channel.
+    pub fn send(&mut self, to: NodeId, payload: P) {
+        self.outbox.push((to, payload));
+    }
+
+    /// Broadcast `payload` to every node in `targets` (cloning it).
+    pub fn multicast(&mut self, targets: impl IntoIterator<Item = NodeId>, payload: P)
+    where
+        P: Clone,
+    {
+        for t in targets {
+            self.outbox.push((t, payload.clone()));
+        }
+    }
+
+    /// Request a timer callback after `delay`, identified by `tag`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+
+    /// Number of messages queued in this callback so far.
+    pub fn queued_messages(&self) -> usize {
+        self.outbox.len()
+    }
+}
+
+/// A protocol state machine hosted on a simulated node.
+///
+/// `P` is the message payload type exchanged between nodes.
+pub trait Node<P> {
+    /// Called once before the simulation starts delivering events.
+    fn on_start(&mut self, _ctx: &mut NodeContext<P>) {}
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, ctx: &mut NodeContext<P>, from: NodeId, payload: P);
+
+    /// Called when a timer set via [`NodeContext::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut NodeContext<P>, _tag: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_buffers_sends_and_timers() {
+        let mut ctx: NodeContext<u32> = NodeContext::new(NodeId(3), SimTime::from_micros(7));
+        assert_eq!(ctx.me(), NodeId(3));
+        assert_eq!(ctx.now(), SimTime::from_micros(7));
+        ctx.send(NodeId(1), 10);
+        ctx.multicast([NodeId(0), NodeId(2)], 99);
+        ctx.set_timer(SimDuration::from_micros(5), 42);
+        assert_eq!(ctx.queued_messages(), 3);
+        assert_eq!(ctx.outbox, vec![(NodeId(1), 10), (NodeId(0), 99), (NodeId(2), 99)]);
+        assert_eq!(ctx.timers, vec![(SimDuration::from_micros(5), 42)]);
+    }
+
+    struct Echo {
+        got: Vec<u32>,
+    }
+
+    impl Node<u32> for Echo {
+        fn on_message(&mut self, ctx: &mut NodeContext<u32>, from: NodeId, payload: u32) {
+            self.got.push(payload);
+            ctx.send(from, payload + 1);
+        }
+    }
+
+    #[test]
+    fn node_trait_default_hooks_are_noops() {
+        let mut e = Echo { got: vec![] };
+        let mut ctx = NodeContext::new(NodeId(0), SimTime::ZERO);
+        e.on_start(&mut ctx);
+        e.on_timer(&mut ctx, 0);
+        assert!(ctx.outbox.is_empty());
+        e.on_message(&mut ctx, NodeId(1), 5);
+        assert_eq!(e.got, vec![5]);
+        assert_eq!(ctx.outbox, vec![(NodeId(1), 6)]);
+    }
+}

@@ -1,0 +1,539 @@
+//! The discrete-event simulator driver.
+//!
+//! A [`Simulator`] owns a set of protocol nodes (implementing [`Node`]), the
+//! reliable FIFO channels between them, the event queue, and the run
+//! statistics. Client code (the DSM runtime in the `dsm` crate) drives the
+//! simulation by injecting work into nodes with [`Simulator::with_node`] and
+//! then advancing virtual time with [`Simulator::run_until_quiescent`] or
+//! [`Simulator::step`].
+
+use crate::channel::{Channel, LatencyModel};
+use crate::event::{EventKind, EventQueue};
+use crate::message::{NodeId, WireSize};
+use crate::network::Topology;
+use crate::node::{Node, NodeContext};
+use crate::stats::NetworkStats;
+use crate::time::SimTime;
+use crate::trace::{EventTrace, TraceEntry};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Latency model applied to every channel.
+    pub latency: LatencyModel,
+    /// Seed for all channel RNGs.
+    pub seed: u64,
+    /// If `Some(n)`, keep a trace of up to `n` entries.
+    pub trace_capacity: Option<usize>,
+    /// Safety valve: abort the run after this many events (0 = unlimited).
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency: LatencyModel::default(),
+            seed: 0xD5_0C0DE,
+            trace_capacity: None,
+            max_events: 0,
+        }
+    }
+}
+
+/// How a call to [`Simulator::run_until_quiescent`] ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// No events remain; the system is quiescent.
+    Quiescent {
+        /// Number of events processed by this call.
+        events: u64,
+    },
+    /// The `max_events` budget was exhausted before quiescence.
+    Exhausted {
+        /// Number of events processed by this call.
+        events: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Events processed during the run.
+    pub fn events(&self) -> u64 {
+        match *self {
+            RunOutcome::Quiescent { events } | RunOutcome::Exhausted { events } => events,
+        }
+    }
+
+    /// Whether the run reached quiescence.
+    pub fn is_quiescent(&self) -> bool {
+        matches!(self, RunOutcome::Quiescent { .. })
+    }
+}
+
+/// The simulator: nodes, channels, event queue, statistics.
+pub struct Simulator<P, N> {
+    topology: Topology,
+    config: SimConfig,
+    nodes: Vec<N>,
+    channels: BTreeMap<(usize, usize), Channel>,
+    queue: EventQueue<P>,
+    now: SimTime,
+    stats: NetworkStats,
+    trace: EventTrace,
+    events_processed: u64,
+    started: bool,
+}
+
+impl<P, N> Simulator<P, N>
+where
+    P: WireSize + fmt::Debug,
+    N: Node<P>,
+{
+    /// Build a simulator over `topology` hosting `nodes` (one per topology
+    /// node, in id order).
+    ///
+    /// Panics if `nodes.len()` differs from the topology's node count.
+    pub fn new(topology: Topology, config: SimConfig, nodes: Vec<N>) -> Self {
+        assert_eq!(
+            nodes.len(),
+            topology.node_count(),
+            "one protocol node is required per topology node"
+        );
+        let trace = match config.trace_capacity {
+            Some(cap) => EventTrace::with_capacity(cap),
+            None => EventTrace::disabled(),
+        };
+        Simulator {
+            topology,
+            config,
+            nodes,
+            channels: BTreeMap::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            stats: NetworkStats::new(),
+            trace,
+            events_processed: 0,
+            started: false,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Immutable access to a node's state machine.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of hosted nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Accumulated network statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// The event trace (empty if tracing is disabled).
+    pub fn trace(&self) -> &EventTrace {
+        &self.trace
+    }
+
+    /// Total number of events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of messages/timers still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Invoke `on_start` on every node (in id order) if not already done.
+    /// Called automatically by the run methods; exposed for tests that want
+    /// to inspect the state between start-up and the first delivery.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let mut ctx = NodeContext::new(NodeId(i), self.now);
+            self.nodes[i].on_start(&mut ctx);
+            self.flush_context(NodeId(i), ctx);
+        }
+    }
+
+    /// Run `f` against node `id`'s state machine with a messaging context,
+    /// then schedule whatever it sent. This is how application-level
+    /// operations (reads/writes issued by application processes) enter the
+    /// protocol.
+    pub fn with_node<R>(&mut self, id: NodeId, f: impl FnOnce(&mut N, &mut NodeContext<P>) -> R) -> R {
+        self.start();
+        let mut ctx = NodeContext::new(id, self.now);
+        let r = f(&mut self.nodes[id.index()], &mut ctx);
+        self.flush_context(id, ctx);
+        r
+    }
+
+    /// Process the next pending event, if any. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "time must not run backwards");
+        self.now = event.at;
+        self.events_processed += 1;
+        match event.kind {
+            EventKind::Deliver {
+                from,
+                to,
+                seq: _,
+                payload,
+            } => {
+                self.stats
+                    .record_delivery(to, payload.data_bytes(), payload.control_bytes());
+                if self.trace.is_enabled() {
+                    self.trace.record(TraceEntry::Delivered {
+                        at: self.now,
+                        from,
+                        to,
+                        label: format!("{payload:?}"),
+                    });
+                }
+                let mut ctx = NodeContext::new(to, self.now);
+                self.nodes[to.index()].on_message(&mut ctx, from, payload);
+                self.flush_context(to, ctx);
+            }
+            EventKind::Timer { node, tag } => {
+                if self.trace.is_enabled() {
+                    self.trace.record(TraceEntry::TimerFired {
+                        at: self.now,
+                        node,
+                        tag,
+                    });
+                }
+                let mut ctx = NodeContext::new(node, self.now);
+                self.nodes[node.index()].on_timer(&mut ctx, tag);
+                self.flush_context(node, ctx);
+            }
+        }
+        true
+    }
+
+    /// Run until no events remain or the `max_events` budget is exhausted.
+    pub fn run_until_quiescent(&mut self) -> RunOutcome {
+        self.start();
+        let mut processed = 0u64;
+        while !self.queue.is_empty() {
+            if self.config.max_events > 0 && processed >= self.config.max_events {
+                return RunOutcome::Exhausted { events: processed };
+            }
+            self.step();
+            processed += 1;
+        }
+        RunOutcome::Quiescent { events: processed }
+    }
+
+    /// Run until virtual time reaches `deadline` or the system quiesces.
+    /// Events scheduled strictly after `deadline` remain pending.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.start();
+        let mut processed = 0u64;
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Quiescent { events: processed },
+                Some(t) if t > deadline => return RunOutcome::Quiescent { events: processed },
+                Some(_) => {
+                    if self.config.max_events > 0 && processed >= self.config.max_events {
+                        return RunOutcome::Exhausted { events: processed };
+                    }
+                    self.step();
+                    processed += 1;
+                }
+            }
+        }
+    }
+
+    /// Consume the simulator, returning its nodes (for post-run inspection)
+    /// and the accumulated statistics.
+    pub fn into_parts(self) -> (Vec<N>, NetworkStats, EventTrace) {
+        (self.nodes, self.stats, self.trace)
+    }
+
+    fn flush_context(&mut self, origin: NodeId, ctx: NodeContext<P>) {
+        let NodeContext { outbox, timers, .. } = ctx;
+        for (to, payload) in outbox {
+            self.send_message(origin, to, payload);
+        }
+        for (delay, tag) in timers {
+            self.queue
+                .push(self.now + delay, EventKind::Timer { node: origin, tag });
+        }
+    }
+
+    fn send_message(&mut self, from: NodeId, to: NodeId, payload: P) {
+        assert!(
+            self.topology.connected(from, to),
+            "node {from} attempted to send to {to} but the topology has no such link"
+        );
+        let bytes = payload.total_bytes();
+        let key = (from.index(), to.index());
+        let config = &self.config;
+        let channel = self
+            .channels
+            .entry(key)
+            .or_insert_with(|| Channel::new(from, to, config.latency.clone(), config.seed));
+        let delivery = channel.schedule(self.now, bytes);
+        let seq = channel.sent_count();
+        self.stats
+            .record_send(from, to, payload.data_bytes(), payload.control_bytes());
+        if self.trace.is_enabled() {
+            self.trace.record(TraceEntry::Sent {
+                at: self.now,
+                from,
+                to,
+                bytes,
+                label: format!("{payload:?}"),
+            });
+        }
+        self.queue.push(
+            delivery,
+            EventKind::Deliver {
+                from,
+                to,
+                seq,
+                payload,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::RawPayload;
+    use crate::time::SimDuration;
+
+    /// A node that relays a token around the ring `k` times, counting hops.
+    #[derive(Debug)]
+    struct RingRelay {
+        id: usize,
+        n: usize,
+        hops_seen: u64,
+        remaining: u64,
+    }
+
+    impl Node<RawPayload> for RingRelay {
+        fn on_start(&mut self, ctx: &mut NodeContext<RawPayload>) {
+            if self.id == 0 && self.remaining > 0 {
+                ctx.send(NodeId(1 % self.n), RawPayload::new(8, 4));
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut NodeContext<RawPayload>, _from: NodeId, p: RawPayload) {
+            self.hops_seen += 1;
+            if self.id == 0 {
+                if self.remaining == 0 {
+                    return;
+                }
+                self.remaining -= 1;
+                if self.remaining == 0 {
+                    return;
+                }
+            }
+            ctx.send(NodeId((self.id + 1) % self.n), p);
+        }
+    }
+
+    fn ring_sim(n: usize, laps: u64) -> Simulator<RawPayload, RingRelay> {
+        let nodes = (0..n)
+            .map(|id| RingRelay {
+                id,
+                n,
+                hops_seen: 0,
+                remaining: if id == 0 { laps } else { 0 },
+            })
+            .collect();
+        Simulator::new(Topology::ring(n), SimConfig::default(), nodes)
+    }
+
+    #[test]
+    fn token_ring_runs_to_quiescence() {
+        let mut sim = ring_sim(5, 3);
+        let outcome = sim.run_until_quiescent();
+        assert!(outcome.is_quiescent());
+        // 3 laps of 5 hops each.
+        assert_eq!(outcome.events(), 15);
+        assert_eq!(sim.stats().total_messages(), 15);
+        assert_eq!(sim.stats().total_data_bytes(), 15 * 8);
+        assert_eq!(sim.stats().total_control_bytes(), 15 * 4);
+        for i in 0..5 {
+            assert_eq!(sim.node(NodeId(i)).hops_seen, 3, "node {i}");
+        }
+    }
+
+    #[test]
+    fn max_events_budget_stops_the_run() {
+        let config = SimConfig {
+            max_events: 7,
+            ..SimConfig::default()
+        };
+        let nodes = (0..5)
+            .map(|id| RingRelay {
+                id,
+                n: 5,
+                hops_seen: 0,
+                remaining: if id == 0 { 100 } else { 0 },
+            })
+            .collect();
+        let mut sim = Simulator::new(Topology::ring(5), config, nodes);
+        let outcome = sim.run_until_quiescent();
+        assert_eq!(outcome, RunOutcome::Exhausted { events: 7 });
+        assert!(sim.pending_events() > 0);
+    }
+
+    #[test]
+    fn virtual_time_advances_with_latency() {
+        let mut sim = ring_sim(4, 1);
+        sim.run_until_quiescent();
+        // Default latency is 10us per hop; 4 hops.
+        assert_eq!(sim.now(), SimTime::from_micros(40));
+    }
+
+    #[test]
+    fn run_until_deadline_leaves_later_events_pending() {
+        let mut sim = ring_sim(4, 1);
+        sim.run_until(SimTime::from_micros(25));
+        assert!(sim.pending_events() > 0);
+        assert!(sim.now() <= SimTime::from_micros(25));
+        sim.run_until_quiescent();
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn with_node_flushes_sends() {
+        let mut sim = ring_sim(3, 0);
+        sim.with_node(NodeId(2), |_n, ctx| {
+            ctx.send(NodeId(0), RawPayload::new(1, 1));
+        });
+        assert_eq!(sim.pending_events(), 1);
+        sim.run_until_quiescent();
+        assert_eq!(sim.node(NodeId(0)).hops_seen, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such link")]
+    fn sending_outside_topology_panics() {
+        let mut sim = ring_sim(5, 0);
+        sim.with_node(NodeId(0), |_n, ctx| {
+            // 0 -> 2 is not a ring edge.
+            ctx.send(NodeId(2), RawPayload::new(1, 0));
+        });
+    }
+
+    #[test]
+    fn trace_records_sends_and_deliveries() {
+        let config = SimConfig {
+            trace_capacity: Some(100),
+            ..SimConfig::default()
+        };
+        let nodes = (0..3)
+            .map(|id| RingRelay {
+                id,
+                n: 3,
+                hops_seen: 0,
+                remaining: if id == 0 { 1 } else { 0 },
+            })
+            .collect();
+        let mut sim = Simulator::new(Topology::ring(3), config, nodes);
+        sim.run_until_quiescent();
+        let sent = sim
+            .trace()
+            .entries()
+            .iter()
+            .filter(|e| matches!(e, TraceEntry::Sent { .. }))
+            .count();
+        let delivered = sim
+            .trace()
+            .entries()
+            .iter()
+            .filter(|e| matches!(e, TraceEntry::Delivered { .. }))
+            .count();
+        assert_eq!(sent, 3);
+        assert_eq!(delivered, 3);
+    }
+
+    #[test]
+    fn timers_fire_at_requested_delay() {
+        #[derive(Debug, Default)]
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Node<RawPayload> for TimerNode {
+            fn on_start(&mut self, ctx: &mut NodeContext<RawPayload>) {
+                ctx.set_timer(SimDuration::from_micros(5), 1);
+                ctx.set_timer(SimDuration::from_micros(2), 2);
+            }
+            fn on_message(&mut self, _: &mut NodeContext<RawPayload>, _: NodeId, _: RawPayload) {}
+            fn on_timer(&mut self, _: &mut NodeContext<RawPayload>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim = Simulator::new(
+            Topology::full_mesh(1),
+            SimConfig::default(),
+            vec![TimerNode::default()],
+        );
+        sim.run_until_quiescent();
+        assert_eq!(sim.node(NodeId(0)).fired, vec![2, 1]);
+        assert_eq!(sim.now(), SimTime::from_micros(5));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed: u64| {
+            let config = SimConfig {
+                latency: LatencyModel::Uniform {
+                    min: SimDuration::from_micros(1),
+                    max: SimDuration::from_micros(50),
+                },
+                seed,
+                ..SimConfig::default()
+            };
+            let nodes = (0..6)
+                .map(|id| RingRelay {
+                    id,
+                    n: 6,
+                    hops_seen: 0,
+                    remaining: if id == 0 { 4 } else { 0 },
+                })
+                .collect();
+            let mut sim = Simulator::new(Topology::ring(6), config, nodes);
+            sim.run_until_quiescent();
+            sim.now()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn into_parts_returns_nodes_and_stats() {
+        let mut sim = ring_sim(3, 1);
+        sim.run_until_quiescent();
+        let (nodes, stats, _trace) = sim.into_parts();
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(stats.total_messages(), 3);
+    }
+}

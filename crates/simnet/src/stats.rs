@@ -1,0 +1,225 @@
+//! Message and byte statistics, the raw material for the paper's
+//! "control information" efficiency comparisons.
+
+use crate::message::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counters for a single directed link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Messages sent on this link.
+    pub messages: u64,
+    /// Application-data bytes sent.
+    pub data_bytes: u64,
+    /// Protocol control bytes sent.
+    pub control_bytes: u64,
+}
+
+impl LinkStats {
+    /// Total bytes (data + control).
+    pub fn total_bytes(&self) -> u64 {
+        self.data_bytes + self.control_bytes
+    }
+}
+
+/// Counters for a single node (aggregated over all its links).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Messages sent by this node.
+    pub sent_messages: u64,
+    /// Messages delivered to this node.
+    pub received_messages: u64,
+    /// Data bytes sent by this node.
+    pub sent_data_bytes: u64,
+    /// Control bytes sent by this node.
+    pub sent_control_bytes: u64,
+    /// Data bytes received by this node.
+    pub received_data_bytes: u64,
+    /// Control bytes received by this node.
+    pub received_control_bytes: u64,
+}
+
+/// Aggregated statistics for a whole simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    links: BTreeMap<(usize, usize), LinkStats>,
+    nodes: BTreeMap<usize, NodeStats>,
+}
+
+impl NetworkStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a message of `data`/`control` bytes sent from `from` to `to`.
+    pub fn record_send(&mut self, from: NodeId, to: NodeId, data: usize, control: usize) {
+        let link = self.links.entry((from.index(), to.index())).or_default();
+        link.messages += 1;
+        link.data_bytes += data as u64;
+        link.control_bytes += control as u64;
+
+        let sender = self.nodes.entry(from.index()).or_default();
+        sender.sent_messages += 1;
+        sender.sent_data_bytes += data as u64;
+        sender.sent_control_bytes += control as u64;
+    }
+
+    /// Record delivery of a message of `data`/`control` bytes at `to`.
+    pub fn record_delivery(&mut self, to: NodeId, data: usize, control: usize) {
+        let recv = self.nodes.entry(to.index()).or_default();
+        recv.received_messages += 1;
+        recv.received_data_bytes += data as u64;
+        recv.received_control_bytes += control as u64;
+    }
+
+    /// Stats for one directed link (zeroes if it never carried traffic).
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkStats {
+        self.links
+            .get(&(from.index(), to.index()))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Stats for one node (zeroes if it never sent or received).
+    pub fn node(&self, node: NodeId) -> NodeStats {
+        self.nodes.get(&node.index()).copied().unwrap_or_default()
+    }
+
+    /// Total messages sent in the run.
+    pub fn total_messages(&self) -> u64 {
+        self.links.values().map(|l| l.messages).sum()
+    }
+
+    /// Total data bytes sent in the run.
+    pub fn total_data_bytes(&self) -> u64 {
+        self.links.values().map(|l| l.data_bytes).sum()
+    }
+
+    /// Total control bytes sent in the run.
+    pub fn total_control_bytes(&self) -> u64 {
+        self.links.values().map(|l| l.control_bytes).sum()
+    }
+
+    /// Total bytes (data + control) sent in the run.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_data_bytes() + self.total_control_bytes()
+    }
+
+    /// Fraction of all sent bytes that are control bytes, in `[0, 1]`.
+    /// Returns 0 when nothing was sent.
+    pub fn control_overhead_ratio(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_control_bytes() as f64 / total as f64
+        }
+    }
+
+    /// Iterate over all links that carried traffic.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId, LinkStats)> + '_ {
+        self.links
+            .iter()
+            .map(|(&(a, b), &s)| (NodeId(a), NodeId(b), s))
+    }
+
+    /// Iterate over all nodes that sent or received traffic.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, NodeStats)> + '_ {
+        self.nodes.iter().map(|(&i, &s)| (NodeId(i), s))
+    }
+
+    /// Merge another stats object into this one (summing counters).
+    pub fn merge(&mut self, other: &NetworkStats) {
+        for (&k, v) in &other.links {
+            let e = self.links.entry(k).or_default();
+            e.messages += v.messages;
+            e.data_bytes += v.data_bytes;
+            e.control_bytes += v.control_bytes;
+        }
+        for (&k, v) in &other.nodes {
+            let e = self.nodes.entry(k).or_default();
+            e.sent_messages += v.sent_messages;
+            e.received_messages += v.received_messages;
+            e.sent_data_bytes += v.sent_data_bytes;
+            e.sent_control_bytes += v.sent_control_bytes;
+            e.received_data_bytes += v.received_data_bytes;
+            e.received_control_bytes += v.received_control_bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_delivery_counters() {
+        let mut s = NetworkStats::new();
+        s.record_send(NodeId(0), NodeId(1), 8, 24);
+        s.record_send(NodeId(0), NodeId(1), 8, 24);
+        s.record_send(NodeId(1), NodeId(0), 4, 0);
+        s.record_delivery(NodeId(1), 8, 24);
+
+        let l01 = s.link(NodeId(0), NodeId(1));
+        assert_eq!(l01.messages, 2);
+        assert_eq!(l01.data_bytes, 16);
+        assert_eq!(l01.control_bytes, 48);
+        assert_eq!(l01.total_bytes(), 64);
+
+        let n0 = s.node(NodeId(0));
+        assert_eq!(n0.sent_messages, 2);
+        assert_eq!(n0.received_messages, 0);
+        let n1 = s.node(NodeId(1));
+        assert_eq!(n1.sent_messages, 1);
+        assert_eq!(n1.received_messages, 1);
+        assert_eq!(n1.received_control_bytes, 24);
+
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_data_bytes(), 20);
+        assert_eq!(s.total_control_bytes(), 48);
+        assert_eq!(s.total_bytes(), 68);
+    }
+
+    #[test]
+    fn control_overhead_ratio_bounds() {
+        let mut s = NetworkStats::new();
+        assert_eq!(s.control_overhead_ratio(), 0.0);
+        s.record_send(NodeId(0), NodeId(1), 0, 10);
+        assert!((s.control_overhead_ratio() - 1.0).abs() < 1e-12);
+        s.record_send(NodeId(0), NodeId(1), 10, 0);
+        assert!((s.control_overhead_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_links_and_nodes_are_zero() {
+        let s = NetworkStats::new();
+        assert_eq!(s.link(NodeId(5), NodeId(6)), LinkStats::default());
+        assert_eq!(s.node(NodeId(5)), NodeStats::default());
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = NetworkStats::new();
+        a.record_send(NodeId(0), NodeId(1), 1, 2);
+        a.record_delivery(NodeId(1), 1, 2);
+        let mut b = NetworkStats::new();
+        b.record_send(NodeId(0), NodeId(1), 3, 4);
+        b.record_send(NodeId(2), NodeId(1), 5, 6);
+        a.merge(&b);
+        assert_eq!(a.total_messages(), 3);
+        assert_eq!(a.link(NodeId(0), NodeId(1)).data_bytes, 4);
+        assert_eq!(a.link(NodeId(2), NodeId(1)).control_bytes, 6);
+        assert_eq!(a.node(NodeId(1)).received_messages, 1);
+    }
+
+    #[test]
+    fn iterators_cover_recorded_entries() {
+        let mut s = NetworkStats::new();
+        s.record_send(NodeId(0), NodeId(1), 1, 1);
+        s.record_send(NodeId(1), NodeId(2), 1, 1);
+        assert_eq!(s.links().count(), 2);
+        assert_eq!(s.nodes().count(), 2);
+    }
+}

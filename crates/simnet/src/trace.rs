@@ -1,0 +1,176 @@
+//! Structured trace of simulation deliveries, used for debugging protocols
+//! and for regenerating the paper's step-by-step figures (Figure 9).
+
+use crate::message::NodeId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEntry {
+    /// A message left a node.
+    Sent {
+        /// Virtual time of the send.
+        at: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Payload bytes (data + control).
+        bytes: usize,
+        /// Human-readable payload summary (protocol-defined).
+        label: String,
+    },
+    /// A message was delivered to a node.
+    Delivered {
+        /// Virtual time of the delivery.
+        at: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Human-readable payload summary.
+        label: String,
+    },
+    /// A timer fired at a node.
+    TimerFired {
+        /// Virtual time of the timer.
+        at: SimTime,
+        /// The node whose timer fired.
+        node: NodeId,
+        /// The timer tag.
+        tag: u64,
+    },
+}
+
+impl TraceEntry {
+    /// The virtual time of the entry.
+    pub fn time(&self) -> SimTime {
+        match self {
+            TraceEntry::Sent { at, .. }
+            | TraceEntry::Delivered { at, .. }
+            | TraceEntry::TimerFired { at, .. } => *at,
+        }
+    }
+}
+
+/// A bounded, optionally disabled, event trace.
+#[derive(Clone, Debug, Default)]
+pub struct EventTrace {
+    enabled: bool,
+    capacity: usize,
+    entries: Vec<TraceEntry>,
+    dropped: u64,
+}
+
+impl EventTrace {
+    /// A disabled trace (records nothing, costs nothing).
+    pub fn disabled() -> Self {
+        EventTrace {
+            enabled: false,
+            capacity: 0,
+            entries: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// An enabled trace that keeps at most `capacity` entries; further
+    /// entries are counted but dropped.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventTrace {
+            enabled: true,
+            capacity,
+            entries: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an entry (no-op when disabled or full).
+    pub fn record(&mut self, entry: TraceEntry) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Entries recorded so far, in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries that were dropped because the trace was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clear all recorded entries (capacity and enablement are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(at: u64) -> TraceEntry {
+        TraceEntry::Sent {
+            at: SimTime(at),
+            from: NodeId(0),
+            to: NodeId(1),
+            bytes: 10,
+            label: "w(x)1".into(),
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = EventTrace::disabled();
+        t.record(sent(1));
+        assert!(t.entries().is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn capacity_limits_and_counts_drops() {
+        let mut t = EventTrace::with_capacity(2);
+        for i in 0..5 {
+            t.record(sent(i));
+        }
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        t.clear();
+        assert!(t.entries().is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn entry_time_accessor() {
+        assert_eq!(sent(7).time(), SimTime(7));
+        let timer = TraceEntry::TimerFired {
+            at: SimTime(9),
+            node: NodeId(2),
+            tag: 1,
+        };
+        assert_eq!(timer.time(), SimTime(9));
+        let del = TraceEntry::Delivered {
+            at: SimTime(4),
+            from: NodeId(0),
+            to: NodeId(1),
+            label: "u".into(),
+        };
+        assert_eq!(del.time(), SimTime(4));
+    }
+}

@@ -1,0 +1,88 @@
+//! Consistency explorer: classify the paper's example histories
+//! (Figures 3–6) under every consistency criterion, and show the share
+//! graph / hoop / dependency-chain analysis that explains each verdict.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example consistency_explorer
+//! ```
+
+use histories::checker::check_all;
+use histories::dependency::{has_dependency_chain, ChainOrder};
+use histories::figures;
+use histories::hoop::enumerate_hoops;
+use histories::relevance::relevant_processes;
+use histories::{Distribution, History, ReadFrom, ShareGraph, VarId};
+
+fn classify(name: &str, h: &History, dist: &Distribution) {
+    println!("== {name} ==");
+    print!("{}", h.pretty());
+    for report in check_all(h) {
+        println!(
+            "  {:<18} {}",
+            report.criterion.to_string(),
+            if report.consistent { "consistent" } else { "VIOLATED" }
+        );
+    }
+    let sg = ShareGraph::new(dist);
+    let x = VarId(0);
+    let hoops = enumerate_hoops(&sg, x, 8);
+    println!("  C(x0) = {:?}", sg.clique(x));
+    println!("  x0-hoops: {}", hoops.len());
+    if let Ok(rf) = ReadFrom::infer(h) {
+        for hoop in &hoops {
+            for order in [
+                ChainOrder::Causal,
+                ChainOrder::LazyCausal,
+                ChainOrder::LazySemiCausal,
+                ChainOrder::Pram,
+            ] {
+                let found = has_dependency_chain(h, &rf, order, hoop).is_some();
+                println!(
+                    "    chain along {:?} under {order:?}: {}",
+                    hoop.path,
+                    if found { "yes" } else { "no" }
+                );
+            }
+        }
+    }
+    println!(
+        "  x0-relevant processes (Theorem 1): {:?}",
+        relevant_processes(dist, x, 8)
+    );
+    println!();
+}
+
+fn main() {
+    println!("The paper's example histories, classified by the checkers.\n");
+
+    // Figure 3: the dependency-chain witness along a 1-intermediate hoop.
+    let fig3 = figures::fig3_history(1);
+    classify("Figure 3 (witness history)", &fig3, &figures::fig2_distribution(1));
+
+    // Figure 4: lazy causal but not causal.
+    classify(
+        "Figure 4 (lazy causal, not causal)",
+        &figures::fig4_history(),
+        &figures::fig4_distribution(),
+    );
+
+    // Figure 5: not even lazy causal.
+    classify(
+        "Figure 5 (not lazy causal)",
+        &figures::fig5_history(),
+        &figures::fig5_distribution(),
+    );
+
+    // Figure 6: not lazy semi-causal.
+    classify(
+        "Figure 6 (not lazy semi-causal)",
+        &figures::fig6_history(),
+        &figures::fig6_distribution(),
+    );
+
+    println!(
+        "Every figure remains PRAM consistent, and no PRAM dependency chain ever\n\
+         forms along a hoop — Theorem 2 in action."
+    );
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the executable protocols: for randomized
+//! workloads over randomized variable distributions, the recorded histories
+//! satisfy the advertised consistency criteria, the protocols converge, and
+//! the control-information locality invariants hold.
+
+use apps::workload::{execute, generate, WorkloadSpec};
+use dsm::{CausalFull, CausalPartial, PramPartial, Sequential};
+use histories::{check, Criterion, Distribution, VarId};
+use proptest::prelude::*;
+use simnet::SimConfig;
+
+/// Strategy: a random distribution plus a compatible workload spec, kept
+/// small enough that the serialization-search checkers stay fast.
+fn small_setup() -> impl Strategy<Value = (Distribution, WorkloadSpec)> {
+    (2usize..=5, 2usize..=6, 1usize..=3, any::<u64>(), any::<u64>()).prop_map(
+        |(procs, vars, replicas, dseed, wseed)| {
+            let replicas = replicas.min(procs);
+            let dist = Distribution::random(procs, vars, replicas, dseed);
+            let spec = WorkloadSpec {
+                ops_per_process: 4,
+                write_ratio: 0.5,
+                settle_every: 3,
+                seed: wseed,
+            };
+            (dist, spec)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pram_partial_histories_are_pram_consistent((dist, spec) in small_setup()) {
+        let ops = generate(&dist, &spec);
+        let out = execute::<PramPartial>(&dist, &ops, SimConfig::default(), true);
+        prop_assert!(check(&out.history, Criterion::Pram).consistent,
+            "history:\n{}", out.history.pretty());
+    }
+
+    #[test]
+    fn causal_full_histories_are_causally_consistent((dist, spec) in small_setup()) {
+        let ops = generate(&dist, &spec);
+        let out = execute::<CausalFull>(&dist, &ops, SimConfig::default(), true);
+        prop_assert!(check(&out.history, Criterion::Causal).consistent,
+            "history:\n{}", out.history.pretty());
+        // Causal implies every weaker criterion the paper discusses.
+        prop_assert!(check(&out.history, Criterion::LazyCausal).consistent);
+        prop_assert!(check(&out.history, Criterion::Pram).consistent);
+    }
+
+    #[test]
+    fn causal_partial_histories_are_causally_consistent((dist, spec) in small_setup()) {
+        let ops = generate(&dist, &spec);
+        let out = execute::<CausalPartial>(&dist, &ops, SimConfig::default(), true);
+        prop_assert!(check(&out.history, Criterion::Causal).consistent,
+            "history:\n{}", out.history.pretty());
+    }
+
+    #[test]
+    fn sequential_histories_are_pram_consistent((dist, spec) in small_setup()) {
+        let ops = generate(&dist, &spec);
+        let out = execute::<Sequential>(&dist, &ops, SimConfig::default(), true);
+        prop_assert!(check(&out.history, Criterion::Pram).consistent,
+            "history:\n{}", out.history.pretty());
+    }
+
+    #[test]
+    fn pram_metadata_never_leaves_the_replica_set((dist, spec) in small_setup()) {
+        let ops = generate(&dist, &spec);
+        let out = execute::<PramPartial>(&dist, &ops, SimConfig::default(), false);
+        for x in 0..dist.var_count() {
+            let var = VarId(x);
+            prop_assert!(out.control.relevant_nodes(var).is_subset(&dist.replicas_of(var)));
+        }
+    }
+
+    #[test]
+    fn pram_partial_control_cost_never_exceeds_causal_partial((dist, spec) in small_setup()) {
+        let ops = generate(&dist, &spec);
+        let pram = execute::<PramPartial>(&dist, &ops, SimConfig::default(), false);
+        let causal = execute::<CausalPartial>(&dist, &ops, SimConfig::default(), false);
+        prop_assert!(pram.control_bytes <= causal.control_bytes);
+        prop_assert!(pram.messages <= causal.messages);
+    }
+
+    #[test]
+    fn replica_convergence_after_settle((dist, spec) in small_setup()) {
+        // After all messages are delivered, every replica of a variable
+        // written by a *single* writer holds that writer's last value.
+        let mut single_writer_spec = spec;
+        single_writer_spec.write_ratio = 1.0;
+        let ops = generate(&dist, &single_writer_spec);
+        // Restrict to one writer per variable: keep only the first writer
+        // seen for each variable.
+        let mut writer_of = std::collections::BTreeMap::new();
+        let mut last_value = std::collections::BTreeMap::new();
+        let filtered: Vec<_> = ops
+            .iter()
+            .filter(|op| match op {
+                apps::workload::WorkloadOp::Write { proc, var, value } => {
+                    let w = writer_of.entry(*var).or_insert(*proc);
+                    if w == proc {
+                        last_value.insert(*var, *value);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => true,
+            })
+            .cloned()
+            .collect();
+        let out = execute::<PramPartial>(&dist, &filtered, SimConfig::default(), true);
+        // Re-execute to inspect final replica state through a fresh system.
+        let mut dsm: dsm::DsmSystem<PramPartial> = dsm::DsmSystem::new(dist.clone());
+        for op in &filtered {
+            match *op {
+                apps::workload::WorkloadOp::Write { proc, var, value } => {
+                    dsm.write(proc, var, value).unwrap();
+                }
+                apps::workload::WorkloadOp::Read { .. } => {}
+                apps::workload::WorkloadOp::Settle => {
+                    dsm.settle();
+                }
+            }
+        }
+        dsm.settle();
+        for (var, value) in &last_value {
+            for replica in dist.replicas_of(*var) {
+                prop_assert_eq!(dsm.peek(replica, *var).as_int(), Some(*value),
+                    "replica {:?} of {:?}", replica, var);
+            }
+        }
+        prop_assert!(out.operations >= filtered.len() as u64 - filtered.iter().filter(|o| matches!(o, apps::workload::WorkloadOp::Settle)).count() as u64);
+    }
+}
