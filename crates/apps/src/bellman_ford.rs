@@ -106,8 +106,8 @@ pub fn run_bellman_ford<P: ProtocolSpec>(
     let mut rounds = 0;
     while k.iter().any(|&ki| ki < n as i64) && rounds < max_rounds {
         rounds += 1;
-        for i in 0..n {
-            if k[i] >= n as i64 {
+        for (i, ki) in k.iter_mut().enumerate() {
+            if *ki >= n as i64 {
                 continue;
             }
             // Line 6: wait until every predecessor's counter has caught up.
@@ -120,7 +120,7 @@ pub fn run_bellman_ford<P: ProtocolSpec>(
                     .ok()
                     .and_then(Value::as_int)
                     .unwrap_or(-1);
-                kh >= k[i]
+                kh >= *ki
             });
             if !ready {
                 continue;
@@ -135,8 +135,8 @@ pub fn run_bellman_ford<P: ProtocolSpec>(
                 dsm.write(ProcId(i), distance_var(i), best).unwrap();
             }
             // Line 8: advance the iteration counter.
-            k[i] += 1;
-            dsm.write(ProcId(i), counter_var(n, i), k[i]).unwrap();
+            *ki += 1;
+            dsm.write(ProcId(i), counter_var(n, i), *ki).unwrap();
         }
         dsm.settle();
     }

@@ -68,12 +68,12 @@ impl FixedPointProblem {
         let mut x = vec![0.0; n];
         for _ in 0..max_iters {
             let mut next = vec![0.0; n];
-            for i in 0..n {
+            for (i, next_i) in next.iter_mut().enumerate() {
                 let mut acc = self.b[i];
-                for j in 0..n {
-                    acc += self.m[i * n + j] * x[j];
+                for (j, x_j) in x.iter().enumerate() {
+                    acc += self.m[i * n + j] * x_j;
                 }
-                next[i] = acc;
+                *next_i = acc;
             }
             let delta = x
                 .iter()
@@ -156,7 +156,7 @@ pub fn run_jacobi<P: ProtocolSpec>(
         // frozen inputs reaches a spurious local fixed point immediately.
         let fresh_inputs = rounds == 1 || (rounds - 1) % settle_every == 0;
         let mut max_delta: f64 = 0.0;
-        for i in 0..n {
+        for (i, current_i) in current.iter_mut().enumerate() {
             let mut acc = problem.b[i];
             for j in 0..n {
                 let coeff = problem.m[i * n + j];
@@ -169,8 +169,8 @@ pub fn run_jacobi<P: ProtocolSpec>(
                     acc += coeff * (raw as f64 / SCALE as f64);
                 }
             }
-            max_delta = max_delta.max((acc - current[i]).abs());
-            current[i] = acc;
+            max_delta = max_delta.max((acc - *current_i).abs());
+            *current_i = acc;
             dsm.write(ProcId(i), VarId(i), (acc * SCALE as f64) as i64)
                 .unwrap();
         }
@@ -210,8 +210,8 @@ mod tests {
         // Check residual: x ≈ Mx + b.
         for i in 0..5 {
             let mut acc = p.b[i];
-            for j in 0..5 {
-                acc += p.m[i * 5 + j] * x[j];
+            for (j, x_j) in x.iter().enumerate() {
+                acc += p.m[i * 5 + j] * x_j;
             }
             assert!((acc - x[i]).abs() < 1e-6, "component {i}");
         }

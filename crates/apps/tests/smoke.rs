@@ -1,0 +1,54 @@
+//! Workspace smoke test: every protocol satisfies its advertised
+//! consistency criterion on a small random workload, end to end through all
+//! five crates (histories → simnet → dsm → apps), with the formal checker
+//! as the judge.
+
+use apps::workload::{execute, generate, WorkloadSpec};
+use dsm::{CausalFull, CausalPartial, PramPartial, ProtocolSpec, Sequential};
+use histories::{check, Criterion, Distribution};
+
+fn small_setup(seed: u64) -> (Distribution, Vec<apps::workload::WorkloadOp>) {
+    let dist = Distribution::random(4, 5, 2, seed);
+    let spec = WorkloadSpec {
+        ops_per_process: 5,
+        write_ratio: 0.5,
+        settle_every: 3,
+        seed: seed.wrapping_mul(0x9E37_79B9),
+    };
+    let ops = generate(&dist, &spec);
+    (dist, ops)
+}
+
+fn assert_protocol_meets<P: ProtocolSpec>(criterion: Criterion) {
+    for seed in 1..=5u64 {
+        let (dist, ops) = small_setup(seed);
+        let out = execute::<P>(&dist, &ops, simnet::SimConfig::default(), true);
+        let report = check(&out.history, criterion);
+        assert!(
+            report.consistent,
+            "{criterion} violated by {} (seed {seed}):\n{}",
+            P::KIND,
+            out.history.pretty()
+        );
+    }
+}
+
+#[test]
+fn causal_full_is_causally_consistent() {
+    assert_protocol_meets::<CausalFull>(Criterion::Causal);
+}
+
+#[test]
+fn causal_partial_is_causally_consistent() {
+    assert_protocol_meets::<CausalPartial>(Criterion::Causal);
+}
+
+#[test]
+fn pram_partial_is_pram_consistent() {
+    assert_protocol_meets::<PramPartial>(Criterion::Pram);
+}
+
+#[test]
+fn sequential_is_sequentially_consistent() {
+    assert_protocol_meets::<Sequential>(Criterion::Sequential);
+}

@@ -145,11 +145,8 @@ proptest! {
         prop_assert_eq!(summary.total_control_entries(), charges.len() as u64);
         for var in 0..3 {
             let relevant = summary.relevant_nodes(VarId(var));
-            for node in 0..4 {
-                prop_assert_eq!(
-                    relevant.contains(&ProcId(node)),
-                    per_node[node].tracks(VarId(var))
-                );
+            for (node, stats) in per_node.iter().enumerate() {
+                prop_assert_eq!(relevant.contains(&ProcId(node)), stats.tracks(VarId(var)));
             }
         }
     }

@@ -373,7 +373,7 @@ mod tests {
         // ...but the transitive consequence does not.
         assert!(!pram.constrains(ops[0], ops[2]));
         assert!(!pram.constrains(ops[0], ops[5]));
-        assert!(pram.concurrent(ops[0], ops[2]) == false || !pram.constrains(ops[2], ops[0]));
+        assert!(!pram.concurrent(ops[0], ops[2]) || !pram.constrains(ops[2], ops[0]));
         assert_eq!(pram.name(), "PRAM relation");
     }
 }

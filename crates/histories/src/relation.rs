@@ -76,14 +76,14 @@ impl RelationGraph {
         let words = self.n.div_ceil(64).max(1);
         let mut reach = vec![vec![0u64; words]; self.n];
         // DFS from every vertex; fine for the history sizes we handle.
-        for start in 0..self.n {
+        for (start, row) in reach.iter_mut().enumerate() {
             let mut stack: Vec<usize> = self.adj[start].clone();
             while let Some(v) = stack.pop() {
                 let (w, bit) = (v / 64, v % 64);
-                if reach[start][w] & (1 << bit) != 0 {
+                if row[w] & (1 << bit) != 0 {
                     continue;
                 }
-                reach[start][w] |= 1 << bit;
+                row[w] |= 1 << bit;
                 stack.extend_from_slice(&self.adj[v]);
             }
         }
@@ -163,7 +163,7 @@ mod tests {
         assert!(c.reaches(OpIdx(1), OpIdx(3)));
         assert!(!c.reaches(OpIdx(3), OpIdx(0)));
         assert!(!c.reaches(OpIdx(0), OpIdx(0)));
-        assert!(c.concurrent(OpIdx(0), OpIdx(0)) == false);
+        assert!(!c.concurrent(OpIdx(0), OpIdx(0)));
     }
 
     #[test]

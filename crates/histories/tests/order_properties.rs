@@ -6,7 +6,7 @@ use histories::orders::{
     lazy_program_order_graph, lazy_writes_before_graph, CausalOrder, LazyCausalOrder,
     LazySemiCausalOrder, OrderRelation, PramRelation, ProgramOrder,
 };
-use histories::{History, HistoryBuilder, ProcId, ReadFrom, Value, VarId};
+use histories::{History, HistoryBuilder, ProcId, ReadFrom, VarId};
 use proptest::prelude::*;
 
 /// Random histories in which every read returns either ⊥ or the value of

@@ -1,0 +1,370 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the criterion 0.5 API the `bench` crate uses:
+//! [`Criterion`], [`BenchmarkGroup`] (`sample_size`, `warm_up_time`,
+//! `measurement_time`, `bench_function`, `bench_with_input`, `finish`),
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — warm up for the configured time,
+//! then time `sample_size` batches and report min/mean — but honest: every
+//! benchmark closure really runs, so `cargo bench` exercises the same code
+//! paths the real harness would, and `--test` mode (used by `cargo test
+//! --benches`) runs each benchmark once.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-value helper preventing the optimizer from deleting a benchmark
+/// body. Re-exported with criterion's historical name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier: a function name plus a parameter rendered with
+/// `Display`, shown as `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Create an id under `name` for one `parameter` point.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Create an id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.name, self.parameter)
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Filled by `iter`: (total duration, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Run `routine` repeatedly: warm-up, then `sample_size` timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.config.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up, and estimate the per-iteration cost while at it.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters.max(1) as u32);
+        // Pick an iteration count per sample so that all samples together
+        // roughly fill measurement_time.
+        let per_iter = per_iter.unwrap_or(Duration::from_nanos(1)).max(Duration::from_nanos(1));
+        let budget = self.config.measurement_time.as_nanos()
+            / (self.config.sample_size.max(1) as u128);
+        let iters_per_sample = (budget / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push((start.elapsed(), iters_per_sample));
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            test_mode: false,
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+    filter: Option<String>,
+}
+
+
+impl Criterion {
+    /// Honour the conventional harness flags (`--test`, a name filter).
+    /// Unknown flags (e.g. `--bench` passed by cargo) are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.config.test_mode = true,
+                "--sample-size" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        self.config.sample_size = v;
+                    }
+                }
+                "--measurement-time" => {
+                    if let Some(secs) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        if secs.is_finite() && secs > 0.0 {
+                            self.config.measurement_time = Duration::from_secs_f64(secs);
+                        }
+                    }
+                }
+                "--warm-up-time" => {
+                    if let Some(secs) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        if secs.is_finite() && secs > 0.0 {
+                            self.config.warm_up_time = Duration::from_secs_f64(secs);
+                        }
+                    }
+                }
+                // Value-taking criterion flags we accept but ignore: consume
+                // the value too, so it is not mistaken for a name filter.
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--output-format"
+                | "--color" | "--profile-time" => {
+                    args.next();
+                }
+                other if !other.starts_with('-') => self.filter = Some(other.to_string()),
+                // Boolean flags (--bench, --noplot, --quiet, ...) are ignored.
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config: self.config.clone(),
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let config = self.config.clone();
+        run_one(&config, &self.filter, name, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    config: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Set the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Set the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Benchmark `f` under `id` (a `&str` or a [`BenchmarkId`]).
+    pub fn bench_function<I: Display, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.config, &self.criterion.filter, &full, f);
+        self
+    }
+
+    /// Benchmark `f` with an explicit input value.
+    pub fn bench_with_input<I: Display, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &T),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.config, &self.criterion.filter, &full, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (report separator; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    config: &Config,
+    filter: &Option<String>,
+    name: &str,
+    mut f: F,
+) {
+    if let Some(filter) = filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        config,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if config.test_mode {
+        println!("test {name} ... ok");
+        return;
+    }
+    if bencher.samples.is_empty() {
+        println!("{name:<60} (no samples)");
+        return;
+    }
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|(d, n)| d.as_secs_f64() / *n as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{name:<60} mean {:>12} min {:>12} ({} samples)",
+        fmt_time(mean),
+        fmt_time(min),
+        per_iter.len()
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark `main` function, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("proto", 8).to_string(), "proto/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn bencher_runs_the_routine_in_test_mode() {
+        let config = Config {
+            test_mode: true,
+            ..Config::default()
+        };
+        let mut count = 0u64;
+        let mut b = Bencher {
+            config: &config,
+            samples: Vec::new(),
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn group_runs_each_benchmark() {
+        let mut criterion = Criterion::default();
+        criterion.config.test_mode = true;
+        let mut runs = 0u32;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.sample_size(10);
+            group.bench_function("a", |b| b.iter(|| runs += 1));
+            group.bench_with_input(BenchmarkId::new("b", 3), &3, |b, x| {
+                b.iter(|| runs += *x as u32)
+            });
+            group.finish();
+        }
+        assert_eq!(runs, 4);
+    }
+}

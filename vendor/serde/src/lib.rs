@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides marker `Serialize` / `Deserialize` traits and re-exports the
+//! no-op derive macros from the vendored `serde_derive`, which is all this
+//! workspace needs: types are annotated for a future wire format, but byte
+//! accounting in the simulator uses an explicit size model rather than a
+//! serde data format.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
