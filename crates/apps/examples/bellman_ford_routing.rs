@@ -10,10 +10,11 @@
 //! The example runs the Figure 7 algorithm on the Figure 8 network (or a
 //! random network), verifies the distances against a sequential
 //! Bellman-Ford, and compares the message/control cost of deploying the
-//! same computation over the four MCS protocols.
+//! same computation over the four MCS protocols — all selected at runtime
+//! from their [`dsm::ProtocolKind`] values.
 
 use apps::{bellman_ford_distribution, run_bellman_ford, shortest_paths_reference, Network};
-use dsm::{CausalFull, CausalPartial, PramPartial, Sequential};
+use dsm::ProtocolKind;
 use histories::ProcId;
 use simnet::SimConfig;
 
@@ -42,28 +43,32 @@ fn main() {
 
     let reference = shortest_paths_reference(&net, 0);
 
-    println!("\n{:<16} {:>10} {:>12} {:>14} {:>8} {:>6}", "protocol", "messages", "data bytes", "control bytes", "rounds", "ok");
-    let mut rows = Vec::new();
-    macro_rules! run {
-        ($name:expr, $proto:ty) => {{
-            let run = run_bellman_ford::<$proto>(&net, 0, SimConfig::default());
-            let ok = run.converged && run.distances == reference;
-            println!(
-                "{:<16} {:>10} {:>12} {:>14} {:>8} {:>6}",
-                $name, run.messages, run.data_bytes, run.control_bytes, run.rounds, ok
-            );
-            rows.push((String::from($name), run));
-        }};
+    println!(
+        "\n{:<16} {:>10} {:>12} {:>14} {:>8} {:>6}",
+        "protocol", "messages", "data bytes", "control bytes", "rounds", "ok"
+    );
+    let runs: Vec<_> = ProtocolKind::ALL
+        .iter()
+        .map(|&kind| (kind, run_bellman_ford(kind, &net, 0, SimConfig::default())))
+        .collect();
+    for (kind, run) in &runs {
+        let ok = run.converged && run.distances == reference;
+        println!(
+            "{:<16} {:>10} {:>12} {:>14} {:>8} {:>6}",
+            kind.name(),
+            run.messages,
+            run.data_bytes,
+            run.control_bytes,
+            run.rounds,
+            ok
+        );
     }
-    run!("pram-partial", PramPartial);
-    run!("causal-partial", CausalPartial);
-    run!("causal-full", CausalFull);
-    run!("sequential", Sequential);
 
-    let pram = &rows[0].1;
+    let by_kind = |k: ProtocolKind| &runs.iter().find(|(kind, _)| *kind == k).unwrap().1;
+    let pram = by_kind(ProtocolKind::PramPartial);
     println!("\nshortest distances from node 1: {:?}", pram.distances);
     println!("sequential reference:            {reference:?}");
-    let cfull = &rows[2].1;
+    let cfull = by_kind(ProtocolKind::CausalFull);
     if pram.control_bytes > 0 {
         println!(
             "\ncontrol-byte ratio causal-full / pram-partial: {:.2}x",

@@ -10,12 +10,11 @@
 //! This is a compact, human-readable version of the E1/E3 experiments in
 //! `EXPERIMENTS.md`: control bytes per operation and the number of
 //! processes that end up handling metadata about a given variable, per
-//! protocol.
+//! protocol. All four protocols run through the one scenario engine; no
+//! per-protocol code path exists.
 
-use apps::workload::{execute, generate, WorkloadSpec};
-use dsm::{CausalFull, CausalPartial, PramPartial, Sequential};
-use histories::{Distribution, VarId};
-use simnet::SimConfig;
+use apps::scenario::{run_all, DistributionFamily, Scenario, SettlePolicy, WorkloadFamily};
+use histories::VarId;
 
 fn main() {
     let max_n: usize = std::env::args()
@@ -31,33 +30,29 @@ fn main() {
 
     let mut n = 4;
     while n <= max_n {
-        let dist = Distribution::random(n, 2 * n, 2, 7);
-        let spec = WorkloadSpec {
+        let scenario = Scenario {
+            name: format!("efficiency-{n}"),
+            distribution: DistributionFamily::Random { replicas: 2 },
+            processes: n,
+            variables: 2 * n,
+            workload: WorkloadFamily::Uniform { write_ratio: 0.5 },
             ops_per_process: 12,
-            write_ratio: 0.5,
-            settle_every: 6,
+            settle: SettlePolicy::Every(6),
             seed: 11,
+            record: false,
+            ..Scenario::default()
         };
-        let ops = generate(&dist, &spec);
-
-        macro_rules! row {
-            ($name:expr, $proto:ty) => {{
-                let out = execute::<$proto>(&dist, &ops, SimConfig::default(), false);
-                println!(
-                    "{:<6} {:<16} {:>12} {:>16} {:>14.1} {:>22}",
-                    n,
-                    $name,
-                    out.messages,
-                    out.control_bytes,
-                    out.control_bytes_per_op(),
-                    out.control.relevant_nodes(VarId(0)).len()
-                );
-            }};
+        for report in run_all(&scenario) {
+            println!(
+                "{:<6} {:<16} {:>12} {:>16} {:>14.1} {:>22}",
+                n,
+                report.protocol.name(),
+                report.messages(),
+                report.control_bytes(),
+                report.control_bytes_per_op(),
+                report.control.relevant_nodes(VarId(0)).len()
+            );
         }
-        row!("pram-partial", PramPartial);
-        row!("causal-partial", CausalPartial);
-        row!("causal-full", CausalFull);
-        row!("sequential", Sequential);
         println!();
         n *= 2;
     }

@@ -13,13 +13,14 @@
 //! of §6.1 (a process replicates only its own and its predecessors'
 //! variables) makes partial replication effective.
 //!
-//! The driver below runs the computation over any [`ProtocolSpec`], so the
-//! benchmarks can compare the PRAM-partial deployment the paper advocates
-//! against causal-full / causal-partial / sequencer deployments on the same
-//! workload.
+//! The driver below runs the computation over any [`ProtocolKind`] chosen
+//! at runtime, so the benchmarks can compare the PRAM-partial deployment
+//! the paper advocates against causal-full / causal-partial / sequencer
+//! deployments on the same workload without monomorphizing one driver per
+//! protocol.
 
 use crate::graphs::{Network, INFINITY};
-use dsm::{DsmSystem, ProtocolSpec};
+use dsm::{DynDsm, ProtocolKind};
 use histories::{Distribution, ProcId, Value, VarId};
 use simnet::SimConfig;
 
@@ -74,14 +75,15 @@ fn value_or_infinity(v: Value) -> i64 {
 }
 
 /// Run the distributed Bellman-Ford of Figure 7 from `source` over the MCS
-/// protocol `P`.
+/// protocol selected by `kind`.
 ///
 /// The scheduler emulates the per-process polling loop: in every round each
 /// process whose barrier condition holds executes one iteration (lines 6–8
 /// of Figure 7), then all in-flight updates are delivered. A process stops
 /// after `N` iterations; the run aborts (with `converged = false`) if it
 /// exceeds `4·N + 8` rounds, which cannot happen with reliable delivery.
-pub fn run_bellman_ford<P: ProtocolSpec>(
+pub fn run_bellman_ford(
+    kind: ProtocolKind,
     net: &Network,
     source: usize,
     config: SimConfig,
@@ -89,7 +91,7 @@ pub fn run_bellman_ford<P: ProtocolSpec>(
     let n = net.node_count();
     assert!(source < n, "source out of range");
     let dist = bellman_ford_distribution(net);
-    let mut dsm: DsmSystem<P> = DsmSystem::with_config(dist, config);
+    let mut dsm = DynDsm::with_config(kind, dist, config);
 
     // Line 1-4 of Figure 7: initialize k_i and x_i.
     for i in 0..n {
@@ -160,7 +162,6 @@ pub fn run_bellman_ford<P: ProtocolSpec>(
 mod tests {
     use super::*;
     use crate::graphs::shortest_paths_reference;
-    use dsm::{CausalFull, CausalPartial, PramPartial, Sequential};
 
     #[test]
     fn distribution_matches_the_papers_example() {
@@ -185,7 +186,7 @@ mod tests {
     #[test]
     fn fig8_distances_match_the_reference_under_pram_partial() {
         let net = Network::fig8();
-        let run = run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default());
+        let run = run_bellman_ford(ProtocolKind::PramPartial, &net, 0, SimConfig::default());
         assert!(run.converged);
         assert_eq!(run.distances, shortest_paths_reference(&net, 0));
         assert_eq!(run.distances, vec![0, 2, 1, 3, 4]);
@@ -196,22 +197,18 @@ mod tests {
     fn all_protocols_compute_the_same_distances() {
         let net = Network::fig8();
         let reference = shortest_paths_reference(&net, 0);
-        let pram = run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default());
-        let cfull = run_bellman_ford::<CausalFull>(&net, 0, SimConfig::default());
-        let cpart = run_bellman_ford::<CausalPartial>(&net, 0, SimConfig::default());
-        let seq = run_bellman_ford::<Sequential>(&net, 0, SimConfig::default());
-        assert_eq!(pram.distances, reference);
-        assert_eq!(cfull.distances, reference);
-        assert_eq!(cpart.distances, reference);
-        assert_eq!(seq.distances, reference);
+        for kind in ProtocolKind::ALL {
+            let run = run_bellman_ford(kind, &net, 0, SimConfig::default());
+            assert_eq!(run.distances, reference, "{kind}");
+        }
     }
 
     #[test]
     fn pram_partial_sends_less_control_than_causal_variants() {
         let net = Network::fig8();
-        let pram = run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default());
-        let cfull = run_bellman_ford::<CausalFull>(&net, 0, SimConfig::default());
-        let cpart = run_bellman_ford::<CausalPartial>(&net, 0, SimConfig::default());
+        let pram = run_bellman_ford(ProtocolKind::PramPartial, &net, 0, SimConfig::default());
+        let cfull = run_bellman_ford(ProtocolKind::CausalFull, &net, 0, SimConfig::default());
+        let cpart = run_bellman_ford(ProtocolKind::CausalPartial, &net, 0, SimConfig::default());
         assert!(
             pram.control_bytes < cfull.control_bytes,
             "pram {} vs causal-full {}",
@@ -231,7 +228,7 @@ mod tests {
     fn larger_random_networks_converge_to_the_reference() {
         for seed in [1, 2, 3] {
             let net = Network::random_reachable(9, 12, 7, seed);
-            let run = run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default());
+            let run = run_bellman_ford(ProtocolKind::PramPartial, &net, 0, SimConfig::default());
             assert!(run.converged, "seed {seed}");
             assert_eq!(
                 run.distances,
@@ -247,7 +244,7 @@ mod tests {
         net.add_edge(0, 1, 2);
         net.add_edge(1, 2, 2);
         // Node 3 is isolated.
-        let run = run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default());
+        let run = run_bellman_ford(ProtocolKind::PramPartial, &net, 0, SimConfig::default());
         assert!(run.converged);
         assert_eq!(run.distances, vec![0, 2, 4, INFINITY]);
     }
@@ -255,7 +252,7 @@ mod tests {
     #[test]
     fn ring_network_distances() {
         let net = Network::ring(7);
-        let run = run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default());
+        let run = run_bellman_ford(ProtocolKind::PramPartial, &net, 0, SimConfig::default());
         assert_eq!(run.distances, shortest_paths_reference(&net, 0));
         assert!(run.rounds <= 4 * 7 + 8);
         assert!(run.operations > 0);

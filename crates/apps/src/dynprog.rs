@@ -8,7 +8,7 @@
 //! reader of row `r` is always the owner of row `r + 1`, so the variable
 //! distribution keeps every row on exactly two processes.
 
-use dsm::{DsmSystem, ProtocolSpec};
+use dsm::{DynDsm, ProtocolKind};
 use histories::{Distribution, ProcId, VarId};
 use simnet::SimConfig;
 
@@ -77,15 +77,15 @@ pub fn lcs_distribution(rows: usize, cols: usize, procs: usize) -> Distribution 
     dist
 }
 
-/// Run the distributed LCS of `a` and `b` over `procs` processes using
-/// protocol `P`.
-pub fn run_lcs<P: ProtocolSpec>(a: &[u8], b: &[u8], procs: usize, config: SimConfig) -> LcsRun {
+/// Run the distributed LCS of `a` and `b` over `procs` processes using the
+/// protocol selected by `kind`.
+pub fn run_lcs(kind: ProtocolKind, a: &[u8], b: &[u8], procs: usize, config: SimConfig) -> LcsRun {
     assert!(procs >= 1);
     assert!(!a.is_empty() && !b.is_empty(), "inputs must be non-empty");
     let rows = a.len();
     let cols = b.len();
     let dist = lcs_distribution(rows, cols, procs);
-    let mut dsm: DsmSystem<P> = DsmSystem::with_config(dist, config);
+    let mut dsm = DynDsm::with_config(kind, dist, config);
     dsm.disable_recording();
 
     // Rows are processed in order; each row's owner reads the previous row
@@ -155,7 +155,6 @@ pub fn run_lcs<P: ProtocolSpec>(a: &[u8], b: &[u8], procs: usize, config: SimCon
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsm::{CausalPartial, PramPartial};
 
     #[test]
     fn reference_lcs_known_cases() {
@@ -169,7 +168,7 @@ mod tests {
     fn distributed_lcs_matches_reference() {
         let a = b"ABCBDABXY";
         let b = b"BDCABAYX";
-        let run = run_lcs::<PramPartial>(a, b, 3, SimConfig::default());
+        let run = run_lcs(ProtocolKind::PramPartial, a, b, 3, SimConfig::default());
         assert_eq!(run.length, lcs_reference(a, b));
         assert!(run.messages > 0);
     }
@@ -178,7 +177,7 @@ mod tests {
     fn distributed_lcs_single_process() {
         let a = b"GATTACA";
         let b = b"TAGACCA";
-        let run = run_lcs::<PramPartial>(a, b, 1, SimConfig::default());
+        let run = run_lcs(ProtocolKind::PramPartial, a, b, 1, SimConfig::default());
         assert_eq!(run.length, lcs_reference(a, b));
     }
 
@@ -186,8 +185,8 @@ mod tests {
     fn pram_partial_beats_causal_partial_on_control_bytes() {
         let a = b"ABCBDABAB";
         let b = b"BDCABABAB";
-        let pram = run_lcs::<PramPartial>(a, b, 4, SimConfig::default());
-        let causal = run_lcs::<CausalPartial>(a, b, 4, SimConfig::default());
+        let pram = run_lcs(ProtocolKind::PramPartial, a, b, 4, SimConfig::default());
+        let causal = run_lcs(ProtocolKind::CausalPartial, a, b, 4, SimConfig::default());
         assert_eq!(pram.length, causal.length);
         assert!(pram.control_bytes < causal.control_bytes);
     }

@@ -14,7 +14,7 @@
 //! Values are fixed-point scaled integers (scale 1e6) so the shared
 //! variables stay `i64` like everything else in the DSM.
 
-use dsm::{DsmSystem, ProtocolSpec};
+use dsm::{DynDsm, ProtocolKind};
 use histories::{Distribution, ProcId, VarId};
 use simnet::SimConfig;
 
@@ -120,14 +120,16 @@ pub fn jacobi_distribution(problem: &FixedPointProblem) -> Distribution {
     dist
 }
 
-/// Run the asynchronous fixed-point iteration over protocol `P`.
+/// Run the asynchronous fixed-point iteration over the protocol selected
+/// by `kind`.
 ///
 /// `settle_every` controls how much staleness the run tolerates: in-flight
 /// updates are only delivered every that-many rounds, so larger values mean
 /// processes iterate on older neighbour values (the totally-asynchronous
 /// regime). Convergence is declared when every component moves by less than
 /// `tolerance` in a round *after* a full delivery.
-pub fn run_jacobi<P: ProtocolSpec>(
+pub fn run_jacobi(
+    kind: ProtocolKind,
     problem: &FixedPointProblem,
     tolerance: f64,
     max_rounds: usize,
@@ -137,7 +139,7 @@ pub fn run_jacobi<P: ProtocolSpec>(
     let n = problem.size();
     assert!(settle_every >= 1);
     let dist = jacobi_distribution(problem);
-    let mut dsm: DsmSystem<P> = DsmSystem::with_config(dist, config);
+    let mut dsm = DynDsm::with_config(kind, dist, config);
     dsm.disable_recording();
 
     // Initial estimates: 0.
@@ -161,11 +163,7 @@ pub fn run_jacobi<P: ProtocolSpec>(
             for j in 0..n {
                 let coeff = problem.m[i * n + j];
                 if coeff != 0.0 {
-                    let raw = dsm
-                        .read(ProcId(i), VarId(j))
-                        .unwrap()
-                        .as_int()
-                        .unwrap_or(0);
+                    let raw = dsm.read(ProcId(i), VarId(j)).unwrap().as_int().unwrap_or(0);
                     acc += coeff * (raw as f64 / SCALE as f64);
                 }
             }
@@ -197,7 +195,6 @@ pub fn run_jacobi<P: ProtocolSpec>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsm::{CausalFull, PramPartial};
 
     fn close(a: &[f64], b: &[f64], eps: f64) -> bool {
         a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < eps)
@@ -221,7 +218,14 @@ mod tests {
     fn distributed_jacobi_converges_to_the_reference() {
         let p = FixedPointProblem::random(6, 0.5, 2);
         let reference = p.reference_solution(1e-9, 500);
-        let run = run_jacobi::<PramPartial>(&p, 1e-7, 400, 1, SimConfig::default());
+        let run = run_jacobi(
+            ProtocolKind::PramPartial,
+            &p,
+            1e-7,
+            400,
+            1,
+            SimConfig::default(),
+        );
         assert!(run.converged, "should converge within the round budget");
         assert!(close(&run.solution, &reference, 1e-3));
         assert!(run.messages > 0);
@@ -231,8 +235,22 @@ mod tests {
     fn staleness_slows_but_does_not_break_convergence() {
         let p = FixedPointProblem::random(5, 0.4, 3);
         let reference = p.reference_solution(1e-9, 500);
-        let fresh = run_jacobi::<PramPartial>(&p, 1e-7, 600, 1, SimConfig::default());
-        let stale = run_jacobi::<PramPartial>(&p, 1e-7, 600, 4, SimConfig::default());
+        let fresh = run_jacobi(
+            ProtocolKind::PramPartial,
+            &p,
+            1e-7,
+            600,
+            1,
+            SimConfig::default(),
+        );
+        let stale = run_jacobi(
+            ProtocolKind::PramPartial,
+            &p,
+            1e-7,
+            600,
+            4,
+            SimConfig::default(),
+        );
         assert!(fresh.converged && stale.converged);
         assert!(close(&stale.solution, &reference, 1e-3));
         assert!(stale.rounds >= fresh.rounds);
@@ -241,8 +259,22 @@ mod tests {
     #[test]
     fn causal_full_and_pram_partial_agree() {
         let p = FixedPointProblem::random(4, 0.5, 4);
-        let a = run_jacobi::<PramPartial>(&p, 1e-7, 400, 1, SimConfig::default());
-        let b = run_jacobi::<CausalFull>(&p, 1e-7, 400, 1, SimConfig::default());
+        let a = run_jacobi(
+            ProtocolKind::PramPartial,
+            &p,
+            1e-7,
+            400,
+            1,
+            SimConfig::default(),
+        );
+        let b = run_jacobi(
+            ProtocolKind::CausalFull,
+            &p,
+            1e-7,
+            400,
+            1,
+            SimConfig::default(),
+        );
         assert!(a.converged && b.converged);
         assert!(close(&a.solution, &b.solution, 1e-3));
     }

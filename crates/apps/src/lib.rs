@@ -13,11 +13,15 @@
 //!   observation that such methods converge even on weak memories).
 //! * [`graphs`] — weighted digraphs, the Figure 8 network, generators, and
 //!   the sequential Bellman-Ford reference.
-//! * [`workload`] — synthetic read/write workload generation and execution
-//!   used by the efficiency benchmarks.
+//! * [`workload`] — the operation-level workload script language.
+//! * [`scenario`] — the scenario engine: distribution × workload ×
+//!   latency × settle-policy bundles executed under any protocol chosen at
+//!   runtime, returning a unified [`scenario::RunReport`]. Every
+//!   comparative driver (benchmarks, examples, tests) goes through it.
 //!
 //! Every distributed run is validated against a sequential reference
-//! implementation in the module's tests.
+//! implementation in the module's tests, and every app driver picks its
+//! protocol at runtime from a [`dsm::ProtocolKind`] value.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +31,7 @@ pub mod dynprog;
 pub mod graphs;
 pub mod jacobi;
 pub mod matrix;
+pub mod scenario;
 pub mod workload;
 
 pub use bellman_ford::{
@@ -36,4 +41,9 @@ pub use dynprog::{lcs_distribution, lcs_reference, run_lcs, LcsRun};
 pub use graphs::{shortest_paths_reference, Network, INFINITY};
 pub use jacobi::{jacobi_distribution, run_jacobi, FixedPointProblem, JacobiRun, SCALE};
 pub use matrix::{matrix_distribution, run_matrix_product, Matrix, MatrixRun};
-pub use workload::{execute, generate, WorkloadOp, WorkloadOutcome, WorkloadSpec};
+pub use scenario::{
+    generate_family_ops, latency_label, run_all, run_scenario, run_script, standard_distributions,
+    standard_latencies, standard_workloads, DistributionFamily, RunReport, Scenario, SettlePolicy,
+    WorkloadFamily,
+};
+pub use workload::{generate, WorkloadOp, WorkloadSpec};

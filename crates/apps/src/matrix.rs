@@ -11,7 +11,7 @@
 //! worker's replica set to the inputs it actually reads plus its own output
 //! block.
 
-use dsm::{DsmSystem, ProtocolSpec};
+use dsm::{DynDsm, ProtocolKind};
 use histories::{Distribution, ProcId, Value, VarId};
 use simnet::SimConfig;
 
@@ -151,8 +151,9 @@ pub fn matrix_distribution(n: usize, workers: usize) -> Distribution {
 }
 
 /// Run the distributed product of `a` and `b` (both `n×n`) with `workers`
-/// worker processes over protocol `P`.
-pub fn run_matrix_product<P: ProtocolSpec>(
+/// worker processes over the protocol selected by `kind`.
+pub fn run_matrix_product(
+    kind: ProtocolKind,
     a: &Matrix,
     b: &Matrix,
     workers: usize,
@@ -165,7 +166,7 @@ pub fn run_matrix_product<P: ProtocolSpec>(
     let n = a.rows();
     let layout = Layout { n };
     let dist = matrix_distribution(n, workers);
-    let mut dsm: DsmSystem<P> = DsmSystem::with_config(dist, config);
+    let mut dsm = DynDsm::with_config(kind, dist, config);
     dsm.disable_recording();
     let producer = ProcId(0);
 
@@ -213,7 +214,6 @@ pub fn run_matrix_product<P: ProtocolSpec>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsm::{CausalFull, PramPartial};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -236,7 +236,7 @@ mod tests {
     fn distributed_product_matches_reference_on_pram_partial() {
         let a = random_matrix(5, 1);
         let b = random_matrix(5, 2);
-        let run = run_matrix_product::<PramPartial>(&a, &b, 3, SimConfig::default());
+        let run = run_matrix_product(ProtocolKind::PramPartial, &a, &b, 3, SimConfig::default());
         assert_eq!(run.product, a.multiply(&b));
         assert!(run.messages > 0);
         assert!(run.operations > 0);
@@ -246,7 +246,7 @@ mod tests {
     fn distributed_product_matches_reference_on_causal_full() {
         let a = random_matrix(4, 3);
         let b = random_matrix(4, 4);
-        let run = run_matrix_product::<CausalFull>(&a, &b, 2, SimConfig::default());
+        let run = run_matrix_product(ProtocolKind::CausalFull, &a, &b, 2, SimConfig::default());
         assert_eq!(run.product, a.multiply(&b));
     }
 
@@ -254,8 +254,8 @@ mod tests {
     fn single_worker_and_many_workers_agree() {
         let a = random_matrix(6, 5);
         let b = random_matrix(6, 6);
-        let one = run_matrix_product::<PramPartial>(&a, &b, 1, SimConfig::default());
-        let many = run_matrix_product::<PramPartial>(&a, &b, 6, SimConfig::default());
+        let one = run_matrix_product(ProtocolKind::PramPartial, &a, &b, 1, SimConfig::default());
+        let many = run_matrix_product(ProtocolKind::PramPartial, &a, &b, 6, SimConfig::default());
         assert_eq!(one.product, many.product);
     }
 
@@ -263,8 +263,8 @@ mod tests {
     fn partial_replication_cuts_control_bytes() {
         let a = random_matrix(6, 7);
         let b = random_matrix(6, 8);
-        let pram = run_matrix_product::<PramPartial>(&a, &b, 3, SimConfig::default());
-        let full = run_matrix_product::<CausalFull>(&a, &b, 3, SimConfig::default());
+        let pram = run_matrix_product(ProtocolKind::PramPartial, &a, &b, 3, SimConfig::default());
+        let full = run_matrix_product(ProtocolKind::CausalFull, &a, &b, 3, SimConfig::default());
         assert!(
             pram.control_bytes < full.control_bytes,
             "pram {} vs causal-full {}",

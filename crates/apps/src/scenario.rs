@@ -1,0 +1,684 @@
+//! The scenario engine: one driver for every protocol comparison.
+//!
+//! The paper's efficiency argument is comparative — the *same* workload
+//! run under sequential / causal-full / causal-partial / PRAM protocols,
+//! with control bytes compared across variable distributions. A
+//! [`Scenario`] bundles everything such a comparison point needs:
+//!
+//! * a [`DistributionFamily`] (which process replicates which variable),
+//! * a [`WorkloadFamily`] (how processes access their replicas),
+//! * a network model ([`LatencyModel`] plus an optional [`Topology`]),
+//! * a [`SettlePolicy`] (how often in-flight updates are delivered).
+//!
+//! [`run_scenario`] executes a scenario under any [`ProtocolKind`] chosen
+//! at runtime (via [`DynDsm`]) and returns a unified [`RunReport`]:
+//! recorded history, network statistics, control-information accounting,
+//! and elapsed virtual time. Benchmarks, examples, and integration tests
+//! all drive their comparisons through this one engine instead of
+//! monomorphizing a helper per protocol.
+
+use crate::workload::WorkloadOp;
+use dsm::{ControlSummary, DynDsm, ProtocolKind};
+use histories::{Distribution, History, ProcId, VarId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use simnet::{LatencyModel, NetworkStats, SimConfig, SimDuration, SimTime, Topology};
+
+/// The variable-distribution families the experiments sweep.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DistributionFamily {
+    /// Every process replicates every variable.
+    Full,
+    /// Each variable lives on exactly one process; nothing is shared.
+    DisjointBlocks,
+    /// Process `i` replicates variables `i` and `i+1 (mod n)`: every
+    /// adjacent pair shares one variable, making long hoops plentiful.
+    RingOverlap,
+    /// Every variable is replicated on `replicas` random processes.
+    Random {
+        /// Replicas per variable (clamped to the process count).
+        replicas: usize,
+    },
+    /// An explicitly provided distribution (escape hatch for app-shaped
+    /// replica sets like Bellman-Ford's).
+    Custom(Distribution),
+}
+
+impl DistributionFamily {
+    /// Build the concrete distribution for `procs` processes and `vars`
+    /// variables ([`DistributionFamily::RingOverlap`] ignores `vars`;
+    /// [`DistributionFamily::Custom`] ignores everything).
+    pub fn build(&self, procs: usize, vars: usize, seed: u64) -> Distribution {
+        match self {
+            DistributionFamily::Full => Distribution::full(procs, vars),
+            DistributionFamily::DisjointBlocks => Distribution::disjoint_blocks(procs, vars),
+            DistributionFamily::RingOverlap => Distribution::ring_overlap(procs),
+            DistributionFamily::Random { replicas } => {
+                Distribution::random(procs, vars, (*replicas).clamp(1, procs), seed)
+            }
+            DistributionFamily::Custom(d) => d.clone(),
+        }
+    }
+
+    /// Short label used in tables and benchmark ids.
+    pub fn label(&self) -> String {
+        match self {
+            DistributionFamily::Full => "full".into(),
+            DistributionFamily::DisjointBlocks => "disjoint-blocks".into(),
+            DistributionFamily::RingOverlap => "ring-overlap".into(),
+            DistributionFamily::Random { replicas } => format!("random-{replicas}"),
+            DistributionFamily::Custom(_) => "custom".into(),
+        }
+    }
+}
+
+/// The access-pattern families workloads are generated from.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadFamily {
+    /// Every process picks a uniformly random variable from its replica
+    /// set; each access is a write with probability `write_ratio`.
+    Uniform {
+        /// Probability that an access is a write.
+        write_ratio: f64,
+    },
+    /// Like `Uniform`, but with probability `hot_bias` the process touches
+    /// the *hot* variable of its replica set (the smallest id) instead of
+    /// a uniformly drawn one — a skewed, contended access pattern.
+    Hotspot {
+        /// Probability that an access is a write.
+        write_ratio: f64,
+        /// Probability of hitting the hot variable.
+        hot_bias: f64,
+    },
+    /// Single-writer pipelines: the smallest-id replica of a variable is
+    /// its *producer* and always writes it; every other replica only
+    /// reads. This is the regime (one writer per variable, FIFO-ordered
+    /// consumption) where PRAM partial replication shines.
+    ProducerConsumer,
+    /// Every process works almost exclusively on the variables it *owns*
+    /// (those whose smallest-id replica it is), occasionally reading a
+    /// foreign replica — the sharded / partition-per-node regime.
+    PartitionLocal {
+        /// Probability that an access is a write.
+        write_ratio: f64,
+    },
+}
+
+impl WorkloadFamily {
+    /// Short label used in tables and benchmark ids.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadFamily::Uniform { .. } => "uniform",
+            WorkloadFamily::Hotspot { .. } => "hotspot",
+            WorkloadFamily::ProducerConsumer => "producer-consumer",
+            WorkloadFamily::PartitionLocal { .. } => "partition-local",
+        }
+    }
+}
+
+/// When the generated script delivers in-flight updates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SettlePolicy {
+    /// Insert a settle point after every `n` operations (and at the end).
+    Every(usize),
+    /// Only settle once, after the whole script has been issued.
+    AtEnd,
+}
+
+/// Short label for a latency model, used in tables and benchmark ids.
+pub fn latency_label(model: &LatencyModel) -> &'static str {
+    match model {
+        LatencyModel::Constant(_) => "constant",
+        LatencyModel::Uniform { .. } => "uniform-jitter",
+        LatencyModel::PerByte { .. } => "per-byte",
+        LatencyModel::Distance { .. } => "distance",
+    }
+}
+
+/// The distribution families of the standard sweep (shared by the
+/// `scenario_matrix` bench, the `scenario_tour` example, and
+/// `bench::scenario_matrix`, so the matrix stays consistent everywhere).
+pub fn standard_distributions() -> Vec<DistributionFamily> {
+    vec![
+        DistributionFamily::Random { replicas: 2 },
+        DistributionFamily::RingOverlap,
+        DistributionFamily::Full,
+    ]
+}
+
+/// The workload families of the standard sweep.
+pub fn standard_workloads() -> Vec<WorkloadFamily> {
+    vec![
+        WorkloadFamily::Uniform { write_ratio: 0.5 },
+        WorkloadFamily::Hotspot {
+            write_ratio: 0.5,
+            hot_bias: 0.8,
+        },
+        WorkloadFamily::ProducerConsumer,
+        WorkloadFamily::PartitionLocal { write_ratio: 0.5 },
+    ]
+}
+
+/// The latency models of the standard sweep.
+pub fn standard_latencies() -> Vec<LatencyModel> {
+    vec![
+        LatencyModel::default(),
+        LatencyModel::Uniform {
+            min: SimDuration::from_micros(1),
+            max: SimDuration::from_micros(100),
+        },
+        LatencyModel::Distance {
+            base: SimDuration::from_micros(2),
+            per_unit: SimDuration::from_micros(4),
+        },
+    ]
+}
+
+/// A complete comparison point: distribution, workload, network, delivery.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// Which process replicates which variable.
+    pub distribution: DistributionFamily,
+    /// Number of processes.
+    pub processes: usize,
+    /// Number of shared variables.
+    pub variables: usize,
+    /// How processes access their replicas.
+    pub workload: WorkloadFamily,
+    /// Accesses issued per process.
+    pub ops_per_process: usize,
+    /// How often in-flight updates are delivered.
+    pub settle: SettlePolicy,
+    /// Channel latency model.
+    pub latency: LatencyModel,
+    /// Network topology (`None` = full mesh).
+    pub topology: Option<Topology>,
+    /// Seed for distribution construction, workload generation, and
+    /// channel jitter.
+    pub seed: u64,
+    /// Whether to record the history for offline consistency checking.
+    pub record: bool,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            name: "default".into(),
+            distribution: DistributionFamily::Random { replicas: 2 },
+            processes: 8,
+            variables: 16,
+            workload: WorkloadFamily::Uniform { write_ratio: 0.5 },
+            ops_per_process: 8,
+            settle: SettlePolicy::Every(6),
+            latency: LatencyModel::default(),
+            topology: None,
+            seed: 42,
+            record: false,
+        }
+    }
+}
+
+impl Scenario {
+    /// The concrete variable distribution of this scenario.
+    pub fn build_distribution(&self) -> Distribution {
+        self.distribution
+            .build(self.processes, self.variables, self.seed)
+    }
+
+    /// The simulator configuration of this scenario.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            latency: self.latency.clone(),
+            seed: self.seed ^ 0xD5_0C0DE,
+            topology: self.topology.clone(),
+            ..SimConfig::default()
+        }
+    }
+
+    /// Generate the workload script for `dist` (usually
+    /// [`Scenario::build_distribution`]). Written values are globally
+    /// unique so read-from inference is unambiguous; every process only
+    /// touches variables it replicates.
+    pub fn generate_ops(&self, dist: &Distribution) -> Vec<WorkloadOp> {
+        generate_family_ops(
+            dist,
+            &self.workload,
+            self.ops_per_process,
+            self.settle,
+            self.seed,
+        )
+    }
+
+    /// A compact label identifying the scenario's coordinates.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.distribution.label(),
+            self.workload.label(),
+            latency_label(&self.latency)
+        )
+    }
+}
+
+/// Generate a workload script from a family (see [`Scenario::generate_ops`]).
+pub fn generate_family_ops(
+    dist: &Distribution,
+    family: &WorkloadFamily,
+    ops_per_process: usize,
+    settle: SettlePolicy,
+    seed: u64,
+) -> Vec<WorkloadOp> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5CEA_A210);
+    let mut ops = Vec::new();
+    let mut next_value = 1i64;
+    let mut since_settle = 0usize;
+    // Precompute per-process replica sets and ownership (the smallest-id
+    // replica of a variable is its owner).
+    let replica_vars: Vec<Vec<VarId>> = (0..dist.process_count())
+        .map(|p| dist.vars_of(ProcId(p)).iter().copied().collect())
+        .collect();
+    let owned_vars: Vec<Vec<VarId>> = (0..dist.process_count())
+        .map(|p| {
+            replica_vars[p]
+                .iter()
+                .copied()
+                .filter(|&x| dist.replicas_of(x).iter().next() == Some(&ProcId(p)))
+                .collect()
+        })
+        .collect();
+
+    for _round in 0..ops_per_process {
+        for p in 0..dist.process_count() {
+            let proc = ProcId(p);
+            let vars = &replica_vars[p];
+            if vars.is_empty() {
+                continue;
+            }
+            let uniform_var = vars[rng.gen_range(0..vars.len())];
+            let op = match *family {
+                WorkloadFamily::Uniform { write_ratio } => access(
+                    proc,
+                    uniform_var,
+                    rng.gen_bool(write_ratio),
+                    &mut next_value,
+                ),
+                WorkloadFamily::Hotspot {
+                    write_ratio,
+                    hot_bias,
+                } => {
+                    let var = if rng.gen_bool(hot_bias) {
+                        vars[0]
+                    } else {
+                        uniform_var
+                    };
+                    access(proc, var, rng.gen_bool(write_ratio), &mut next_value)
+                }
+                WorkloadFamily::ProducerConsumer => {
+                    let is_producer = owned_vars[p].contains(&uniform_var);
+                    access(proc, uniform_var, is_producer, &mut next_value)
+                }
+                WorkloadFamily::PartitionLocal { write_ratio } => {
+                    let owned = &owned_vars[p];
+                    if !owned.is_empty() && !rng.gen_bool(0.1) {
+                        let var = owned[rng.gen_range(0..owned.len())];
+                        access(proc, var, rng.gen_bool(write_ratio), &mut next_value)
+                    } else {
+                        // Foreign (or ownerless) accesses are always reads:
+                        // writes never leave the process's own partition.
+                        access(proc, uniform_var, false, &mut next_value)
+                    }
+                }
+            };
+            ops.push(op);
+            since_settle += 1;
+            if let SettlePolicy::Every(n) = settle {
+                if n > 0 && since_settle >= n {
+                    ops.push(WorkloadOp::Settle);
+                    since_settle = 0;
+                }
+            }
+        }
+    }
+    ops.push(WorkloadOp::Settle);
+    ops
+}
+
+fn access(proc: ProcId, var: VarId, write: bool, next_value: &mut i64) -> WorkloadOp {
+    if write {
+        let value = *next_value;
+        *next_value += 1;
+        WorkloadOp::Write { proc, var, value }
+    } else {
+        WorkloadOp::Read { proc, var }
+    }
+}
+
+/// The unified measurement record every driver returns.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Protocol the run used.
+    pub protocol: ProtocolKind,
+    /// The recorded history (empty if recording was disabled).
+    pub history: History,
+    /// Per-link / per-node network statistics.
+    pub network: NetworkStats,
+    /// Per-node control-information accounting.
+    pub control: ControlSummary,
+    /// Application operations issued.
+    pub operations: u64,
+    /// Virtual time at the end of the run.
+    pub virtual_time: SimTime,
+}
+
+impl RunReport {
+    /// Total messages sent.
+    pub fn messages(&self) -> u64 {
+        self.network.total_messages()
+    }
+
+    /// Total application-data bytes sent.
+    pub fn data_bytes(&self) -> u64 {
+        self.network.total_data_bytes()
+    }
+
+    /// Total protocol control bytes sent.
+    pub fn control_bytes(&self) -> u64 {
+        self.network.total_control_bytes()
+    }
+
+    /// Control bytes per application operation.
+    pub fn control_bytes_per_op(&self) -> f64 {
+        if self.operations == 0 {
+            0.0
+        } else {
+            self.control_bytes() as f64 / self.operations as f64
+        }
+    }
+
+    /// Messages per application operation.
+    pub fn messages_per_op(&self) -> f64 {
+        if self.operations == 0 {
+            0.0
+        } else {
+            self.messages() as f64 / self.operations as f64
+        }
+    }
+}
+
+/// Execute a prepared workload script against a fresh runtime-selected
+/// deployment. This is the single execution path every comparative driver
+/// (benchmarks, examples, tests) goes through.
+pub fn run_script(
+    kind: ProtocolKind,
+    dist: &Distribution,
+    ops: &[WorkloadOp],
+    config: SimConfig,
+    record: bool,
+) -> RunReport {
+    let mut dsm = DynDsm::with_config(kind, dist.clone(), config);
+    if !record {
+        dsm.disable_recording();
+    }
+    for op in ops {
+        match *op {
+            WorkloadOp::Write { proc, var, value } => {
+                dsm.write(proc, var, value)
+                    .expect("workload respects the distribution");
+            }
+            WorkloadOp::Read { proc, var } => {
+                let _ = dsm
+                    .read(proc, var)
+                    .expect("workload respects the distribution");
+            }
+            WorkloadOp::Settle => {
+                dsm.settle();
+            }
+        }
+    }
+    dsm.settle();
+    RunReport {
+        protocol: kind,
+        history: dsm.history(),
+        network: dsm.network_stats().clone(),
+        control: dsm.control_summary(),
+        operations: dsm.operation_count(),
+        virtual_time: dsm.now(),
+    }
+}
+
+/// Run a scenario under one protocol.
+pub fn run_scenario(kind: ProtocolKind, scenario: &Scenario) -> RunReport {
+    let dist = scenario.build_distribution();
+    let ops = scenario.generate_ops(&dist);
+    run_script(kind, &dist, &ops, scenario.sim_config(), scenario.record)
+}
+
+/// Run a scenario under every protocol, in benchmark-table order.
+pub fn run_all(scenario: &Scenario) -> Vec<RunReport> {
+    let dist = scenario.build_distribution();
+    let ops = scenario.generate_ops(&dist);
+    ProtocolKind::ALL
+        .iter()
+        .map(|&kind| run_script(kind, &dist, &ops, scenario.sim_config(), scenario.record))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histories::check;
+    use simnet::SimDuration;
+
+    fn families() -> Vec<WorkloadFamily> {
+        vec![
+            WorkloadFamily::Uniform { write_ratio: 0.5 },
+            WorkloadFamily::Hotspot {
+                write_ratio: 0.5,
+                hot_bias: 0.7,
+            },
+            WorkloadFamily::ProducerConsumer,
+            WorkloadFamily::PartitionLocal { write_ratio: 0.5 },
+        ]
+    }
+
+    #[test]
+    fn every_family_respects_the_distribution() {
+        let dist = Distribution::random(5, 8, 2, 3);
+        for family in families() {
+            let ops = generate_family_ops(&dist, &family, 10, SettlePolicy::Every(4), 7);
+            for op in &ops {
+                if let WorkloadOp::Write { proc, var, .. } | WorkloadOp::Read { proc, var } = op {
+                    assert!(dist.replicates(*proc, *var), "{}", family.label());
+                }
+            }
+            assert!(ops.iter().any(|o| matches!(o, WorkloadOp::Settle)));
+        }
+    }
+
+    #[test]
+    fn producer_consumer_has_a_single_writer_per_variable() {
+        let dist = Distribution::random(6, 9, 3, 5);
+        let ops = generate_family_ops(
+            &dist,
+            &WorkloadFamily::ProducerConsumer,
+            12,
+            SettlePolicy::AtEnd,
+            9,
+        );
+        for op in &ops {
+            if let WorkloadOp::Write { proc, var, .. } = op {
+                assert_eq!(
+                    dist.replicas_of(*var).iter().next(),
+                    Some(proc),
+                    "only the owner writes {var}"
+                );
+            }
+        }
+        assert!(ops.iter().any(|o| matches!(o, WorkloadOp::Write { .. })));
+    }
+
+    #[test]
+    fn hotspot_concentrates_accesses() {
+        let dist = Distribution::full(4, 8);
+        let hot = generate_family_ops(
+            &dist,
+            &WorkloadFamily::Hotspot {
+                write_ratio: 0.5,
+                hot_bias: 0.9,
+            },
+            40,
+            SettlePolicy::AtEnd,
+            1,
+        );
+        let hits = |ops: &[WorkloadOp]| {
+            ops.iter()
+                .filter(|op| {
+                    matches!(op,
+                        WorkloadOp::Write { var, .. } | WorkloadOp::Read { var, .. } if *var == VarId(0))
+                })
+                .count()
+        };
+        let uniform = generate_family_ops(
+            &dist,
+            &WorkloadFamily::Uniform { write_ratio: 0.5 },
+            40,
+            SettlePolicy::AtEnd,
+            1,
+        );
+        assert!(
+            hits(&hot) > 2 * hits(&uniform),
+            "hotspot {} vs uniform {}",
+            hits(&hot),
+            hits(&uniform)
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let dist = Distribution::ring_overlap(5);
+        let fam = WorkloadFamily::PartitionLocal { write_ratio: 0.4 };
+        let a = generate_family_ops(&dist, &fam, 6, SettlePolicy::Every(3), 11);
+        let b = generate_family_ops(&dist, &fam, 6, SettlePolicy::Every(3), 11);
+        assert_eq!(a, b);
+        let c = generate_family_ops(&dist, &fam, 6, SettlePolicy::Every(3), 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_protocol_meets_its_criterion_on_every_family() {
+        for family in families() {
+            let scenario = Scenario {
+                processes: 4,
+                variables: 6,
+                workload: family,
+                ops_per_process: 5,
+                settle: SettlePolicy::Every(3),
+                record: true,
+                ..Scenario::default()
+            };
+            for report in run_all(&scenario) {
+                assert!(
+                    check(&report.history, report.protocol.criterion()).consistent,
+                    "{} under {}:\n{}",
+                    report.protocol,
+                    family.label(),
+                    report.history.pretty()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_and_distance_latencies_keep_histories_consistent() {
+        let latencies = [
+            LatencyModel::Uniform {
+                min: SimDuration::from_micros(1),
+                max: SimDuration::from_micros(200),
+            },
+            LatencyModel::Distance {
+                base: SimDuration::from_micros(2),
+                per_unit: SimDuration::from_micros(5),
+            },
+            LatencyModel::PerByte {
+                base: SimDuration::from_micros(1),
+                nanos_per_byte: 50,
+            },
+        ];
+        for latency in latencies {
+            let scenario = Scenario {
+                processes: 4,
+                variables: 5,
+                latency: latency.clone(),
+                ops_per_process: 5,
+                record: true,
+                ..Scenario::default()
+            };
+            for report in run_all(&scenario) {
+                assert!(
+                    check(&report.history, report.protocol.criterion()).consistent,
+                    "{} under {}:\n{}",
+                    report.protocol,
+                    latency_label(&latency),
+                    report.history.pretty()
+                );
+                assert!(report.virtual_time > SimTime::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn control_cost_ordering_matches_the_paper() {
+        let scenario = Scenario {
+            processes: 8,
+            variables: 12,
+            distribution: DistributionFamily::Random { replicas: 2 },
+            ops_per_process: 10,
+            settle: SettlePolicy::Every(4),
+            seed: 5,
+            ..Scenario::default()
+        };
+        let reports = run_all(&scenario);
+        let by_kind = |k: ProtocolKind| reports.iter().find(|r| r.protocol == k).unwrap();
+        let pram = by_kind(ProtocolKind::PramPartial);
+        let cpart = by_kind(ProtocolKind::CausalPartial);
+        let cfull = by_kind(ProtocolKind::CausalFull);
+        assert!(pram.control_bytes() < cpart.control_bytes());
+        assert!(pram.control_bytes() < cfull.control_bytes());
+        assert!(pram.messages_per_op() <= cpart.messages_per_op());
+        assert!(pram.control_bytes_per_op() < cfull.control_bytes_per_op());
+    }
+
+    #[test]
+    fn ring_topology_scenario_runs_when_traffic_fits() {
+        // Ring-overlap distribution + producer/consumer workload only ever
+        // sends updates between ring neighbours, so a ring topology works.
+        let scenario = Scenario {
+            distribution: DistributionFamily::RingOverlap,
+            processes: 6,
+            variables: 6,
+            workload: WorkloadFamily::ProducerConsumer,
+            topology: Some(Topology::ring(6)),
+            ops_per_process: 4,
+            record: true,
+            ..Scenario::default()
+        };
+        let report = run_scenario(ProtocolKind::PramPartial, &scenario);
+        assert!(check(&report.history, histories::Criterion::Pram).consistent);
+        assert!(report.messages() > 0);
+    }
+
+    #[test]
+    fn empty_scenario_statistics() {
+        let scenario = Scenario {
+            ops_per_process: 0,
+            ..Scenario::default()
+        };
+        let report = run_scenario(ProtocolKind::PramPartial, &scenario);
+        assert_eq!(report.operations, 0);
+        assert_eq!(report.control_bytes_per_op(), 0.0);
+        assert_eq!(report.messages_per_op(), 0.0);
+    }
+}

@@ -1,16 +1,14 @@
-//! Synthetic read/write workloads over arbitrary variable distributions.
+//! Workload scripts: the operation-level language of the scenario engine.
 //!
-//! The efficiency experiments (E1–E3 in `DESIGN.md`) need workloads that
-//! are independent of any particular application: every process repeatedly
-//! reads and writes variables drawn from its own replica set. Written
-//! values are globally unique so the recorded histories can be checked by
-//! the `histories` crate's read-from inference.
+//! A workload is a flat list of [`WorkloadOp`]s — reads, writes, and
+//! settle points — that [`crate::scenario::run_script`] replays against a
+//! runtime-selected protocol deployment. [`WorkloadSpec`] + [`generate`]
+//! are the compact legacy interface for the uniform random family; richer
+//! families (hotspot, producer/consumer, partition-local) live in
+//! [`crate::scenario`].
 
-use dsm::{ControlSummary, DsmSystem, ProtocolSpec};
-use histories::{Distribution, History, ProcId, VarId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use simnet::SimConfig;
+use crate::scenario::{generate_family_ops, SettlePolicy, WorkloadFamily};
+use histories::{Distribution, ProcId, VarId};
 
 /// One application-level operation of a workload script.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,7 +33,7 @@ pub enum WorkloadOp {
     Settle,
 }
 
-/// Parameters of the random workload generator.
+/// Parameters of the uniform random workload generator.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadSpec {
     /// Operations issued per process.
@@ -59,126 +57,39 @@ impl Default for WorkloadSpec {
     }
 }
 
-/// Generate a workload script compatible with `dist`: every process only
-/// touches variables it replicates. Processes with an empty replica set
-/// issue no operations.
+impl WorkloadSpec {
+    /// The settle policy this spec encodes.
+    pub fn settle_policy(&self) -> SettlePolicy {
+        if self.settle_every == 0 {
+            SettlePolicy::AtEnd
+        } else {
+            SettlePolicy::Every(self.settle_every)
+        }
+    }
+}
+
+/// Generate a uniform random workload script compatible with `dist`: every
+/// process only touches variables it replicates. Processes with an empty
+/// replica set issue no operations.
 pub fn generate(dist: &Distribution, spec: &WorkloadSpec) -> Vec<WorkloadOp> {
-    let mut rng = SmallRng::seed_from_u64(spec.seed);
-    let mut ops = Vec::new();
-    let mut next_value = 1i64;
-    let mut since_settle = 0usize;
-    for round in 0..spec.ops_per_process {
-        for p in 0..dist.process_count() {
-            let vars: Vec<VarId> = dist.vars_of(ProcId(p)).iter().copied().collect();
-            if vars.is_empty() {
-                continue;
-            }
-            let var = vars[rng.gen_range(0..vars.len())];
-            let op = if rng.gen_bool(spec.write_ratio) {
-                let value = next_value;
-                next_value += 1;
-                WorkloadOp::Write {
-                    proc: ProcId(p),
-                    var,
-                    value,
-                }
-            } else {
-                WorkloadOp::Read {
-                    proc: ProcId(p),
-                    var,
-                }
-            };
-            ops.push(op);
-            since_settle += 1;
-            if spec.settle_every > 0 && since_settle >= spec.settle_every {
-                ops.push(WorkloadOp::Settle);
-                since_settle = 0;
-            }
-        }
-        let _ = round;
-    }
-    ops.push(WorkloadOp::Settle);
-    ops
-}
-
-/// Measurements from executing a workload.
-#[derive(Clone, Debug)]
-pub struct WorkloadOutcome {
-    /// The recorded history (empty if recording was disabled).
-    pub history: History,
-    /// Total messages sent.
-    pub messages: u64,
-    /// Total data bytes sent.
-    pub data_bytes: u64,
-    /// Total control bytes sent.
-    pub control_bytes: u64,
-    /// Per-node control accounting.
-    pub control: ControlSummary,
-    /// Application operations issued.
-    pub operations: u64,
-}
-
-impl WorkloadOutcome {
-    /// Control bytes per application operation.
-    pub fn control_bytes_per_op(&self) -> f64 {
-        if self.operations == 0 {
-            0.0
-        } else {
-            self.control_bytes as f64 / self.operations as f64
-        }
-    }
-
-    /// Messages per application operation.
-    pub fn messages_per_op(&self) -> f64 {
-        if self.operations == 0 {
-            0.0
-        } else {
-            self.messages as f64 / self.operations as f64
-        }
-    }
-}
-
-/// Execute a workload script against a fresh `DsmSystem<P>`.
-pub fn execute<P: ProtocolSpec>(
-    dist: &Distribution,
-    ops: &[WorkloadOp],
-    config: SimConfig,
-    record: bool,
-) -> WorkloadOutcome {
-    let mut dsm: DsmSystem<P> = DsmSystem::with_config(dist.clone(), config);
-    if !record {
-        dsm.disable_recording();
-    }
-    for op in ops {
-        match *op {
-            WorkloadOp::Write { proc, var, value } => {
-                dsm.write(proc, var, value).expect("workload respects the distribution");
-            }
-            WorkloadOp::Read { proc, var } => {
-                let _ = dsm.read(proc, var).expect("workload respects the distribution");
-            }
-            WorkloadOp::Settle => {
-                dsm.settle();
-            }
-        }
-    }
-    dsm.settle();
-    let stats = dsm.network_stats();
-    WorkloadOutcome {
-        history: dsm.history(),
-        messages: stats.total_messages(),
-        data_bytes: stats.total_data_bytes(),
-        control_bytes: stats.total_control_bytes(),
-        control: dsm.control_summary(),
-        operations: dsm.operation_count(),
-    }
+    generate_family_ops(
+        dist,
+        &WorkloadFamily::Uniform {
+            write_ratio: spec.write_ratio,
+        },
+        spec.ops_per_process,
+        spec.settle_policy(),
+        spec.seed,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsm::{CausalFull, CausalPartial, PramPartial};
+    use crate::scenario::run_script;
+    use dsm::ProtocolKind;
     use histories::{check, Criterion};
+    use simnet::SimConfig;
 
     #[test]
     fn generated_workloads_respect_the_distribution() {
@@ -225,6 +136,23 @@ mod tests {
     }
 
     #[test]
+    fn settle_every_zero_only_settles_at_the_end() {
+        let dist = Distribution::full(3, 2);
+        let spec = WorkloadSpec {
+            ops_per_process: 5,
+            settle_every: 0,
+            ..WorkloadSpec::default()
+        };
+        let ops = generate(&dist, &spec);
+        let settles = ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Settle))
+            .count();
+        assert_eq!(settles, 1);
+        assert!(matches!(ops.last(), Some(WorkloadOp::Settle)));
+    }
+
+    #[test]
     fn executed_histories_pass_the_protocol_criteria() {
         let dist = Distribution::ring_overlap(4);
         let spec = WorkloadSpec {
@@ -234,37 +162,21 @@ mod tests {
             seed: 7,
         };
         let ops = generate(&dist, &spec);
-        let pram = execute::<PramPartial>(&dist, &ops, SimConfig::default(), true);
+        let pram = run_script(
+            ProtocolKind::PramPartial,
+            &dist,
+            &ops,
+            SimConfig::default(),
+            true,
+        );
         assert!(check(&pram.history, Criterion::Pram).consistent);
-        let causal = execute::<CausalPartial>(&dist, &ops, SimConfig::default(), true);
+        let causal = run_script(
+            ProtocolKind::CausalPartial,
+            &dist,
+            &ops,
+            SimConfig::default(),
+            true,
+        );
         assert!(check(&causal.history, Criterion::Causal).consistent);
-    }
-
-    #[test]
-    fn control_cost_ordering_matches_the_paper() {
-        let dist = Distribution::random(8, 12, 2, 3);
-        let spec = WorkloadSpec {
-            ops_per_process: 10,
-            write_ratio: 0.5,
-            settle_every: 4,
-            seed: 5,
-        };
-        let ops = generate(&dist, &spec);
-        let pram = execute::<PramPartial>(&dist, &ops, SimConfig::default(), false);
-        let cpart = execute::<CausalPartial>(&dist, &ops, SimConfig::default(), false);
-        let cfull = execute::<CausalFull>(&dist, &ops, SimConfig::default(), false);
-        assert!(pram.control_bytes < cpart.control_bytes);
-        assert!(pram.control_bytes < cfull.control_bytes);
-        assert!(pram.messages_per_op() <= cpart.messages_per_op());
-        assert!(pram.control_bytes_per_op() < cfull.control_bytes_per_op());
-    }
-
-    #[test]
-    fn empty_workload_outcome_statistics() {
-        let dist = Distribution::full(2, 1);
-        let outcome = execute::<PramPartial>(&dist, &[], SimConfig::default(), true);
-        assert_eq!(outcome.operations, 0);
-        assert_eq!(outcome.control_bytes_per_op(), 0.0);
-        assert_eq!(outcome.messages_per_op(), 0.0);
     }
 }

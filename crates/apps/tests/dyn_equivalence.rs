@@ -1,0 +1,109 @@
+//! Differential property test of the erased runtime: for random workloads
+//! over random distributions, the runtime-dispatched [`DynDsm`] and the
+//! compile-time-generic [`DsmSystem<P>`] produce *identical* histories,
+//! network statistics, and control-information summaries, for all four
+//! protocols. This is the guarantee that lets benchmarks and drivers use
+//! the scenario engine without fearing the erasure changed semantics.
+
+use apps::workload::{generate, WorkloadOp, WorkloadSpec};
+use dsm::{
+    CausalFull, CausalPartial, ControlSummary, DsmSystem, DynDsm, PramPartial, ProtocolKind,
+    ProtocolSpec, Sequential,
+};
+use histories::{Distribution, History};
+use proptest::prelude::*;
+use simnet::{NetworkStats, SimConfig};
+
+type Observation = (History, NetworkStats, ControlSummary, u64);
+
+/// Drive the compile-time-generic system through a workload script.
+fn run_generic<P: ProtocolSpec>(dist: &Distribution, ops: &[WorkloadOp]) -> Observation {
+    let mut dsm: DsmSystem<P> = DsmSystem::with_config(dist.clone(), SimConfig::default());
+    for op in ops {
+        match *op {
+            WorkloadOp::Write { proc, var, value } => dsm.write(proc, var, value).unwrap(),
+            WorkloadOp::Read { proc, var } => {
+                let _ = dsm.read(proc, var).unwrap();
+            }
+            WorkloadOp::Settle => {
+                dsm.settle();
+            }
+        }
+    }
+    dsm.settle();
+    (
+        dsm.history(),
+        dsm.network_stats().clone(),
+        dsm.control_summary(),
+        dsm.operation_count(),
+    )
+}
+
+/// Drive the runtime-dispatched system through the same script.
+fn run_erased(kind: ProtocolKind, dist: &Distribution, ops: &[WorkloadOp]) -> Observation {
+    let mut dsm = DynDsm::with_config(kind, dist.clone(), SimConfig::default());
+    for op in ops {
+        match *op {
+            WorkloadOp::Write { proc, var, value } => dsm.write(proc, var, value).unwrap(),
+            WorkloadOp::Read { proc, var } => {
+                let _ = dsm.read(proc, var).unwrap();
+            }
+            WorkloadOp::Settle => {
+                dsm.settle();
+            }
+        }
+    }
+    dsm.settle();
+    (
+        dsm.history(),
+        dsm.network_stats().clone(),
+        dsm.control_summary(),
+        dsm.operation_count(),
+    )
+}
+
+fn observe_generic(kind: ProtocolKind, dist: &Distribution, ops: &[WorkloadOp]) -> Observation {
+    match kind {
+        ProtocolKind::CausalFull => run_generic::<CausalFull>(dist, ops),
+        ProtocolKind::CausalPartial => run_generic::<CausalPartial>(dist, ops),
+        ProtocolKind::PramPartial => run_generic::<PramPartial>(dist, ops),
+        ProtocolKind::Sequential => run_generic::<Sequential>(dist, ops),
+    }
+}
+
+fn small_setup() -> impl Strategy<Value = (Distribution, Vec<WorkloadOp>)> {
+    (
+        2usize..=6,
+        2usize..=8,
+        1usize..=3,
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(procs, vars, replicas, dseed, wseed)| {
+            let dist = Distribution::random(procs, vars, replicas.min(procs), dseed);
+            let spec = WorkloadSpec {
+                ops_per_process: 6,
+                write_ratio: 0.5,
+                settle_every: 3,
+                seed: wseed,
+            };
+            let ops = generate(&dist, &spec);
+            (dist, ops)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn erased_and_generic_systems_are_observably_identical((dist, ops) in small_setup()) {
+        for kind in ProtocolKind::ALL {
+            let (gh, gn, gc, gops) = observe_generic(kind, &dist, &ops);
+            let (eh, en, ec, eops) = run_erased(kind, &dist, &ops);
+            prop_assert_eq!(&gh, &eh, "{} histories diverged", kind);
+            prop_assert_eq!(&gn, &en, "{} network stats diverged", kind);
+            prop_assert_eq!(&gc, &ec, "{} control summaries diverged", kind);
+            prop_assert_eq!(gops, eops, "{} operation counts diverged", kind);
+        }
+    }
+}

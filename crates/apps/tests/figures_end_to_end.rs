@@ -6,7 +6,7 @@ use apps::{
     bellman_ford_distribution, counter_var, distance_var, run_bellman_ford,
     shortest_paths_reference, Network,
 };
-use dsm::{DsmSystem, PramPartial};
+use dsm::{DynDsm, ProtocolKind};
 use histories::checker::{check, Criterion};
 use histories::dependency::{has_dependency_chain, ChainOrder};
 use histories::figures;
@@ -73,7 +73,7 @@ fn figure6_classification() {
 #[test]
 fn figure7_and_8_distributed_bellman_ford() {
     let net = Network::fig8();
-    let run = run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default());
+    let run = run_bellman_ford(ProtocolKind::PramPartial, &net, 0, SimConfig::default());
     assert!(run.converged);
     assert_eq!(run.distances, shortest_paths_reference(&net, 0));
     assert_eq!(run.distances, vec![0, 2, 1, 3, 4]);
@@ -89,13 +89,15 @@ fn figure9_one_iteration_step_is_pram_consistent() {
     let net = Network::fig8();
     let n = net.node_count();
     let dist = bellman_ford_distribution(&net);
-    let mut dsm: DsmSystem<PramPartial> = DsmSystem::new(dist);
+    let mut dsm = DynDsm::new(ProtocolKind::PramPartial, dist);
 
     // Iteration k-1: every process publishes x_i then k_i (unique values so
     // the read-from relation is unambiguous for the checker).
     for i in 0..n {
-        dsm.write(ProcId(i), distance_var(i), 100 + i as i64).unwrap();
-        dsm.write(ProcId(i), counter_var(n, i), 1000 + i as i64).unwrap();
+        dsm.write(ProcId(i), distance_var(i), 100 + i as i64)
+            .unwrap();
+        dsm.write(ProcId(i), counter_var(n, i), 1000 + i as i64)
+            .unwrap();
     }
     dsm.settle();
 
@@ -109,8 +111,10 @@ fn figure9_one_iteration_step_is_pram_consistent() {
             let xh = dsm.read(ProcId(i), distance_var(h)).unwrap();
             assert_eq!(xh.as_int(), Some(100 + h as i64), "sees x_h of step k-1");
         }
-        dsm.write(ProcId(i), distance_var(i), 200 + i as i64).unwrap();
-        dsm.write(ProcId(i), counter_var(n, i), 2000 + i as i64).unwrap();
+        dsm.write(ProcId(i), distance_var(i), 200 + i as i64)
+            .unwrap();
+        dsm.write(ProcId(i), counter_var(n, i), 2000 + i as i64)
+            .unwrap();
     }
     dsm.settle();
 
@@ -128,7 +132,7 @@ fn figure9_protocol_correctness_needs_only_per_writer_order() {
     let net = Network::fig8();
     let n = net.node_count();
     let dist = bellman_ford_distribution(&net);
-    let mut dsm: DsmSystem<PramPartial> = DsmSystem::new(dist);
+    let mut dsm = DynDsm::new(ProtocolKind::PramPartial, dist);
 
     // Writer 2 (paper's p3) publishes three successive distance values.
     for (step, value) in [(1, 10), (2, 20), (3, 30)] {
@@ -191,7 +195,10 @@ fn figure_distributions_induce_the_expected_relevance_sets() {
     // x-relevant although it does not replicate x; p4 is in C(x).
     let d = figures::fig6_distribution();
     let relevant = histories::relevance::relevant_processes(&d, VarId(0), 6);
-    assert!(relevant.contains(&ProcId(1)), "p2 is x-relevant via the hoop");
+    assert!(
+        relevant.contains(&ProcId(1)),
+        "p2 is x-relevant via the hoop"
+    );
     assert_eq!(
         relevant,
         BTreeSet::from([ProcId(0), ProcId(1), ProcId(2), ProcId(3)])

@@ -1,10 +1,12 @@
 //! Property-based tests of the executable protocols: for randomized
 //! workloads over randomized variable distributions, the recorded histories
 //! satisfy the advertised consistency criteria, the protocols converge, and
-//! the control-information locality invariants hold.
+//! the control-information locality invariants hold. All runs go through
+//! the scenario engine's runtime-dispatched execution path.
 
-use apps::workload::{execute, generate, WorkloadSpec};
-use dsm::{CausalFull, CausalPartial, PramPartial, Sequential};
+use apps::workload::{generate, WorkloadSpec};
+use apps::{run_script, WorkloadOp};
+use dsm::ProtocolKind;
 use histories::{check, Criterion, Distribution, VarId};
 use proptest::prelude::*;
 use simnet::SimConfig;
@@ -12,8 +14,14 @@ use simnet::SimConfig;
 /// Strategy: a random distribution plus a compatible workload spec, kept
 /// small enough that the serialization-search checkers stay fast.
 fn small_setup() -> impl Strategy<Value = (Distribution, WorkloadSpec)> {
-    (2usize..=5, 2usize..=6, 1usize..=3, any::<u64>(), any::<u64>()).prop_map(
-        |(procs, vars, replicas, dseed, wseed)| {
+    (
+        2usize..=5,
+        2usize..=6,
+        1usize..=3,
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(procs, vars, replicas, dseed, wseed)| {
             let replicas = replicas.min(procs);
             let dist = Distribution::random(procs, vars, replicas, dseed);
             let spec = WorkloadSpec {
@@ -23,8 +31,7 @@ fn small_setup() -> impl Strategy<Value = (Distribution, WorkloadSpec)> {
                 seed: wseed,
             };
             (dist, spec)
-        },
-    )
+        })
 }
 
 proptest! {
@@ -33,7 +40,7 @@ proptest! {
     #[test]
     fn pram_partial_histories_are_pram_consistent((dist, spec) in small_setup()) {
         let ops = generate(&dist, &spec);
-        let out = execute::<PramPartial>(&dist, &ops, SimConfig::default(), true);
+        let out = run_script(ProtocolKind::PramPartial, &dist, &ops, SimConfig::default(), true);
         prop_assert!(check(&out.history, Criterion::Pram).consistent,
             "history:\n{}", out.history.pretty());
     }
@@ -41,7 +48,7 @@ proptest! {
     #[test]
     fn causal_full_histories_are_causally_consistent((dist, spec) in small_setup()) {
         let ops = generate(&dist, &spec);
-        let out = execute::<CausalFull>(&dist, &ops, SimConfig::default(), true);
+        let out = run_script(ProtocolKind::CausalFull, &dist, &ops, SimConfig::default(), true);
         prop_assert!(check(&out.history, Criterion::Causal).consistent,
             "history:\n{}", out.history.pretty());
         // Causal implies every weaker criterion the paper discusses.
@@ -52,7 +59,7 @@ proptest! {
     #[test]
     fn causal_partial_histories_are_causally_consistent((dist, spec) in small_setup()) {
         let ops = generate(&dist, &spec);
-        let out = execute::<CausalPartial>(&dist, &ops, SimConfig::default(), true);
+        let out = run_script(ProtocolKind::CausalPartial, &dist, &ops, SimConfig::default(), true);
         prop_assert!(check(&out.history, Criterion::Causal).consistent,
             "history:\n{}", out.history.pretty());
     }
@@ -60,7 +67,7 @@ proptest! {
     #[test]
     fn sequential_histories_are_pram_consistent((dist, spec) in small_setup()) {
         let ops = generate(&dist, &spec);
-        let out = execute::<Sequential>(&dist, &ops, SimConfig::default(), true);
+        let out = run_script(ProtocolKind::Sequential, &dist, &ops, SimConfig::default(), true);
         prop_assert!(check(&out.history, Criterion::Pram).consistent,
             "history:\n{}", out.history.pretty());
     }
@@ -68,7 +75,7 @@ proptest! {
     #[test]
     fn pram_metadata_never_leaves_the_replica_set((dist, spec) in small_setup()) {
         let ops = generate(&dist, &spec);
-        let out = execute::<PramPartial>(&dist, &ops, SimConfig::default(), false);
+        let out = run_script(ProtocolKind::PramPartial, &dist, &ops, SimConfig::default(), false);
         for x in 0..dist.var_count() {
             let var = VarId(x);
             prop_assert!(out.control.relevant_nodes(var).is_subset(&dist.replicas_of(var)));
@@ -78,10 +85,10 @@ proptest! {
     #[test]
     fn pram_partial_control_cost_never_exceeds_causal_partial((dist, spec) in small_setup()) {
         let ops = generate(&dist, &spec);
-        let pram = execute::<PramPartial>(&dist, &ops, SimConfig::default(), false);
-        let causal = execute::<CausalPartial>(&dist, &ops, SimConfig::default(), false);
-        prop_assert!(pram.control_bytes <= causal.control_bytes);
-        prop_assert!(pram.messages <= causal.messages);
+        let pram = run_script(ProtocolKind::PramPartial, &dist, &ops, SimConfig::default(), false);
+        let causal = run_script(ProtocolKind::CausalPartial, &dist, &ops, SimConfig::default(), false);
+        prop_assert!(pram.control_bytes() <= causal.control_bytes());
+        prop_assert!(pram.messages() <= causal.messages());
     }
 
     #[test]
@@ -98,7 +105,7 @@ proptest! {
         let filtered: Vec<_> = ops
             .iter()
             .filter(|op| match op {
-                apps::workload::WorkloadOp::Write { proc, var, value } => {
+                WorkloadOp::Write { proc, var, value } => {
                     let w = writer_of.entry(*var).or_insert(*proc);
                     if w == proc {
                         last_value.insert(*var, *value);
@@ -111,16 +118,16 @@ proptest! {
             })
             .cloned()
             .collect();
-        let out = execute::<PramPartial>(&dist, &filtered, SimConfig::default(), true);
+        let out = run_script(ProtocolKind::PramPartial, &dist, &filtered, SimConfig::default(), true);
         // Re-execute to inspect final replica state through a fresh system.
-        let mut dsm: dsm::DsmSystem<PramPartial> = dsm::DsmSystem::new(dist.clone());
+        let mut dsm = dsm::DynDsm::new(ProtocolKind::PramPartial, dist.clone());
         for op in &filtered {
             match *op {
-                apps::workload::WorkloadOp::Write { proc, var, value } => {
+                WorkloadOp::Write { proc, var, value } => {
                     dsm.write(proc, var, value).unwrap();
                 }
-                apps::workload::WorkloadOp::Read { .. } => {}
-                apps::workload::WorkloadOp::Settle => {
+                WorkloadOp::Read { .. } => {}
+                WorkloadOp::Settle => {
                     dsm.settle();
                 }
             }
@@ -132,6 +139,7 @@ proptest! {
                     "replica {:?} of {:?}", replica, var);
             }
         }
-        prop_assert!(out.operations >= filtered.len() as u64 - filtered.iter().filter(|o| matches!(o, apps::workload::WorkloadOp::Settle)).count() as u64);
+        let settles = filtered.iter().filter(|o| matches!(o, WorkloadOp::Settle)).count() as u64;
+        prop_assert!(out.operations >= filtered.len() as u64 - settles);
     }
 }

@@ -1,54 +1,69 @@
 //! Workspace smoke test: every protocol satisfies its advertised
 //! consistency criterion on a small random workload, end to end through all
 //! five crates (histories → simnet → dsm → apps), with the formal checker
-//! as the judge.
+//! as the judge. The protocol under test is selected at runtime from its
+//! [`ProtocolKind`] value, through the scenario engine.
 
-use apps::workload::{execute, generate, WorkloadSpec};
-use dsm::{CausalFull, CausalPartial, PramPartial, ProtocolSpec, Sequential};
-use histories::{check, Criterion, Distribution};
+use apps::scenario::{run_scenario, Scenario, SettlePolicy, WorkloadFamily};
+use dsm::ProtocolKind;
+use histories::{check, Criterion};
 
-fn small_setup(seed: u64) -> (Distribution, Vec<apps::workload::WorkloadOp>) {
-    let dist = Distribution::random(4, 5, 2, seed);
-    let spec = WorkloadSpec {
+fn small_scenario(seed: u64) -> Scenario {
+    Scenario {
+        processes: 4,
+        variables: 5,
+        workload: WorkloadFamily::Uniform { write_ratio: 0.5 },
         ops_per_process: 5,
-        write_ratio: 0.5,
-        settle_every: 3,
-        seed: seed.wrapping_mul(0x9E37_79B9),
-    };
-    let ops = generate(&dist, &spec);
-    (dist, ops)
+        settle: SettlePolicy::Every(3),
+        seed,
+        record: true,
+        ..Scenario::default()
+    }
 }
 
-fn assert_protocol_meets<P: ProtocolSpec>(criterion: Criterion) {
+fn assert_protocol_meets(kind: ProtocolKind, criterion: Criterion) {
     for seed in 1..=5u64 {
-        let (dist, ops) = small_setup(seed);
-        let out = execute::<P>(&dist, &ops, simnet::SimConfig::default(), true);
-        let report = check(&out.history, criterion);
+        let report = run_scenario(kind, &small_scenario(seed));
+        let verdict = check(&report.history, criterion);
         assert!(
-            report.consistent,
-            "{criterion} violated by {} (seed {seed}):\n{}",
-            P::KIND,
-            out.history.pretty()
+            verdict.consistent,
+            "{criterion} violated by {kind} (seed {seed}):\n{}",
+            report.history.pretty()
         );
     }
 }
 
 #[test]
 fn causal_full_is_causally_consistent() {
-    assert_protocol_meets::<CausalFull>(Criterion::Causal);
+    assert_protocol_meets(
+        ProtocolKind::CausalFull,
+        ProtocolKind::CausalFull.criterion(),
+    );
 }
 
 #[test]
 fn causal_partial_is_causally_consistent() {
-    assert_protocol_meets::<CausalPartial>(Criterion::Causal);
+    assert_protocol_meets(
+        ProtocolKind::CausalPartial,
+        ProtocolKind::CausalPartial.criterion(),
+    );
 }
 
 #[test]
 fn pram_partial_is_pram_consistent() {
-    assert_protocol_meets::<PramPartial>(Criterion::Pram);
+    assert_protocol_meets(
+        ProtocolKind::PramPartial,
+        ProtocolKind::PramPartial.criterion(),
+    );
 }
 
 #[test]
 fn sequential_is_sequentially_consistent() {
-    assert_protocol_meets::<Sequential>(Criterion::Sequential);
+    // Stronger than the protocol's *guaranteed* criterion (PRAM — reads
+    // are wait-free against the local replica): on this workload, whose
+    // settle points keep replicas synchronized around every crossing
+    // write/read pair, the sequencer's total write order also yields
+    // sequentially consistent histories, and this smoke test pins that
+    // down.
+    assert_protocol_meets(ProtocolKind::Sequential, Criterion::Sequential);
 }

@@ -2,8 +2,9 @@
 //! of x-relevant processes (histories crate) matches what the executable
 //! protocols (dsm crate) actually do on the wire.
 
-use apps::workload::{execute, generate, WorkloadSpec};
-use dsm::{CausalPartial, PramPartial};
+use apps::scenario::run_script;
+use apps::workload::{generate, WorkloadSpec};
+use dsm::ProtocolKind;
 use histories::hoop::hoop_intermediaries;
 use histories::relevance::{
     pram_chain_violations, relevant_processes, witness_has_causal_chain, witness_history,
@@ -71,7 +72,13 @@ fn pram_protocol_keeps_metadata_inside_the_replica_set() {
                 seed,
             },
         );
-        let out = execute::<PramPartial>(&dist, &ops, SimConfig::default(), false);
+        let out = run_script(
+            ProtocolKind::PramPartial,
+            &dist,
+            &ops,
+            SimConfig::default(),
+            false,
+        );
         for x in 0..dist.var_count() {
             let var = VarId(x);
             let handled = out.control.relevant_nodes(var);
@@ -100,7 +107,13 @@ fn causal_partial_protocol_spreads_metadata_beyond_the_replica_set() {
             seed: 3,
         },
     );
-    let out = execute::<CausalPartial>(&dist, &ops, SimConfig::default(), false);
+    let out = run_script(
+        ProtocolKind::CausalPartial,
+        &dist,
+        &ops,
+        SimConfig::default(),
+        false,
+    );
     // x0 is replicated only on the two endpoints, yet every node that the
     // workload made a writer of *any* variable caused control records about
     // its variables to reach all n nodes. Check the written variables.
@@ -132,13 +145,25 @@ fn recorded_histories_satisfy_the_advertised_criteria() {
                 seed,
             },
         );
-        let pram = execute::<PramPartial>(&dist, &ops, SimConfig::default(), true);
+        let pram = run_script(
+            ProtocolKind::PramPartial,
+            &dist,
+            &ops,
+            SimConfig::default(),
+            true,
+        );
         assert!(
             check(&pram.history, Criterion::Pram).consistent,
             "seed {seed}:\n{}",
             pram.history.pretty()
         );
-        let causal = execute::<CausalPartial>(&dist, &ops, SimConfig::default(), true);
+        let causal = run_script(
+            ProtocolKind::CausalPartial,
+            &dist,
+            &ops,
+            SimConfig::default(),
+            true,
+        );
         assert!(
             check(&causal.history, Criterion::Causal).consistent,
             "seed {seed}:\n{}",
@@ -164,6 +189,12 @@ fn full_replication_makes_every_process_relevant_in_theory_and_practice() {
         },
         apps::workload::WorkloadOp::Settle,
     ];
-    let out = execute::<dsm::CausalFull>(&dist, &ops, SimConfig::default(), false);
+    let out = run_script(
+        ProtocolKind::CausalFull,
+        &dist,
+        &ops,
+        SimConfig::default(),
+        false,
+    );
     assert_eq!(out.control.relevant_nodes(VarId(0)).len(), 5);
 }

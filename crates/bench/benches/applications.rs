@@ -1,10 +1,11 @@
 //! Application workloads beyond Bellman-Ford (the Lipton–Sandberg /
 //! Sinha workload families the paper cites in §5): matrix product,
 //! pipelined dynamic programming, asynchronous fixed-point iteration.
+//! Every app driver takes its protocol as a runtime `ProtocolKind` value.
 
 use apps::{run_jacobi, run_lcs, run_matrix_product, FixedPointProblem, Matrix};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsm::{CausalFull, PramPartial};
+use dsm::ProtocolKind;
 use simnet::SimConfig;
 
 fn matrix(n: usize) -> Matrix {
@@ -16,16 +17,14 @@ fn bench_matrix(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
-    group.sample_size(10);
     for n in [6usize, 10] {
         let a = matrix(n);
         let b = matrix(n);
-        group.bench_with_input(BenchmarkId::new("pram-partial", n), &n, |bch, _| {
-            bch.iter(|| run_matrix_product::<PramPartial>(&a, &b, 3, SimConfig::default()))
-        });
-        group.bench_with_input(BenchmarkId::new("causal-full", n), &n, |bch, _| {
-            bch.iter(|| run_matrix_product::<CausalFull>(&a, &b, 3, SimConfig::default()))
-        });
+        for kind in [ProtocolKind::PramPartial, ProtocolKind::CausalFull] {
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |bch, _| {
+                bch.iter(|| run_matrix_product(kind, &a, &b, 3, SimConfig::default()))
+            });
+        }
     }
     group.finish();
 }
@@ -35,15 +34,13 @@ fn bench_lcs(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
-    group.sample_size(10);
     let a = b"ABCBDABABCBDABAB";
     let b_str = b"BDCABABABDCABABA";
-    group.bench_function("pram-partial", |bch| {
-        bch.iter(|| run_lcs::<PramPartial>(a, b_str, 4, SimConfig::default()))
-    });
-    group.bench_function("causal-full", |bch| {
-        bch.iter(|| run_lcs::<CausalFull>(a, b_str, 4, SimConfig::default()))
-    });
+    for kind in [ProtocolKind::PramPartial, ProtocolKind::CausalFull] {
+        group.bench_function(kind.name(), |bch| {
+            bch.iter(|| run_lcs(kind, a, b_str, 4, SimConfig::default()))
+        });
+    }
     group.finish();
 }
 
@@ -52,13 +49,30 @@ fn bench_jacobi(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
-    group.sample_size(10);
     let p = FixedPointProblem::random(8, 0.5, 2);
     group.bench_function("pram-partial_fresh", |b| {
-        b.iter(|| run_jacobi::<PramPartial>(&p, 1e-6, 300, 1, SimConfig::default()))
+        b.iter(|| {
+            run_jacobi(
+                ProtocolKind::PramPartial,
+                &p,
+                1e-6,
+                300,
+                1,
+                SimConfig::default(),
+            )
+        })
     });
     group.bench_function("pram-partial_stale", |b| {
-        b.iter(|| run_jacobi::<PramPartial>(&p, 1e-6, 300, 4, SimConfig::default()))
+        b.iter(|| {
+            run_jacobi(
+                ProtocolKind::PramPartial,
+                &p,
+                1e-6,
+                300,
+                4,
+                SimConfig::default(),
+            )
+        })
     });
     group.finish();
 }

@@ -1,9 +1,10 @@
 //! E4 / Figures 7–9: the distributed Bellman-Ford case study, on the exact
-//! Figure 8 network and on growing random networks, per protocol.
+//! Figure 8 network and on growing random networks, per protocol — each
+//! protocol selected at runtime from its `ProtocolKind` value.
 
 use apps::{run_bellman_ford, Network};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsm::{CausalFull, CausalPartial, PramPartial, Sequential};
+use dsm::ProtocolKind;
 use simnet::SimConfig;
 
 fn bench_fig8(c: &mut Criterion) {
@@ -12,18 +13,11 @@ fn bench_fig8(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
-    group.bench_function("pram-partial", |b| {
-        b.iter(|| run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default()))
-    });
-    group.bench_function("causal-partial", |b| {
-        b.iter(|| run_bellman_ford::<CausalPartial>(&net, 0, SimConfig::default()))
-    });
-    group.bench_function("causal-full", |b| {
-        b.iter(|| run_bellman_ford::<CausalFull>(&net, 0, SimConfig::default()))
-    });
-    group.bench_function("sequential", |b| {
-        b.iter(|| run_bellman_ford::<Sequential>(&net, 0, SimConfig::default()))
-    });
+    for kind in ProtocolKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| run_bellman_ford(kind, &net, 0, SimConfig::default()))
+        });
+    }
     group.finish();
 }
 
@@ -32,15 +26,13 @@ fn bench_scaling(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
-    group.sample_size(10);
     for n in [8usize, 16, 32] {
         let net = Network::random_reachable(n, 2 * n, 9, 9);
-        group.bench_with_input(BenchmarkId::new("pram-partial", n), &n, |b, _| {
-            b.iter(|| run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default()))
-        });
-        group.bench_with_input(BenchmarkId::new("causal-full", n), &n, |b, _| {
-            b.iter(|| run_bellman_ford::<CausalFull>(&net, 0, SimConfig::default()))
-        });
+        for kind in [ProtocolKind::PramPartial, ProtocolKind::CausalFull] {
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| run_bellman_ford(kind, &net, 0, SimConfig::default()))
+            });
+        }
     }
     group.finish();
 }

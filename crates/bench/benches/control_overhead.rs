@@ -4,23 +4,25 @@
 //! four protocols and reports the wall time of driving the whole simulated
 //! deployment; the byte counts themselves are printed by the `efficiency`
 //! binary — here Criterion tracks the simulation cost and keeps the
-//! comparison honest across code changes.
+//! comparison honest across code changes. Protocols are selected at
+//! runtime through the scenario engine — one bench body serves all four.
 
-use apps::workload::{execute, generate, WorkloadSpec};
+use apps::scenario::{generate_family_ops, run_script, SettlePolicy, WorkloadFamily};
+use apps::WorkloadOp;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsm::{CausalFull, CausalPartial, PramPartial, Sequential};
+use dsm::ProtocolKind;
 use histories::Distribution;
 use simnet::SimConfig;
 
-fn workload(n: usize) -> (Distribution, Vec<apps::workload::WorkloadOp>) {
+fn workload(n: usize) -> (Distribution, Vec<WorkloadOp>) {
     let dist = Distribution::random(n, 2 * n, 2, 7);
-    let spec = WorkloadSpec {
-        ops_per_process: 8,
-        write_ratio: 0.5,
-        settle_every: 6,
-        seed: 11,
-    };
-    let ops = generate(&dist, &spec);
+    let ops = generate_family_ops(
+        &dist,
+        &WorkloadFamily::Uniform { write_ratio: 0.5 },
+        8,
+        SettlePolicy::Every(6),
+        11,
+    );
     (dist, ops)
 }
 
@@ -31,18 +33,11 @@ fn bench_control_overhead(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(1));
     for n in [4usize, 8, 16] {
         let (dist, ops) = workload(n);
-        group.bench_with_input(BenchmarkId::new("pram-partial", n), &n, |b, _| {
-            b.iter(|| execute::<PramPartial>(&dist, &ops, SimConfig::default(), false))
-        });
-        group.bench_with_input(BenchmarkId::new("causal-partial", n), &n, |b, _| {
-            b.iter(|| execute::<CausalPartial>(&dist, &ops, SimConfig::default(), false))
-        });
-        group.bench_with_input(BenchmarkId::new("causal-full", n), &n, |b, _| {
-            b.iter(|| execute::<CausalFull>(&dist, &ops, SimConfig::default(), false))
-        });
-        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
-            b.iter(|| execute::<Sequential>(&dist, &ops, SimConfig::default(), false))
-        });
+        for kind in ProtocolKind::ALL {
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| run_script(kind, &dist, &ops, SimConfig::default(), false))
+            });
+        }
     }
     group.finish();
 }

@@ -1,0 +1,75 @@
+//! The scenario matrix: protocol × distribution family × workload family ×
+//! latency model, every cell produced by one call into the scenario
+//! engine. Criterion times representative cells; running the bench also
+//! prints every row as a JSON object line (serde-serializable via
+//! `ScenarioMatrixRow`) for future `BENCH_*.json` tracking.
+
+use apps::scenario::{
+    generate_family_ops, latency_label, run_script, standard_latencies, SettlePolicy,
+    WorkloadFamily,
+};
+use bench::{scenario_matrix, ScenarioMatrixRow};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsm::ProtocolKind;
+use histories::Distribution;
+use simnet::SimConfig;
+
+fn bench_matrix_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_matrix");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    // Time one representative cell per latency model so regressions in the
+    // delivery-scheduling hot path (channel lookup, latency sampling,
+    // stats recording) show up directly.
+    let dist = Distribution::random(8, 16, 2, 3);
+    let ops = generate_family_ops(
+        &dist,
+        &WorkloadFamily::Uniform { write_ratio: 0.5 },
+        8,
+        SettlePolicy::Every(6),
+        7,
+    );
+    let latencies = standard_latencies();
+    for latency in &latencies {
+        let label = latency_label(latency);
+        let config = SimConfig {
+            latency: latency.clone(),
+            ..SimConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("pram-partial", label), label, |b, _| {
+            b.iter(|| {
+                run_script(
+                    ProtocolKind::PramPartial,
+                    &dist,
+                    &ops,
+                    config.clone(),
+                    false,
+                )
+            })
+        });
+    }
+
+    // And the full sweep as one unit, matching what the report tooling
+    // regenerates.
+    group.bench_function("full_sweep_n6", |b| b.iter(|| scenario_matrix(6, 4, 3)));
+    group.finish();
+}
+
+fn emit_rows() {
+    let rows: Vec<ScenarioMatrixRow> = scenario_matrix(8, 6, 11);
+    println!("scenario_matrix rows (JSON lines):");
+    for row in &rows {
+        println!("{}", row.to_json());
+    }
+    println!("({} rows)", rows.len());
+}
+
+fn benches_with_rows(c: &mut Criterion) {
+    bench_matrix_cells(c);
+    emit_rows();
+}
+
+criterion_group!(benches, benches_with_rows);
+criterion_main!(benches);

@@ -1,11 +1,14 @@
 //! E2: cost as the number of shared variables and the replication factor
-//! grow, at a fixed process count.
+//! grow, at a fixed process count. Both partial-replication protocols run
+//! through the same runtime-dispatched engine call.
 
-use apps::workload::{execute, generate, WorkloadSpec};
+use apps::scenario::{generate_family_ops, run_script, SettlePolicy, WorkloadFamily};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsm::{CausalPartial, PramPartial};
+use dsm::ProtocolKind;
 use histories::Distribution;
 use simnet::SimConfig;
+
+const PARTIAL: [ProtocolKind; 2] = [ProtocolKind::PramPartial, ProtocolKind::CausalPartial];
 
 fn bench_variable_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("variable_scaling");
@@ -14,19 +17,18 @@ fn bench_variable_scaling(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(1));
     for vars in [8usize, 32, 64] {
         let dist = Distribution::random(8, vars, 2, 3);
-        let spec = WorkloadSpec {
-            ops_per_process: 8,
-            write_ratio: 0.5,
-            settle_every: 6,
-            seed: 5,
-        };
-        let ops = generate(&dist, &spec);
-        group.bench_with_input(BenchmarkId::new("pram-partial", vars), &vars, |b, _| {
-            b.iter(|| execute::<PramPartial>(&dist, &ops, SimConfig::default(), false))
-        });
-        group.bench_with_input(BenchmarkId::new("causal-partial", vars), &vars, |b, _| {
-            b.iter(|| execute::<CausalPartial>(&dist, &ops, SimConfig::default(), false))
-        });
+        let ops = generate_family_ops(
+            &dist,
+            &WorkloadFamily::Uniform { write_ratio: 0.5 },
+            8,
+            SettlePolicy::Every(6),
+            5,
+        );
+        for kind in PARTIAL {
+            group.bench_with_input(BenchmarkId::new(kind.name(), vars), &vars, |b, _| {
+                b.iter(|| run_script(kind, &dist, &ops, SimConfig::default(), false))
+            });
+        }
     }
     group.finish();
 }
@@ -38,21 +40,20 @@ fn bench_replication_factor(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(1));
     for replicas in [1usize, 3, 6, 12] {
         let dist = Distribution::random(12, 24, replicas, 5);
-        let spec = WorkloadSpec {
-            ops_per_process: 6,
-            write_ratio: 0.5,
-            settle_every: 6,
-            seed: 9,
-        };
-        let ops = generate(&dist, &spec);
-        group.bench_with_input(BenchmarkId::new("pram-partial", replicas), &replicas, |b, _| {
-            b.iter(|| execute::<PramPartial>(&dist, &ops, SimConfig::default(), false))
-        });
-        group.bench_with_input(
-            BenchmarkId::new("causal-partial", replicas),
-            &replicas,
-            |b, _| b.iter(|| execute::<CausalPartial>(&dist, &ops, SimConfig::default(), false)),
+        let ops = generate_family_ops(
+            &dist,
+            &WorkloadFamily::Uniform { write_ratio: 0.5 },
+            6,
+            SettlePolicy::Every(6),
+            9,
         );
+        for kind in PARTIAL {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), replicas),
+                &replicas,
+                |b, _| b.iter(|| run_script(kind, &dist, &ops, SimConfig::default(), false)),
+            );
+        }
     }
     group.finish();
 }

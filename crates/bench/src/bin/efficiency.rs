@@ -23,7 +23,13 @@ fn main() {
     println!("E1/E2 — control overhead vs system size (replication factor 2, 10 ops/process, 50% writes)");
     println!(
         "{:>6} {:<16} {:>10} {:>12} {:>14} {:>14} {:>12}",
-        "procs", "protocol", "messages", "data bytes", "control bytes", "ctl bytes/op", "max relevant"
+        "procs",
+        "protocol",
+        "messages",
+        "data bytes",
+        "control bytes",
+        "ctl bytes/op",
+        "max relevant"
     );
     let mut n = 4;
     while n <= max_procs {
@@ -63,8 +69,13 @@ fn main() {
         println!();
     }
 
-    println!("E3 — fraction of x-relevant processes (Theorem 1) by distribution family (10 processes)");
-    println!("{:<18} {:>12} {:>22}", "family", "repl. factor", "relevant fraction");
+    println!(
+        "E3 — fraction of x-relevant processes (Theorem 1) by distribution family (10 processes)"
+    );
+    println!(
+        "{:<18} {:>12} {:>22}",
+        "family", "repl. factor", "relevant fraction"
+    );
     for (name, dist) in distribution_families(10, 3) {
         println!(
             "{:<18} {:>12.2} {:>22.2}",

@@ -9,7 +9,7 @@ use apps::{
     bellman_ford_distribution, counter_var, distance_var, run_bellman_ford,
     shortest_paths_reference, Network,
 };
-use dsm::{DsmSystem, PramPartial};
+use dsm::{DynDsm, ProtocolKind};
 use histories::checker::check_all;
 use histories::dependency::{has_dependency_chain, ChainOrder};
 use histories::figures;
@@ -27,7 +27,11 @@ fn classify(h: &History) {
         println!(
             "  {:<18} {}",
             report.criterion.to_string(),
-            if report.consistent { "consistent" } else { "violated" }
+            if report.consistent {
+                "consistent"
+            } else {
+                "violated"
+            }
         );
     }
 }
@@ -113,8 +117,11 @@ fn fig7_8() {
     for p in 0..5 {
         println!("  X_{} = {:?}", p + 1, dist.vars_of(ProcId(p)));
     }
-    let run = run_bellman_ford::<PramPartial>(&net, 0, SimConfig::default());
-    println!("  distances (distributed, PRAM partial): {:?}", run.distances);
+    let run = run_bellman_ford(ProtocolKind::PramPartial, &net, 0, SimConfig::default());
+    println!(
+        "  distances (distributed, PRAM partial): {:?}",
+        run.distances
+    );
     println!(
         "  distances (sequential reference):       {:?}",
         shortest_paths_reference(&net, 0)
@@ -130,10 +137,12 @@ fn fig9() {
     let net = Network::fig8();
     let n = net.node_count();
     let dist: Distribution = bellman_ford_distribution(&net);
-    let mut dsm: DsmSystem<PramPartial> = DsmSystem::new(dist);
+    let mut dsm = DynDsm::new(ProtocolKind::PramPartial, dist);
     for i in 0..n {
-        dsm.write(ProcId(i), distance_var(i), 100 + i as i64).unwrap();
-        dsm.write(ProcId(i), counter_var(n, i), 1000 + i as i64).unwrap();
+        dsm.write(ProcId(i), distance_var(i), 100 + i as i64)
+            .unwrap();
+        dsm.write(ProcId(i), counter_var(n, i), 1000 + i as i64)
+            .unwrap();
     }
     dsm.settle();
     for i in 0..n {
@@ -141,8 +150,10 @@ fn fig9() {
             let _ = dsm.read(ProcId(i), counter_var(n, h)).unwrap();
             let _ = dsm.read(ProcId(i), distance_var(h)).unwrap();
         }
-        dsm.write(ProcId(i), distance_var(i), 200 + i as i64).unwrap();
-        dsm.write(ProcId(i), counter_var(n, i), 2000 + i as i64).unwrap();
+        dsm.write(ProcId(i), distance_var(i), 200 + i as i64)
+            .unwrap();
+        dsm.write(ProcId(i), counter_var(n, i), 2000 + i as i64)
+            .unwrap();
     }
     dsm.settle();
     let h = dsm.history();

@@ -1,19 +1,28 @@
 //! Shared helpers for the benchmark harness: experiment runners that both
 //! the Criterion benches and the report binaries (`figures`, `efficiency`)
 //! reuse, so every number in `EXPERIMENTS.md` can be regenerated two ways.
+//!
+//! Every protocol comparison routes through the scenario engine
+//! ([`apps::scenario`]): a comparison point is a workload script executed
+//! by [`apps::scenario::run_script`] once per [`ProtocolKind`], with no
+//! per-protocol code path anywhere in this crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use apps::workload::{execute, generate, WorkloadSpec};
+use apps::scenario::{
+    generate_family_ops, latency_label, run_script, standard_distributions, standard_latencies,
+    standard_workloads, DistributionFamily, SettlePolicy, WorkloadFamily,
+};
 use apps::{run_bellman_ford, Network};
-use dsm::{CausalFull, CausalPartial, PramPartial, ProtocolKind, Sequential};
+use dsm::ProtocolKind;
 use histories::{Distribution, VarId};
+use serde::{Deserialize, Serialize};
 use simnet::SimConfig;
 
 /// One row of an efficiency table: the cost of running a workload under one
 /// protocol.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct EfficiencyRow {
     /// Protocol measured.
     pub protocol: ProtocolKind,
@@ -44,47 +53,38 @@ pub fn efficiency_sweep_point(
     ops_per_process: usize,
     seed: u64,
 ) -> Vec<EfficiencyRow> {
-    let spec = WorkloadSpec {
+    let ops = generate_family_ops(
+        dist,
+        &WorkloadFamily::Uniform { write_ratio: 0.5 },
         ops_per_process,
-        write_ratio: 0.5,
-        settle_every: 6,
+        SettlePolicy::Every(6),
         seed,
-    };
-    let ops = generate(dist, &spec);
-
-    fn row<P: dsm::ProtocolSpec>(
-        dist: &Distribution,
-        ops: &[apps::workload::WorkloadOp],
-        kind: ProtocolKind,
-    ) -> EfficiencyRow {
-        let out = execute::<P>(dist, ops, SimConfig::default(), false);
-        let max_relevant = (0..dist.var_count())
-            .map(|x| out.control.relevant_nodes(VarId(x)).len())
-            .max()
-            .unwrap_or(0);
-        EfficiencyRow {
-            protocol: kind,
-            processes: dist.process_count(),
-            variables: dist.var_count(),
-            messages: out.messages,
-            data_bytes: out.data_bytes,
-            control_bytes: out.control_bytes,
-            control_bytes_per_op: out.control_bytes_per_op(),
-            max_relevant_nodes: max_relevant,
-            replication_factor: dist.mean_replication_factor(),
-        }
-    }
-
-    vec![
-        row::<PramPartial>(dist, &ops, ProtocolKind::PramPartial),
-        row::<CausalPartial>(dist, &ops, ProtocolKind::CausalPartial),
-        row::<CausalFull>(dist, &ops, ProtocolKind::CausalFull),
-        row::<Sequential>(dist, &ops, ProtocolKind::Sequential),
-    ]
+    );
+    ProtocolKind::ALL
+        .iter()
+        .map(|&kind| {
+            let out = run_script(kind, dist, &ops, SimConfig::default(), false);
+            let max_relevant = (0..dist.var_count())
+                .map(|x| out.control.relevant_nodes(VarId(x)).len())
+                .max()
+                .unwrap_or(0);
+            EfficiencyRow {
+                protocol: kind,
+                processes: dist.process_count(),
+                variables: dist.var_count(),
+                messages: out.messages(),
+                data_bytes: out.data_bytes(),
+                control_bytes: out.control_bytes(),
+                control_bytes_per_op: out.control_bytes_per_op(),
+                max_relevant_nodes: max_relevant,
+                replication_factor: dist.mean_replication_factor(),
+            }
+        })
+        .collect()
 }
 
 /// One row of the Bellman-Ford scaling table (experiment E4).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BellmanFordRow {
     /// Protocol measured.
     pub protocol: ProtocolKind,
@@ -105,29 +105,20 @@ pub struct BellmanFordRow {
 pub fn bellman_ford_point(n: usize, seed: u64) -> Vec<BellmanFordRow> {
     let net = Network::random_reachable(n, 2 * n, 9, seed);
     let reference = apps::shortest_paths_reference(&net, 0);
-
-    fn row<P: dsm::ProtocolSpec>(
-        net: &Network,
-        reference: &[i64],
-        kind: ProtocolKind,
-    ) -> BellmanFordRow {
-        let run = run_bellman_ford::<P>(net, 0, SimConfig::default());
-        BellmanFordRow {
-            protocol: kind,
-            nodes: net.node_count(),
-            messages: run.messages,
-            control_bytes: run.control_bytes,
-            rounds: run.rounds,
-            correct: run.converged && run.distances == reference,
-        }
-    }
-
-    vec![
-        row::<PramPartial>(&net, &reference, ProtocolKind::PramPartial),
-        row::<CausalPartial>(&net, &reference, ProtocolKind::CausalPartial),
-        row::<CausalFull>(&net, &reference, ProtocolKind::CausalFull),
-        row::<Sequential>(&net, &reference, ProtocolKind::Sequential),
-    ]
+    ProtocolKind::ALL
+        .iter()
+        .map(|&kind| {
+            let run = run_bellman_ford(kind, &net, 0, SimConfig::default());
+            BellmanFordRow {
+                protocol: kind,
+                nodes: net.node_count(),
+                messages: run.messages,
+                control_bytes: run.control_bytes,
+                rounds: run.rounds,
+                correct: run.converged && run.distances == reference,
+            }
+        })
+        .collect()
 }
 
 /// Fraction of processes that are x-relevant (Theorem 1) averaged over all
@@ -144,14 +135,112 @@ pub fn relevance_fraction(dist: &Distribution, max_hoop_len: usize) -> f64 {
 }
 
 /// The distribution families compared by experiment E3.
-pub fn distribution_families(n: usize, seed: u64) -> Vec<(&'static str, Distribution)> {
-    vec![
-        ("full", Distribution::full(n, n)),
-        ("disjoint-blocks", Distribution::disjoint_blocks(n, n)),
-        ("ring-overlap", Distribution::ring_overlap(n)),
-        ("random-2", Distribution::random(n, n, 2.min(n), seed)),
-        ("random-3", Distribution::random(n, n, 3.min(n), seed)),
+pub fn distribution_families(n: usize, seed: u64) -> Vec<(String, Distribution)> {
+    [
+        DistributionFamily::Full,
+        DistributionFamily::DisjointBlocks,
+        DistributionFamily::RingOverlap,
+        DistributionFamily::Random { replicas: 2 },
+        DistributionFamily::Random { replicas: 3 },
     ]
+    .into_iter()
+    .map(|family| (family.label(), family.build(n, n, seed)))
+    .collect()
+}
+
+/// One cell of the scenario matrix: a (protocol, distribution family,
+/// workload family, latency model) coordinate and its measured costs.
+/// Serde-serializable so sweep results can be tracked as `BENCH_*.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioMatrixRow {
+    /// Protocol name (see [`ProtocolKind::name`]).
+    pub protocol: String,
+    /// Distribution family label.
+    pub distribution: String,
+    /// Workload family label.
+    pub workload: String,
+    /// Latency model label.
+    pub latency: String,
+    /// Number of processes.
+    pub processes: usize,
+    /// Messages sent.
+    pub messages: u64,
+    /// Data bytes sent.
+    pub data_bytes: u64,
+    /// Control bytes sent.
+    pub control_bytes: u64,
+    /// Control bytes per application operation.
+    pub control_bytes_per_op: f64,
+    /// Virtual nanoseconds until quiescence.
+    pub virtual_nanos: u64,
+}
+
+impl ScenarioMatrixRow {
+    /// Hand-rolled JSON encoding (the vendored serde has no serializer
+    /// backend; swap for `serde_json` when registry access is available).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"protocol\":\"{}\",\"distribution\":\"{}\",\"workload\":\"{}\",\"latency\":\"{}\",\
+             \"processes\":{},\"messages\":{},\"data_bytes\":{},\"control_bytes\":{},\
+             \"control_bytes_per_op\":{:.3},\"virtual_nanos\":{}}}",
+            self.protocol,
+            self.distribution,
+            self.workload,
+            self.latency,
+            self.processes,
+            self.messages,
+            self.data_bytes,
+            self.control_bytes,
+            self.control_bytes_per_op,
+            self.virtual_nanos
+        )
+    }
+}
+
+/// The standard scenario matrix: protocol × distribution family ×
+/// workload family × latency model (the shared `standard_*` presets from
+/// `apps::scenario`), at `n` processes. One engine call per cell — this is
+/// the sweep space the paper's efficiency argument lives in.
+pub fn scenario_matrix(n: usize, ops_per_process: usize, seed: u64) -> Vec<ScenarioMatrixRow> {
+    let distributions = standard_distributions();
+    let workloads = standard_workloads();
+    let latencies = standard_latencies();
+    let mut rows = Vec::new();
+    for family in &distributions {
+        let dist = family.build(n, 2 * n, seed);
+        for workload in &workloads {
+            let ops = generate_family_ops(
+                &dist,
+                workload,
+                ops_per_process,
+                SettlePolicy::Every(6),
+                seed,
+            );
+            for latency in &latencies {
+                let config = SimConfig {
+                    latency: latency.clone(),
+                    seed,
+                    ..SimConfig::default()
+                };
+                for kind in ProtocolKind::ALL {
+                    let out = run_script(kind, &dist, &ops, config.clone(), false);
+                    rows.push(ScenarioMatrixRow {
+                        protocol: kind.name().to_string(),
+                        distribution: family.label(),
+                        workload: workload.label().to_string(),
+                        latency: latency_label(latency).to_string(),
+                        processes: n,
+                        messages: out.messages(),
+                        data_bytes: out.data_bytes(),
+                        control_bytes: out.control_bytes(),
+                        control_bytes_per_op: out.control_bytes_per_op(),
+                        virtual_nanos: out.virtual_time.as_nanos(),
+                    });
+                }
+            }
+        }
+    }
+    rows
 }
 
 #[cfg(test)]
@@ -167,6 +256,8 @@ mod tests {
         let cpart = &rows[1];
         let cfull = &rows[2];
         assert_eq!(pram.protocol, ProtocolKind::PramPartial);
+        assert_eq!(cpart.protocol, ProtocolKind::CausalPartial);
+        assert_eq!(cfull.protocol, ProtocolKind::CausalFull);
         assert!(pram.control_bytes < cpart.control_bytes);
         assert!(pram.control_bytes < cfull.control_bytes);
         // PRAM metadata never reaches more nodes than the replica set.
@@ -190,7 +281,7 @@ mod tests {
         let lookup = |name: &str| {
             families
                 .iter()
-                .find(|(n, _)| *n == name)
+                .find(|(n, _)| n == name)
                 .map(|(_, d)| relevance_fraction(d, 8))
                 .unwrap()
         };
@@ -199,5 +290,41 @@ mod tests {
         // Ring overlap creates hoops around the ring, making most processes
         // relevant despite a replication factor of 2.
         assert!(lookup("ring-overlap") > lookup("disjoint-blocks"));
+    }
+
+    #[test]
+    fn scenario_matrix_covers_the_full_sweep() {
+        let rows = scenario_matrix(6, 4, 3);
+        // 3 distributions × 4 workloads × 3 latencies × 4 protocols.
+        let expected = standard_distributions().len()
+            * standard_workloads().len()
+            * standard_latencies().len()
+            * ProtocolKind::ALL.len();
+        assert_eq!(rows.len(), expected);
+        assert_eq!(expected, 144);
+        assert!(rows.iter().all(|r| r.messages > 0 || r.control_bytes == 0));
+        // Within every (distribution, workload, latency) cell, PRAM partial
+        // never spends more control bytes than causal partial.
+        for chunk in rows.chunks(4) {
+            let pram = chunk
+                .iter()
+                .find(|r| r.protocol == ProtocolKind::PramPartial.name())
+                .unwrap();
+            let cpart = chunk
+                .iter()
+                .find(|r| r.protocol == ProtocolKind::CausalPartial.name())
+                .unwrap();
+            assert!(
+                pram.control_bytes <= cpart.control_bytes,
+                "{}/{}/{}",
+                pram.distribution,
+                pram.workload,
+                pram.latency
+            );
+        }
+        // Rows serialize to JSON object lines.
+        let json = rows[0].to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"control_bytes\""));
     }
 }

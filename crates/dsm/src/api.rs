@@ -1,6 +1,6 @@
 //! Public API types: protocol identifiers and errors.
 
-use histories::{ProcId, VarId};
+use histories::{Criterion, ProcId, VarId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -26,11 +26,12 @@ pub enum ProtocolKind {
 }
 
 impl ProtocolKind {
-    /// All protocols, in the order used by benchmark tables.
+    /// All protocols, in the order used by benchmark tables (cheapest
+    /// control cost first, per the paper's prediction).
     pub const ALL: [ProtocolKind; 4] = [
-        ProtocolKind::CausalFull,
-        ProtocolKind::CausalPartial,
         ProtocolKind::PramPartial,
+        ProtocolKind::CausalPartial,
+        ProtocolKind::CausalFull,
         ProtocolKind::Sequential,
     ];
 
@@ -44,9 +45,32 @@ impl ProtocolKind {
         }
     }
 
+    /// Parse a [`ProtocolKind::name`] back into a kind.
+    pub fn parse(name: &str) -> Option<ProtocolKind> {
+        ProtocolKind::ALL.into_iter().find(|p| p.name() == name)
+    }
+
     /// Whether the protocol replicates every variable everywhere.
     pub fn is_fully_replicated(self) -> bool {
         matches!(self, ProtocolKind::CausalFull | ProtocolKind::Sequential)
+    }
+
+    /// The consistency criterion the protocol advertises: the strongest
+    /// criterion of the paper's hierarchy its recorded histories always
+    /// satisfy.
+    ///
+    /// Note [`ProtocolKind::Sequential`]: the sequencer totally orders all
+    /// *writes*, but reads are wait-free against the local replica (like
+    /// every protocol in this crate), so two processes may each read `⊥`
+    /// for the other's in-flight write — a history no total order
+    /// explains. Its always-guaranteed criterion is therefore PRAM; on
+    /// settle-synchronized workloads its histories are additionally
+    /// sequentially consistent.
+    pub fn criterion(self) -> Criterion {
+        match self {
+            ProtocolKind::CausalFull | ProtocolKind::CausalPartial => Criterion::Causal,
+            ProtocolKind::PramPartial | ProtocolKind::Sequential => Criterion::Pram,
+        }
     }
 }
 
@@ -97,6 +121,24 @@ mod tests {
             ProtocolKind::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), ProtocolKind::ALL.len());
         assert_eq!(ProtocolKind::PramPartial.to_string(), "pram-partial");
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for kind in ProtocolKind::ALL {
+            assert_eq!(ProtocolKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ProtocolKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn advertised_criteria() {
+        assert_eq!(ProtocolKind::CausalFull.criterion(), Criterion::Causal);
+        assert_eq!(ProtocolKind::CausalPartial.criterion(), Criterion::Causal);
+        assert_eq!(ProtocolKind::PramPartial.criterion(), Criterion::Pram);
+        // Wait-free local reads cap the sequencer baseline's *guaranteed*
+        // criterion at PRAM (see `criterion()`'s doc).
+        assert_eq!(ProtocolKind::Sequential.criterion(), Criterion::Pram);
     }
 
     #[test]

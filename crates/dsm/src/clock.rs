@@ -54,10 +54,7 @@ impl VectorClock {
 
     /// Whether `self ≤ other` component-wise.
     pub fn dominated_by(&self, other: &VectorClock) -> bool {
-        self.entries
-            .iter()
-            .zip(&other.entries)
-            .all(|(a, b)| a <= b)
+        self.entries.iter().zip(&other.entries).all(|(a, b)| a <= b)
     }
 
     /// Causal comparison: `Less` if `self` strictly precedes `other`,

@@ -1,0 +1,241 @@
+//! Runtime-dispatched DSM deployments.
+//!
+//! [`DsmSystem`] is generic over its protocol, which is ideal for unit
+//! tests but forces every comparative driver (benchmarks, examples, the
+//! scenario engine) to monomorphize one code path per protocol and pick it
+//! at compile time. [`DynDsm`] erases the protocol behind an enum so a
+//! deployment can be constructed from a [`ProtocolKind`] *value* and the
+//! same driver loop can sweep all four protocols.
+//!
+//! The erasure is an enum rather than a trait object because the four
+//! protocol types are a closed set and enum dispatch keeps every
+//! [`DsmSystem`] method available verbatim — including those whose
+//! signatures (generic closures, `Self`-returning constructors) would not
+//! be object-safe.
+
+use crate::api::{DsmError, ProtocolKind};
+use crate::control::ControlSummary;
+use crate::protocol::causal_full::CausalFull;
+use crate::protocol::causal_partial::CausalPartial;
+use crate::protocol::pram_partial::PramPartial;
+use crate::protocol::sequential::Sequential;
+use crate::runtime::DsmSystem;
+use histories::{Distribution, History, ProcId, Value, VarId};
+use simnet::{NetworkStats, RunOutcome, SimConfig, SimTime, Topology};
+
+/// A DSM deployment whose protocol was chosen at runtime.
+///
+/// Exposes the full [`DsmSystem`] surface — reads, writes, settling,
+/// stepping, statistics, control accounting, and history recording — with
+/// every call dispatched to the concrete protocol chosen at construction.
+pub enum DynDsm {
+    /// Causal consistency, full replication.
+    CausalFull(DsmSystem<CausalFull>),
+    /// Causal consistency, partial replication.
+    CausalPartial(DsmSystem<CausalPartial>),
+    /// PRAM consistency, partial replication.
+    PramPartial(DsmSystem<PramPartial>),
+    /// Sequential consistency baseline.
+    Sequential(DsmSystem<Sequential>),
+}
+
+/// Apply one expression to whichever concrete system the enum holds.
+macro_rules! dispatch {
+    ($self:expr, $sys:ident => $body:expr) => {
+        match $self {
+            DynDsm::CausalFull($sys) => $body,
+            DynDsm::CausalPartial($sys) => $body,
+            DynDsm::PramPartial($sys) => $body,
+            DynDsm::Sequential($sys) => $body,
+        }
+    };
+}
+
+impl DynDsm {
+    /// Build a system for `kind` with the default simulation configuration.
+    pub fn new(kind: ProtocolKind, dist: Distribution) -> Self {
+        Self::with_config(kind, dist, SimConfig::default())
+    }
+
+    /// Build a system for `kind` with an explicit simulation configuration.
+    pub fn with_config(kind: ProtocolKind, dist: Distribution, config: SimConfig) -> Self {
+        match kind {
+            ProtocolKind::CausalFull => DynDsm::CausalFull(DsmSystem::with_config(dist, config)),
+            ProtocolKind::CausalPartial => {
+                DynDsm::CausalPartial(DsmSystem::with_config(dist, config))
+            }
+            ProtocolKind::PramPartial => DynDsm::PramPartial(DsmSystem::with_config(dist, config)),
+            ProtocolKind::Sequential => DynDsm::Sequential(DsmSystem::with_config(dist, config)),
+        }
+    }
+
+    /// Disable operation recording (useful for large benchmark runs).
+    pub fn disable_recording(&mut self) {
+        dispatch!(self, sys => sys.disable_recording())
+    }
+
+    /// The protocol this system runs.
+    pub fn kind(&self) -> ProtocolKind {
+        dispatch!(self, sys => sys.kind())
+    }
+
+    /// The variable distribution.
+    pub fn distribution(&self) -> &Distribution {
+        dispatch!(self, sys => sys.distribution())
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        dispatch!(self, sys => sys.process_count())
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        dispatch!(self, sys => sys.now())
+    }
+
+    /// The network topology the deployment runs over.
+    pub fn topology(&self) -> &Topology {
+        dispatch!(self, sys => sys.topology())
+    }
+
+    /// Issue `w_p(var)value`.
+    pub fn write(&mut self, p: ProcId, var: VarId, value: i64) -> Result<(), DsmError> {
+        dispatch!(self, sys => sys.write(p, var, value))
+    }
+
+    /// Issue `r_p(var)` and return the value the local replica holds.
+    pub fn read(&mut self, p: ProcId, var: VarId) -> Result<Value, DsmError> {
+        dispatch!(self, sys => sys.read(p, var))
+    }
+
+    /// Deliver every in-flight message (run the network to quiescence).
+    pub fn settle(&mut self) -> RunOutcome {
+        dispatch!(self, sys => sys.settle())
+    }
+
+    /// Deliver at most one pending message; returns `false` when idle.
+    pub fn step(&mut self) -> bool {
+        dispatch!(self, sys => sys.step())
+    }
+
+    /// Number of messages still in flight.
+    pub fn pending_messages(&self) -> usize {
+        dispatch!(self, sys => sys.pending_messages())
+    }
+
+    /// Network-level statistics (messages, data bytes, control bytes).
+    pub fn network_stats(&self) -> &NetworkStats {
+        dispatch!(self, sys => sys.network_stats())
+    }
+
+    /// Per-node control-information accounting.
+    pub fn control_summary(&self) -> ControlSummary {
+        dispatch!(self, sys => sys.control_summary())
+    }
+
+    /// The history of all application operations issued so far.
+    pub fn history(&self) -> History {
+        dispatch!(self, sys => sys.history())
+    }
+
+    /// Number of application operations issued so far.
+    pub fn operation_count(&self) -> u64 {
+        dispatch!(self, sys => sys.operation_count())
+    }
+
+    /// Direct read of a node's replica without recording an application
+    /// operation (used by tests and convergence checks).
+    pub fn peek(&self, p: ProcId, var: VarId) -> Value {
+        dispatch!(self, sys => sys.peek(p, var))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histories::check;
+
+    fn partial_dist() -> Distribution {
+        let mut d = Distribution::new(4, 3);
+        d.assign(ProcId(0), VarId(0));
+        d.assign(ProcId(1), VarId(0));
+        d.assign(ProcId(1), VarId(1));
+        d.assign(ProcId(2), VarId(1));
+        d.assign(ProcId(2), VarId(2));
+        d.assign(ProcId(3), VarId(2));
+        d
+    }
+
+    #[test]
+    fn every_kind_constructs_the_matching_variant() {
+        for kind in ProtocolKind::ALL {
+            let sys = DynDsm::new(kind, partial_dist());
+            assert_eq!(sys.kind(), kind);
+            assert_eq!(sys.process_count(), 4);
+        }
+    }
+
+    #[test]
+    fn runtime_selected_protocol_behaves_like_the_generic_one() {
+        let mut erased = DynDsm::new(ProtocolKind::PramPartial, partial_dist());
+        let mut generic: DsmSystem<PramPartial> = DsmSystem::new(partial_dist());
+        erased.write(ProcId(0), VarId(0), 10).unwrap();
+        generic.write(ProcId(0), VarId(0), 10).unwrap();
+        erased.settle();
+        generic.settle();
+        assert_eq!(erased.peek(ProcId(1), VarId(0)), Value::Int(10));
+        assert_eq!(erased.network_stats(), generic.network_stats());
+        assert_eq!(erased.history(), generic.history());
+        assert_eq!(erased.control_summary(), generic.control_summary());
+    }
+
+    #[test]
+    fn partial_protocols_still_reject_non_replicated_access() {
+        let mut sys = DynDsm::new(ProtocolKind::PramPartial, partial_dist());
+        assert_eq!(
+            sys.write(ProcId(0), VarId(2), 1),
+            Err(DsmError::NotReplicated {
+                proc: ProcId(0),
+                var: VarId(2)
+            })
+        );
+        // Fully replicated protocols accept any variable.
+        let mut full = DynDsm::new(ProtocolKind::Sequential, partial_dist());
+        full.write(ProcId(0), VarId(2), 1).unwrap();
+        full.settle();
+        assert_eq!(full.peek(ProcId(3), VarId(2)), Value::Int(1));
+    }
+
+    #[test]
+    fn recorded_histories_meet_the_advertised_criterion() {
+        for kind in ProtocolKind::ALL {
+            let mut sys = DynDsm::new(kind, Distribution::full(3, 2));
+            sys.write(ProcId(0), VarId(0), 1).unwrap();
+            sys.write(ProcId(1), VarId(1), 2).unwrap();
+            sys.settle();
+            let _ = sys.read(ProcId(2), VarId(0)).unwrap();
+            let _ = sys.read(ProcId(2), VarId(1)).unwrap();
+            sys.settle();
+            let h = sys.history();
+            assert!(
+                check(&h, kind.criterion()).consistent,
+                "{kind}:\n{}",
+                h.pretty()
+            );
+            assert_eq!(sys.operation_count(), 4);
+            assert_eq!(sys.pending_messages(), 0);
+        }
+    }
+
+    #[test]
+    fn step_and_now_advance_virtual_time() {
+        let mut sys = DynDsm::new(ProtocolKind::CausalFull, Distribution::full(3, 1));
+        sys.write(ProcId(0), VarId(0), 1).unwrap();
+        assert!(sys.pending_messages() > 0);
+        assert!(sys.step());
+        assert!(sys.now() > SimTime::ZERO);
+        sys.settle();
+        assert!(!sys.step());
+    }
+}

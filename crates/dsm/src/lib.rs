@@ -48,6 +48,7 @@
 pub mod api;
 pub mod clock;
 pub mod control;
+pub mod dynamic;
 pub mod protocol;
 pub mod recorder;
 pub mod runtime;
@@ -55,6 +56,7 @@ pub mod runtime;
 pub use api::{DsmError, ProtocolKind};
 pub use clock::{SequenceTracker, VectorClock};
 pub use control::{ControlStats, ControlSummary};
+pub use dynamic::DynDsm;
 pub use protocol::causal_full::{CausalFull, CausalFullNode, CausalMsg};
 pub use protocol::causal_partial::{CausalPartial, CausalPartialMsg, CausalPartialNode};
 pub use protocol::pram_partial::{PramMsg, PramNode, PramPartial};

@@ -246,7 +246,10 @@ mod tests {
         assert_eq!(ctx.queued_messages(), 3);
         assert_eq!(nodes[0].local_read(VarId(1)), Value::Int(7));
         assert_eq!(nodes[0].clock().get(0), 1);
-        assert_eq!(nodes[0].control().sent_bytes(VarId(1)), 3 * (4 * 8 + 8) as u64);
+        assert_eq!(
+            nodes[0].control().sent_bytes(VarId(1)),
+            3 * (4 * 8 + 8) as u64
+        );
         assert_eq!(CausalFull::KIND, ProtocolKind::CausalFull);
     }
 }

@@ -172,8 +172,7 @@ impl Node<CausalPartialMsg> for CausalPartialNode {
         _from: NodeId,
         msg: CausalPartialMsg,
     ) {
-        self.control
-            .charge_received(msg.var(), msg.control_bytes());
+        self.control.charge_received(msg.var(), msg.control_bytes());
         self.pending.push(msg);
         self.deliver_ready();
     }

@@ -29,9 +29,25 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     }
 
     /// Build a system with an explicit simulation configuration.
+    ///
+    /// The topology comes from `config.topology` when set (it must span
+    /// exactly one node per process); otherwise a full mesh over the
+    /// distribution's processes is used. Note that the MCS protocols
+    /// assume any process can message any other, so a sparser topology is
+    /// only safe when the workload's communication pattern fits inside it.
     pub fn with_config(dist: Distribution, config: SimConfig) -> Self {
         let nodes = P::build_nodes(&dist);
-        let topology = Topology::full_mesh(dist.process_count());
+        let topology = match &config.topology {
+            Some(t) => {
+                assert_eq!(
+                    t.node_count(),
+                    dist.process_count(),
+                    "topology must have one node per process"
+                );
+                t.clone()
+            }
+            None => Topology::full_mesh(dist.process_count()),
+        };
         let sim = Simulator::new(topology, config, nodes);
         let recorder = Recorder::new(dist.process_count());
         DsmSystem {
@@ -64,6 +80,11 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// The network topology the deployment runs over.
+    pub fn topology(&self) -> &Topology {
+        self.sim.topology()
     }
 
     fn validate(&self, p: ProcId, var: VarId) -> Result<(), DsmError> {
@@ -274,6 +295,31 @@ mod tests {
         }
         // Requests reach the sequencer, which broadcasts each ordered write.
         assert!(sys.network_stats().total_messages() >= 3 + 3 * 3);
+    }
+
+    #[test]
+    fn with_config_honours_the_requested_topology() {
+        // A ring topology is enough for PRAM partial replication when each
+        // variable's replicas are ring neighbours (the partial_dist layout).
+        let config = SimConfig {
+            topology: Some(Topology::ring(4)),
+            ..SimConfig::default()
+        };
+        let mut sys: DsmSystem<PramPartial> = DsmSystem::with_config(partial_dist(), config);
+        assert_eq!(sys.topology().link_count(), 8);
+        sys.write(ProcId(0), VarId(0), 3).unwrap();
+        sys.settle();
+        assert_eq!(sys.peek(ProcId(1), VarId(0)), Value::Int(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "one node per process")]
+    fn with_config_rejects_mismatched_topology() {
+        let config = SimConfig {
+            topology: Some(Topology::ring(3)),
+            ..SimConfig::default()
+        };
+        let _sys: DsmSystem<PramPartial> = DsmSystem::with_config(partial_dist(), config);
     }
 
     #[test]

@@ -21,7 +21,11 @@ fn classify(name: &str, h: &History, dist: &Distribution) {
         println!(
             "  {:<18} {}",
             report.criterion.to_string(),
-            if report.consistent { "consistent" } else { "VIOLATED" }
+            if report.consistent {
+                "consistent"
+            } else {
+                "VIOLATED"
+            }
         );
     }
     let sg = ShareGraph::new(dist);
@@ -58,7 +62,11 @@ fn main() {
 
     // Figure 3: the dependency-chain witness along a 1-intermediate hoop.
     let fig3 = figures::fig3_history(1);
-    classify("Figure 3 (witness history)", &fig3, &figures::fig2_distribution(1));
+    classify(
+        "Figure 3 (witness history)",
+        &fig3,
+        &figures::fig2_distribution(1),
+    );
 
     // Figure 4: lazy causal but not causal.
     classify(

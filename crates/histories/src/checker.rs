@@ -295,7 +295,11 @@ pub fn find_serialization(
     }
 }
 
-fn check_per_process(h: &History, criterion: Criterion, rel: &dyn OrderRelation) -> ConsistencyReport {
+fn check_per_process(
+    h: &History,
+    criterion: Criterion,
+    rel: &dyn OrderRelation,
+) -> ConsistencyReport {
     let mut serializations = BTreeMap::new();
     for p in 0..h.process_count() {
         let set = h.h_i_plus_w(ProcId(p));

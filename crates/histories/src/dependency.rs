@@ -224,10 +224,7 @@ mod tests {
         assert!(h.op(chain.initial).is_write());
         assert_eq!(h.op(chain.final_op).var, VarId(0));
         // The derivation passes through the intermediate process p1.
-        assert!(chain
-            .derivation
-            .iter()
-            .any(|&o| h.op(o).proc == ProcId(1)));
+        assert!(chain.derivation.iter().any(|&o| h.op(o).proc == ProcId(1)));
     }
 
     #[test]
@@ -329,9 +326,7 @@ mod tests {
         let sg = ShareGraph::new(&d);
         let hoops = enumerate_hoops(&sg, VarId(0), 8);
         let rf = ReadFrom::infer(&h).unwrap();
-        assert!(
-            has_dependency_chain(&h, &rf, ChainOrder::LazyCausal, &hoops[0]).is_some()
-        );
+        assert!(has_dependency_chain(&h, &rf, ChainOrder::LazyCausal, &hoops[0]).is_some());
         // Still no chain under PRAM.
         assert_eq!(
             has_dependency_chain(&h, &rf, ChainOrder::Pram, &hoops[0]),

@@ -65,7 +65,10 @@ impl Distribution {
     /// Random distribution: every variable is replicated on exactly
     /// `replicas` distinct processes chosen uniformly (seeded).
     pub fn random(n_procs: usize, n_vars: usize, replicas: usize, seed: u64) -> Self {
-        assert!(replicas >= 1 && replicas <= n_procs, "invalid replica count");
+        assert!(
+            replicas >= 1 && replicas <= n_procs,
+            "invalid replica count"
+        );
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut d = Distribution::new(n_procs, n_vars);
         let mut procs: Vec<usize> = (0..n_procs).collect();

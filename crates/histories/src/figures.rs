@@ -247,7 +247,11 @@ mod tests {
     fn fig4_is_lazy_causal_but_not_causal() {
         let h = fig4_history();
         assert!(!check(&h, Criterion::Causal).consistent, "{}", h.pretty());
-        assert!(check(&h, Criterion::LazyCausal).consistent, "{}", h.pretty());
+        assert!(
+            check(&h, Criterion::LazyCausal).consistent,
+            "{}",
+            h.pretty()
+        );
         // Weaker criteria also hold.
         assert!(check(&h, Criterion::Pram).consistent);
     }
@@ -269,7 +273,11 @@ mod tests {
     #[test]
     fn fig5_is_not_lazy_causal_but_is_pram() {
         let h = fig5_history();
-        assert!(!check(&h, Criterion::LazyCausal).consistent, "{}", h.pretty());
+        assert!(
+            !check(&h, Criterion::LazyCausal).consistent,
+            "{}",
+            h.pretty()
+        );
         assert!(!check(&h, Criterion::Causal).consistent);
         assert!(check(&h, Criterion::Pram).consistent, "{}", h.pretty());
     }

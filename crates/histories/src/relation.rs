@@ -35,7 +35,10 @@ impl RelationGraph {
 
     /// Add the edge `a → b` (idempotent).
     pub fn add_edge(&mut self, a: OpIdx, b: OpIdx) {
-        assert!(a.index() < self.n && b.index() < self.n, "edge out of range");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "edge out of range"
+        );
         if a == b {
             return;
         }

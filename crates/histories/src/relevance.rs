@@ -28,7 +28,10 @@ pub enum RelevanceError {
 impl fmt::Display for RelevanceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RelevanceError::MalformedHoop => write!(f, "hoop must have at least one intermediate process and one edge variable per edge"),
+            RelevanceError::MalformedHoop => write!(
+                f,
+                "hoop must have at least one intermediate process and one edge variable per edge"
+            ),
         }
     }
 }
@@ -95,11 +98,7 @@ pub fn witness_has_causal_chain(hoop: &Hoop) -> Result<bool, RelevanceError> {
 /// chain exists along any x-hoop of the distribution (up to `max_hoop_len`).
 /// Returns the list of hoops violating it (always empty if the theorem —
 /// and our implementation — are right).
-pub fn pram_chain_violations(
-    h: &History,
-    dist: &Distribution,
-    max_hoop_len: usize,
-) -> Vec<Hoop> {
+pub fn pram_chain_violations(h: &History, dist: &Distribution, max_hoop_len: usize) -> Vec<Hoop> {
     let sg = ShareGraph::new(dist);
     let Ok(rf) = crate::read_from::ReadFrom::infer(h) else {
         return Vec::new();

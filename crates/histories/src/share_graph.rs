@@ -92,9 +92,7 @@ impl ShareGraph {
     pub fn neighbours_avoiding(&self, p: ProcId, x: VarId) -> BTreeSet<ProcId> {
         (0..self.n)
             .map(ProcId)
-            .filter(|&q| {
-                self.has_edge(p, q) && self.edge_label(p, q).iter().any(|&v| v != x)
-            })
+            .filter(|&q| self.has_edge(p, q) && self.edge_label(p, q).iter().any(|&v| v != x))
             .collect()
     }
 

@@ -17,7 +17,11 @@ use proptest::prelude::*;
 /// memory with a random interleaving: such histories are sequentially
 /// consistent by construction, hence consistent under every criterion.
 fn atomic_history() -> impl Strategy<Value = History> {
-    (2usize..=4, 1usize..=3, proptest::collection::vec((0usize..4, 0usize..3, any::<bool>()), 1..14))
+    (
+        2usize..=4,
+        1usize..=3,
+        proptest::collection::vec((0usize..4, 0usize..3, any::<bool>()), 1..14),
+    )
         .prop_map(|(procs, vars, script)| {
             let mut hb = HistoryBuilder::new(procs);
             let mut memory = vec![Value::Bottom; vars];
@@ -74,9 +78,8 @@ fn arbitrary_history() -> impl Strategy<Value = History> {
 }
 
 fn random_distribution() -> impl Strategy<Value = Distribution> {
-    (3usize..=7, 2usize..=5, 1usize..=3, any::<u64>()).prop_map(|(p, v, r, seed)| {
-        Distribution::random(p, v, r.min(p), seed)
-    })
+    (3usize..=7, 2usize..=5, 1usize..=3, any::<u64>())
+        .prop_map(|(p, v, r, seed)| Distribution::random(p, v, r.min(p), seed))
 }
 
 proptest! {

@@ -32,6 +32,15 @@ pub enum LatencyModel {
         /// Additional nanoseconds per payload byte.
         nanos_per_byte: u64,
     },
+    /// Base latency plus a cost proportional to the "distance" between the
+    /// endpoints (the absolute difference of their node indices), modelling
+    /// a cluster laid out on a line or racks numbered by locality.
+    Distance {
+        /// Fixed propagation delay on every link.
+        base: SimDuration,
+        /// Additional delay per unit of index distance.
+        per_unit: SimDuration,
+    },
 }
 
 impl Default for LatencyModel {
@@ -41,8 +50,10 @@ impl Default for LatencyModel {
 }
 
 impl LatencyModel {
-    /// Sample the latency for a message of `bytes` payload bytes.
-    pub fn sample(&self, rng: &mut SmallRng, bytes: usize) -> SimDuration {
+    /// Sample the latency for a message of `bytes` payload bytes travelling
+    /// `distance` units (the absolute difference of the endpoint indices;
+    /// only the [`LatencyModel::Distance`] variant looks at it).
+    pub fn sample(&self, rng: &mut SmallRng, bytes: usize, distance: usize) -> SimDuration {
         match *self {
             LatencyModel::Constant(d) => d,
             LatencyModel::Uniform { min, max } => {
@@ -58,6 +69,9 @@ impl LatencyModel {
             } => base.saturating_add(SimDuration::from_nanos(
                 nanos_per_byte.saturating_mul(bytes as u64),
             )),
+            LatencyModel::Distance { base, per_unit } => base.saturating_add(
+                SimDuration::from_nanos(per_unit.as_nanos().saturating_mul(distance as u64)),
+            ),
         }
     }
 }
@@ -104,7 +118,8 @@ impl Channel {
     /// the virtual time at which it will be delivered. Successive calls
     /// return non-decreasing times (FIFO guarantee).
     pub fn schedule(&mut self, now: SimTime, bytes: usize) -> SimTime {
-        let lat = self.latency.sample(&mut self.rng, bytes);
+        let distance = self.from.index().abs_diff(self.to.index());
+        let lat = self.latency.sample(&mut self.rng, bytes, distance);
         let mut delivery = now + lat;
         if delivery < self.last_delivery {
             delivery = self.last_delivery;
@@ -208,6 +223,21 @@ mod tests {
         let seq_a: Vec<_> = (0..20).map(|_| a.schedule(SimTime::ZERO, 1)).collect();
         let seq_b: Vec<_> = (0..20).map(|_| b.schedule(SimTime::ZERO, 1)).collect();
         assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn distance_latency_scales_with_index_separation() {
+        let model = LatencyModel::Distance {
+            base: SimDuration::from_micros(2),
+            per_unit: SimDuration::from_micros(3),
+        };
+        let mut near = Channel::new(NodeId(4), NodeId(5), model.clone(), 1);
+        let mut far = Channel::new(NodeId(0), NodeId(7), model, 1);
+        assert_eq!(near.schedule(SimTime::ZERO, 8), SimTime::from_micros(2 + 3));
+        assert_eq!(
+            far.schedule(SimTime::ZERO, 8),
+            SimTime::from_micros(2 + 3 * 7)
+        );
     }
 
     #[test]

@@ -101,7 +101,10 @@ mod tests {
         ctx.multicast([NodeId(0), NodeId(2)], 99);
         ctx.set_timer(SimDuration::from_micros(5), 42);
         assert_eq!(ctx.queued_messages(), 3);
-        assert_eq!(ctx.outbox, vec![(NodeId(1), 10), (NodeId(0), 99), (NodeId(2), 99)]);
+        assert_eq!(
+            ctx.outbox,
+            vec![(NodeId(1), 10), (NodeId(0), 99), (NodeId(2), 99)]
+        );
         assert_eq!(ctx.timers, vec![(SimDuration::from_micros(5), 42)]);
     }
 

@@ -15,7 +15,6 @@ use crate::node::{Node, NodeContext};
 use crate::stats::NetworkStats;
 use crate::time::SimTime;
 use crate::trace::{EventTrace, TraceEntry};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Configuration of a simulation run.
@@ -29,6 +28,10 @@ pub struct SimConfig {
     pub trace_capacity: Option<usize>,
     /// Safety valve: abort the run after this many events (0 = unlimited).
     pub max_events: u64,
+    /// Topology requested by the client. Drivers that build their own
+    /// [`Simulator`] (like the DSM runtime) honour this; `None` means "use
+    /// the driver's default" (a full mesh for the DSM protocols).
+    pub topology: Option<Topology>,
 }
 
 impl Default for SimConfig {
@@ -38,6 +41,7 @@ impl Default for SimConfig {
             seed: 0xD5_0C0DE,
             trace_capacity: None,
             max_events: 0,
+            topology: None,
         }
     }
 }
@@ -72,11 +76,17 @@ impl RunOutcome {
 }
 
 /// The simulator: nodes, channels, event queue, statistics.
+///
+/// Channels are stored densely, one slot per ordered node pair indexed by
+/// `from * n + to`, so the per-send lookup on the hot path is a direct
+/// array access (channels are still created lazily on first use, because a
+/// full mesh over `n` nodes has `n·(n-1)` of them and most workloads touch
+/// only a fraction).
 pub struct Simulator<P, N> {
     topology: Topology,
     config: SimConfig,
     nodes: Vec<N>,
-    channels: BTreeMap<(usize, usize), Channel>,
+    channels: Vec<Option<Channel>>,
     queue: EventQueue<P>,
     now: SimTime,
     stats: NetworkStats,
@@ -93,25 +103,36 @@ where
     /// Build a simulator over `topology` hosting `nodes` (one per topology
     /// node, in id order).
     ///
-    /// Panics if `nodes.len()` differs from the topology's node count.
+    /// Panics if `nodes.len()` differs from the topology's node count, or
+    /// if `config.topology` is set but disagrees with `topology` (drivers
+    /// that resolve the configured topology themselves — like the DSM
+    /// runtime — pass the resolved value in both places; a mismatch means
+    /// the caller's intent would be silently dropped).
     pub fn new(topology: Topology, config: SimConfig, nodes: Vec<N>) -> Self {
         assert_eq!(
             nodes.len(),
             topology.node_count(),
             "one protocol node is required per topology node"
         );
+        if let Some(configured) = &config.topology {
+            assert_eq!(
+                configured, &topology,
+                "SimConfig.topology disagrees with the topology passed to Simulator::new"
+            );
+        }
         let trace = match config.trace_capacity {
             Some(cap) => EventTrace::with_capacity(cap),
             None => EventTrace::disabled(),
         };
+        let n = topology.node_count();
         Simulator {
             topology,
             config,
             nodes,
-            channels: BTreeMap::new(),
+            channels: vec![None; n * n],
             queue: EventQueue::new(),
             now: SimTime::ZERO,
-            stats: NetworkStats::new(),
+            stats: NetworkStats::with_nodes(n),
             trace,
             events_processed: 0,
             started: false,
@@ -177,7 +198,11 @@ where
     /// then schedule whatever it sent. This is how application-level
     /// operations (reads/writes issued by application processes) enter the
     /// protocol.
-    pub fn with_node<R>(&mut self, id: NodeId, f: impl FnOnce(&mut N, &mut NodeContext<P>) -> R) -> R {
+    pub fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut N, &mut NodeContext<P>) -> R,
+    ) -> R {
         self.start();
         let mut ctx = NodeContext::new(id, self.now);
         let r = f(&mut self.nodes[id.index()], &mut ctx);
@@ -289,12 +314,10 @@ where
             "node {from} attempted to send to {to} but the topology has no such link"
         );
         let bytes = payload.total_bytes();
-        let key = (from.index(), to.index());
+        let slot = from.index() * self.topology.node_count() + to.index();
         let config = &self.config;
-        let channel = self
-            .channels
-            .entry(key)
-            .or_insert_with(|| Channel::new(from, to, config.latency.clone(), config.seed));
+        let channel = self.channels[slot]
+            .get_or_insert_with(|| Channel::new(from, to, config.latency.clone(), config.seed));
         let delivery = channel.schedule(self.now, bytes);
         let seq = channel.sent_count();
         self.stats

@@ -3,7 +3,6 @@
 
 use crate::message::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Counters for a single directed link.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,10 +40,17 @@ pub struct NodeStats {
 }
 
 /// Aggregated statistics for a whole simulation run.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Storage is dense: one [`LinkStats`] slot per ordered node pair and one
+/// [`NodeStats`] slot per node, indexed directly by node id. Recording a
+/// send or a delivery is therefore a couple of array writes on the
+/// simulator's hot path (no map lookups). The capacity grows on demand, so
+/// a default-constructed value still accepts any node id.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct NetworkStats {
-    links: BTreeMap<(usize, usize), LinkStats>,
-    nodes: BTreeMap<usize, NodeStats>,
+    n: usize,
+    links: Vec<LinkStats>,
+    nodes: Vec<NodeStats>,
 }
 
 impl NetworkStats {
@@ -53,14 +59,48 @@ impl NetworkStats {
         Self::default()
     }
 
+    /// Empty statistics pre-sized for `n` nodes, so no reallocation happens
+    /// while recording.
+    pub fn with_nodes(n: usize) -> Self {
+        NetworkStats {
+            n,
+            links: vec![LinkStats::default(); n * n],
+            nodes: vec![NodeStats::default(); n],
+        }
+    }
+
+    /// Grow the dense storage so node id `idx` is addressable.
+    fn ensure(&mut self, idx: usize) {
+        if idx < self.n {
+            return;
+        }
+        let new_n = idx + 1;
+        let mut links = vec![LinkStats::default(); new_n * new_n];
+        for f in 0..self.n {
+            for t in 0..self.n {
+                links[f * new_n + t] = self.links[f * self.n + t];
+            }
+        }
+        self.links = links;
+        self.nodes.resize(new_n, NodeStats::default());
+        self.n = new_n;
+    }
+
+    #[inline]
+    fn link_slot(&self, from: usize, to: usize) -> usize {
+        from * self.n + to
+    }
+
     /// Record a message of `data`/`control` bytes sent from `from` to `to`.
     pub fn record_send(&mut self, from: NodeId, to: NodeId, data: usize, control: usize) {
-        let link = self.links.entry((from.index(), to.index())).or_default();
+        self.ensure(from.index().max(to.index()));
+        let slot = self.link_slot(from.index(), to.index());
+        let link = &mut self.links[slot];
         link.messages += 1;
         link.data_bytes += data as u64;
         link.control_bytes += control as u64;
 
-        let sender = self.nodes.entry(from.index()).or_default();
+        let sender = &mut self.nodes[from.index()];
         sender.sent_messages += 1;
         sender.sent_data_bytes += data as u64;
         sender.sent_control_bytes += control as u64;
@@ -68,7 +108,8 @@ impl NetworkStats {
 
     /// Record delivery of a message of `data`/`control` bytes at `to`.
     pub fn record_delivery(&mut self, to: NodeId, data: usize, control: usize) {
-        let recv = self.nodes.entry(to.index()).or_default();
+        self.ensure(to.index());
+        let recv = &mut self.nodes[to.index()];
         recv.received_messages += 1;
         recv.received_data_bytes += data as u64;
         recv.received_control_bytes += control as u64;
@@ -76,30 +117,30 @@ impl NetworkStats {
 
     /// Stats for one directed link (zeroes if it never carried traffic).
     pub fn link(&self, from: NodeId, to: NodeId) -> LinkStats {
-        self.links
-            .get(&(from.index(), to.index()))
-            .copied()
-            .unwrap_or_default()
+        if from.index() >= self.n || to.index() >= self.n {
+            return LinkStats::default();
+        }
+        self.links[self.link_slot(from.index(), to.index())]
     }
 
     /// Stats for one node (zeroes if it never sent or received).
     pub fn node(&self, node: NodeId) -> NodeStats {
-        self.nodes.get(&node.index()).copied().unwrap_or_default()
+        self.nodes.get(node.index()).copied().unwrap_or_default()
     }
 
     /// Total messages sent in the run.
     pub fn total_messages(&self) -> u64 {
-        self.links.values().map(|l| l.messages).sum()
+        self.links.iter().map(|l| l.messages).sum()
     }
 
     /// Total data bytes sent in the run.
     pub fn total_data_bytes(&self) -> u64 {
-        self.links.values().map(|l| l.data_bytes).sum()
+        self.links.iter().map(|l| l.data_bytes).sum()
     }
 
     /// Total control bytes sent in the run.
     pub fn total_control_bytes(&self) -> u64 {
-        self.links.values().map(|l| l.control_bytes).sum()
+        self.links.iter().map(|l| l.control_bytes).sum()
     }
 
     /// Total bytes (data + control) sent in the run.
@@ -122,24 +163,34 @@ impl NetworkStats {
     pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId, LinkStats)> + '_ {
         self.links
             .iter()
-            .map(|(&(a, b), &s)| (NodeId(a), NodeId(b), s))
+            .enumerate()
+            .filter(|(_, s)| s.messages > 0)
+            .map(|(i, &s)| (NodeId(i / self.n), NodeId(i % self.n), s))
     }
 
     /// Iterate over all nodes that sent or received traffic.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, NodeStats)> + '_ {
-        self.nodes.iter().map(|(&i, &s)| (NodeId(i), s))
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s != NodeStats::default())
+            .map(|(i, &s)| (NodeId(i), s))
     }
 
     /// Merge another stats object into this one (summing counters).
     pub fn merge(&mut self, other: &NetworkStats) {
-        for (&k, v) in &other.links {
-            let e = self.links.entry(k).or_default();
+        if other.n > 0 {
+            self.ensure(other.n - 1);
+        }
+        for (from, to, v) in other.links() {
+            let slot = self.link_slot(from.index(), to.index());
+            let e = &mut self.links[slot];
             e.messages += v.messages;
             e.data_bytes += v.data_bytes;
             e.control_bytes += v.control_bytes;
         }
-        for (&k, v) in &other.nodes {
-            let e = self.nodes.entry(k).or_default();
+        for (node, v) in other.nodes() {
+            let e = &mut self.nodes[node.index()];
             e.sent_messages += v.sent_messages;
             e.received_messages += v.received_messages;
             e.sent_data_bytes += v.sent_data_bytes;
@@ -149,6 +200,27 @@ impl NetworkStats {
         }
     }
 }
+
+/// Equality is semantic (the recorded counters), not representational: two
+/// stats objects with different pre-sized capacities but the same traffic
+/// compare equal.
+impl PartialEq for NetworkStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.links().eq(other.links())
+            && self
+                .nodes
+                .iter()
+                .chain(std::iter::repeat(&NodeStats::default()))
+                .take(self.n.max(other.n))
+                .eq(other
+                    .nodes
+                    .iter()
+                    .chain(std::iter::repeat(&NodeStats::default()))
+                    .take(self.n.max(other.n)))
+    }
+}
+
+impl Eq for NetworkStats {}
 
 #[cfg(test)]
 mod tests {
@@ -212,6 +284,27 @@ mod tests {
         assert_eq!(a.link(NodeId(0), NodeId(1)).data_bytes, 4);
         assert_eq!(a.link(NodeId(2), NodeId(1)).control_bytes, 6);
         assert_eq!(a.node(NodeId(1)).received_messages, 1);
+    }
+
+    #[test]
+    fn equality_ignores_reserved_capacity() {
+        let mut a = NetworkStats::with_nodes(8);
+        let mut b = NetworkStats::new();
+        a.record_send(NodeId(0), NodeId(1), 3, 4);
+        b.record_send(NodeId(0), NodeId(1), 3, 4);
+        assert_eq!(a, b);
+        b.record_delivery(NodeId(1), 3, 4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn presized_stats_accept_out_of_range_ids() {
+        let mut s = NetworkStats::with_nodes(2);
+        s.record_send(NodeId(0), NodeId(5), 1, 1);
+        s.record_delivery(NodeId(7), 1, 1);
+        assert_eq!(s.link(NodeId(0), NodeId(5)).messages, 1);
+        assert_eq!(s.node(NodeId(7)).received_messages, 1);
+        assert_eq!(s.total_messages(), 1);
     }
 
     #[test]
