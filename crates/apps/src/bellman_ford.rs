@@ -250,6 +250,32 @@ mod tests {
     }
 
     #[test]
+    fn sparse_physical_topologies_compute_the_same_distances() {
+        // The computation graph (Fig. 8) stays the same; only the physical
+        // network the MCS runs over changes. Every variable has a single
+        // writer, so the overlay-routed runs reproduce the mesh exactly.
+        let net = Network::fig8();
+        let reference = shortest_paths_reference(&net, 0);
+        let mesh = run_bellman_ford(ProtocolKind::PramPartial, &net, 0, SimConfig::default());
+        for topology in [
+            simnet::Topology::ring(5),
+            simnet::Topology::star(5),
+            simnet::Topology::line(5),
+        ] {
+            let config = SimConfig {
+                topology: Some(topology.clone()),
+                ..SimConfig::default()
+            };
+            let run = run_bellman_ford(ProtocolKind::PramPartial, &net, 0, config);
+            assert!(run.converged, "{topology:?}");
+            assert_eq!(run.distances, reference, "{topology:?}");
+            assert_eq!(run.operations, mesh.operations, "{topology:?}");
+            // Relaying pays on the wire but never changes the result.
+            assert!(run.messages >= mesh.messages, "{topology:?}");
+        }
+    }
+
+    #[test]
     fn ring_network_distances() {
         let net = Network::ring(7);
         let run = run_bellman_ford(ProtocolKind::PramPartial, &net, 0, SimConfig::default());

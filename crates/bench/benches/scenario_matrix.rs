@@ -1,12 +1,13 @@
 //! The scenario matrix: protocol × distribution family × workload family ×
-//! latency model, every cell produced by one call into the scenario
-//! engine. Criterion times representative cells; running the bench also
-//! prints every row as a JSON object line (serde-serializable via
-//! `ScenarioMatrixRow`) for future `BENCH_*.json` tracking.
+//! latency model × topology family, every cell produced by one call into
+//! the scenario engine. Criterion times representative cells (including a
+//! routed sparse-topology cell, so the relay hot path is covered);
+//! running the bench also prints every row as a JSON object line (the
+//! same encoding `BENCH_baseline.json` stores).
 
 use apps::scenario::{
-    generate_family_ops, latency_label, run_script, standard_latencies, SettlePolicy,
-    WorkloadFamily,
+    generate_family_ops, latency_label, run_script, standard_latencies, standard_topologies,
+    SettlePolicy, TopologyFamily, WorkloadFamily,
 };
 use bench::{scenario_matrix, ScenarioMatrixRow};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -49,6 +50,34 @@ fn bench_matrix_cells(c: &mut Criterion) {
                 )
             })
         });
+    }
+
+    // One routed cell per sparse topology family: times the overlay's
+    // relay hot path (envelope wrapping, next-hop lookup, transit
+    // forwarding) against the direct-send mesh cell above.
+    for family in standard_topologies() {
+        if family == TopologyFamily::FullMesh {
+            continue;
+        }
+        let config = SimConfig {
+            topology: Some(family.build(8)),
+            ..SimConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("pram-partial-routed", family.label()),
+            family.label(),
+            |b, _| {
+                b.iter(|| {
+                    run_script(
+                        ProtocolKind::PramPartial,
+                        &dist,
+                        &ops,
+                        config.clone(),
+                        false,
+                    )
+                })
+            },
+        );
     }
 
     // And the full sweep as one unit, matching what the report tooling

@@ -1,0 +1,99 @@
+//! Track the scenario-matrix control-byte numbers as a checked-in
+//! baseline.
+//!
+//! The scenario matrix is fully deterministic (seeded workloads, seeded
+//! channels, deterministic routing), so its control-byte column is a
+//! regression oracle: any code change that makes a protocol spend more
+//! control bytes shows up as an exact diff. CI runs the check mode on
+//! every push.
+//!
+//! ```text
+//! cargo run --release -p bench --bin baseline                          # print rows
+//! cargo run --release -p bench --bin baseline -- --write BENCH_baseline.json
+//! cargo run --release -p bench --bin baseline -- --check BENCH_baseline.json
+//! cargo run --release -p bench --bin baseline -- --check BENCH_baseline.json --tolerance 0.05
+//! ```
+//!
+//! `--check` exits non-zero when any cell's control bytes exceed the
+//! baseline by more than the tolerance (default 2%), or when the matrix
+//! shape changed (cells appeared or vanished) — regenerate with `--write`
+//! deliberately in that case and review the diff.
+
+use bench::{compare_to_baseline, scenario_matrix, ScenarioMatrixRow, BASELINE_COORDS};
+use std::process::ExitCode;
+
+fn sweep() -> Vec<ScenarioMatrixRow> {
+    let (n, ops, seed) = BASELINE_COORDS;
+    scenario_matrix(n, ops, seed)
+}
+
+fn render(rows: &[ScenarioMatrixRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&row.to_json());
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn parse(text: &str) -> Vec<ScenarioMatrixRow> {
+    text.lines()
+        .filter_map(ScenarioMatrixRow::from_json)
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let tolerance: f64 = flag_value("--tolerance")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
+
+    if let Some(path) = flag_value("--write") {
+        let rows = sweep();
+        std::fs::write(&path, render(&rows)).expect("write baseline file");
+        println!("wrote {} rows to {path}", rows.len());
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = flag_value("--check") {
+        let text = std::fs::read_to_string(&path).expect("read baseline file");
+        let baseline = parse(&text);
+        if baseline.is_empty() {
+            eprintln!("no rows parsed from {path}; regenerate with --write");
+            return ExitCode::FAILURE;
+        }
+        let current = sweep();
+        let diffs = compare_to_baseline(&baseline, &current, tolerance);
+        if diffs.is_empty() {
+            println!(
+                "baseline OK: {} cells within {:.1}% control-byte tolerance",
+                baseline.len(),
+                tolerance * 100.0
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "baseline check FAILED against {path} ({} finding(s), tolerance {:.1}%):",
+            diffs.len(),
+            tolerance * 100.0
+        );
+        for diff in &diffs {
+            eprintln!("  {diff}");
+        }
+        eprintln!("if the change is intentional, regenerate with --write and commit the diff");
+        return ExitCode::FAILURE;
+    }
+
+    // No mode: print the sweep as the JSON array the baseline file stores.
+    print!("{}", render(&sweep()));
+    ExitCode::SUCCESS
+}

@@ -8,6 +8,7 @@
 
 use bench::{
     bellman_ford_point, distribution_families, efficiency_sweep_point, relevance_fraction,
+    routed_vs_mesh_sweep,
 };
 use histories::Distribution;
 
@@ -107,4 +108,24 @@ fn main() {
         println!();
         n *= 2;
     }
+
+    println!(
+        "E5 — overlay routing cost vs topology (12 processes, same workload on every topology)"
+    );
+    println!(
+        "{:<8} {:<16} {:>10} {:>10} {:>14} {:>14}",
+        "topology", "protocol", "messages", "relayed", "control bytes", "ctl vs mesh"
+    );
+    for row in routed_vs_mesh_sweep(12, 8, 7) {
+        println!(
+            "{:<8} {:<16} {:>10} {:>10} {:>14} {:>13.2}x",
+            row.topology,
+            row.protocol.name(),
+            row.messages,
+            row.forwarded,
+            row.control_bytes,
+            row.control_ratio_vs_mesh
+        );
+    }
+    println!();
 }

@@ -12,13 +12,14 @@
 
 use apps::scenario::{
     generate_family_ops, latency_label, run_script, standard_distributions, standard_latencies,
-    standard_workloads, DistributionFamily, SettlePolicy, WorkloadFamily,
+    standard_topologies, standard_workloads, DistributionFamily, SettlePolicy, TopologyFamily,
+    WorkloadFamily,
 };
 use apps::{run_bellman_ford, Network};
 use dsm::ProtocolKind;
 use histories::{Distribution, VarId};
 use serde::{Deserialize, Serialize};
-use simnet::SimConfig;
+use simnet::{LatencyModel, SimConfig};
 
 /// One row of an efficiency table: the cost of running a workload under one
 /// protocol.
@@ -149,8 +150,9 @@ pub fn distribution_families(n: usize, seed: u64) -> Vec<(String, Distribution)>
 }
 
 /// One cell of the scenario matrix: a (protocol, distribution family,
-/// workload family, latency model) coordinate and its measured costs.
-/// Serde-serializable so sweep results can be tracked as `BENCH_*.json`.
+/// workload family, latency model, topology family) coordinate and its
+/// measured costs. Serde-serializable so sweep results can be tracked as
+/// `BENCH_*.json`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ScenarioMatrixRow {
     /// Protocol name (see [`ProtocolKind::name`]).
@@ -161,9 +163,12 @@ pub struct ScenarioMatrixRow {
     pub workload: String,
     /// Latency model label.
     pub latency: String,
+    /// Topology family label (`mesh` = direct sends, anything else runs
+    /// over the overlay routing layer).
+    pub topology: String,
     /// Number of processes.
     pub processes: usize,
-    /// Messages sent.
+    /// Messages sent (per hop: relayed envelopes count once per link).
     pub messages: u64,
     /// Data bytes sent.
     pub data_bytes: u64,
@@ -171,76 +176,329 @@ pub struct ScenarioMatrixRow {
     pub control_bytes: u64,
     /// Control bytes per application operation.
     pub control_bytes_per_op: f64,
+    /// Transit envelopes forwarded by intermediate nodes (0 on the mesh).
+    pub forwarded: u64,
     /// Virtual nanoseconds until quiescence.
     pub virtual_nanos: u64,
 }
 
 impl ScenarioMatrixRow {
+    /// The sweep coordinate of this row (everything that identifies the
+    /// cell, nothing that measures it).
+    pub fn coordinate(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}/{}",
+            self.protocol,
+            self.distribution,
+            self.workload,
+            self.latency,
+            self.topology,
+            self.processes
+        )
+    }
+
     /// Hand-rolled JSON encoding (the vendored serde has no serializer
     /// backend; swap for `serde_json` when registry access is available).
     pub fn to_json(&self) -> String {
         format!(
             "{{\"protocol\":\"{}\",\"distribution\":\"{}\",\"workload\":\"{}\",\"latency\":\"{}\",\
-             \"processes\":{},\"messages\":{},\"data_bytes\":{},\"control_bytes\":{},\
-             \"control_bytes_per_op\":{:.3},\"virtual_nanos\":{}}}",
+             \"topology\":\"{}\",\"processes\":{},\"messages\":{},\"data_bytes\":{},\
+             \"control_bytes\":{},\"control_bytes_per_op\":{:.3},\"forwarded\":{},\
+             \"virtual_nanos\":{}}}",
             self.protocol,
             self.distribution,
             self.workload,
             self.latency,
+            self.topology,
             self.processes,
             self.messages,
             self.data_bytes,
             self.control_bytes,
             self.control_bytes_per_op,
+            self.forwarded,
             self.virtual_nanos
         )
+    }
+
+    /// Parse a row back out of [`ScenarioMatrixRow::to_json`]'s encoding
+    /// (tolerates surrounding whitespace and a trailing comma, so the
+    /// lines of a checked-in JSON array parse directly). Returns `None`
+    /// for lines that are not row objects.
+    pub fn from_json(line: &str) -> Option<ScenarioMatrixRow> {
+        fn str_field(line: &str, key: &str) -> Option<String> {
+            let tag = format!("\"{key}\":\"");
+            let start = line.find(&tag)? + tag.len();
+            let end = line[start..].find('"')? + start;
+            Some(line[start..end].to_string())
+        }
+        fn num_field(line: &str, key: &str) -> Option<String> {
+            let tag = format!("\"{key}\":");
+            let start = line.find(&tag)? + tag.len();
+            let end = line[start..]
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+                .map(|i| i + start)
+                .unwrap_or(line.len());
+            Some(line[start..end].to_string())
+        }
+        Some(ScenarioMatrixRow {
+            protocol: str_field(line, "protocol")?,
+            distribution: str_field(line, "distribution")?,
+            workload: str_field(line, "workload")?,
+            latency: str_field(line, "latency")?,
+            topology: str_field(line, "topology")?,
+            processes: num_field(line, "processes")?.parse().ok()?,
+            messages: num_field(line, "messages")?.parse().ok()?,
+            data_bytes: num_field(line, "data_bytes")?.parse().ok()?,
+            control_bytes: num_field(line, "control_bytes")?.parse().ok()?,
+            control_bytes_per_op: num_field(line, "control_bytes_per_op")?.parse().ok()?,
+            forwarded: num_field(line, "forwarded")?.parse().ok()?,
+            virtual_nanos: num_field(line, "virtual_nanos")?.parse().ok()?,
+        })
     }
 }
 
 /// The standard scenario matrix: protocol × distribution family ×
-/// workload family × latency model (the shared `standard_*` presets from
-/// `apps::scenario`), at `n` processes. One engine call per cell — this is
-/// the sweep space the paper's efficiency argument lives in.
+/// workload family × latency model × topology family (the shared
+/// `standard_*` presets from `apps::scenario`), at `n` processes. One
+/// engine call per cell — this is the sweep space the paper's efficiency
+/// argument lives in. Latency models are swept on the mesh; sparse
+/// topologies (whose per-hop behaviour is the point) run under the
+/// default model, matching the `scenario_tour` example.
 pub fn scenario_matrix(n: usize, ops_per_process: usize, seed: u64) -> Vec<ScenarioMatrixRow> {
     let distributions = standard_distributions();
     let workloads = standard_workloads();
     let latencies = standard_latencies();
+    let topologies = standard_topologies();
     let mut rows = Vec::new();
-    for family in &distributions {
-        let dist = family.build(n, 2 * n, seed);
-        for workload in &workloads {
-            let ops = generate_family_ops(
-                &dist,
-                workload,
-                ops_per_process,
-                SettlePolicy::Every(6),
-                seed,
-            );
-            for latency in &latencies {
-                let config = SimConfig {
-                    latency: latency.clone(),
+    for topology_family in &topologies {
+        for family in &distributions {
+            let dist = family.build(n, 2 * n, seed);
+            for workload in &workloads {
+                let ops = generate_family_ops(
+                    &dist,
+                    workload,
+                    ops_per_process,
+                    SettlePolicy::Every(6),
                     seed,
-                    ..SimConfig::default()
-                };
-                for kind in ProtocolKind::ALL {
-                    let out = run_script(kind, &dist, &ops, config.clone(), false);
-                    rows.push(ScenarioMatrixRow {
-                        protocol: kind.name().to_string(),
-                        distribution: family.label(),
-                        workload: workload.label().to_string(),
-                        latency: latency_label(latency).to_string(),
-                        processes: n,
-                        messages: out.messages(),
-                        data_bytes: out.data_bytes(),
-                        control_bytes: out.control_bytes(),
-                        control_bytes_per_op: out.control_bytes_per_op(),
-                        virtual_nanos: out.virtual_time.as_nanos(),
-                    });
+                );
+                for latency in &latencies {
+                    if *topology_family != TopologyFamily::FullMesh
+                        && *latency != LatencyModel::default()
+                    {
+                        continue;
+                    }
+                    let topology = match topology_family {
+                        TopologyFamily::FullMesh => None,
+                        f => Some(f.build(n)),
+                    };
+                    let config = SimConfig {
+                        latency: latency.clone(),
+                        seed,
+                        topology,
+                        ..SimConfig::default()
+                    };
+                    for kind in ProtocolKind::ALL {
+                        let out = run_script(kind, &dist, &ops, config.clone(), false);
+                        rows.push(ScenarioMatrixRow {
+                            protocol: kind.name().to_string(),
+                            distribution: family.label(),
+                            workload: workload.label().to_string(),
+                            latency: latency_label(latency).to_string(),
+                            topology: topology_family.label().to_string(),
+                            processes: n,
+                            messages: out.messages(),
+                            data_bytes: out.data_bytes(),
+                            control_bytes: out.control_bytes(),
+                            control_bytes_per_op: out.control_bytes_per_op(),
+                            forwarded: out.forwarded,
+                            virtual_nanos: out.virtual_time.as_nanos(),
+                        });
+                    }
                 }
             }
         }
     }
     rows
+}
+
+/// One row of the routed-vs-mesh comparison (experiment E5): the same
+/// workload under one protocol, on one topology family, with its control
+/// bytes relative to the full-mesh run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoutedEfficiencyRow {
+    /// Topology family label.
+    pub topology: String,
+    /// Protocol measured.
+    pub protocol: ProtocolKind,
+    /// Messages on the wire (per hop).
+    pub messages: u64,
+    /// Transit envelopes forwarded by intermediate nodes.
+    pub forwarded: u64,
+    /// Control bytes on the wire (per hop).
+    pub control_bytes: u64,
+    /// This topology's control bytes divided by the full-mesh run's (1.0
+    /// on the mesh itself; the overlay's relaying overhead elsewhere).
+    pub control_ratio_vs_mesh: f64,
+}
+
+/// Run the standard synthetic workload under every protocol on every
+/// standard topology family and report each cell's control-byte cost
+/// relative to the full mesh. The workload script is identical across
+/// topologies — only the transport changes — so the ratio isolates what
+/// overlay routing costs on the wire.
+pub fn routed_vs_mesh_sweep(
+    n: usize,
+    ops_per_process: usize,
+    seed: u64,
+) -> Vec<RoutedEfficiencyRow> {
+    let dist = Distribution::random(n, 2 * n, 2, seed);
+    let ops = generate_family_ops(
+        &dist,
+        &WorkloadFamily::Uniform { write_ratio: 0.5 },
+        ops_per_process,
+        SettlePolicy::Every(6),
+        seed,
+    );
+    // Measure the mesh baseline first, independently of where (or
+    // whether) FullMesh appears in the standard topology list.
+    let mesh_control: std::collections::BTreeMap<ProtocolKind, u64> = ProtocolKind::ALL
+        .iter()
+        .map(|&kind| {
+            let config = SimConfig {
+                seed,
+                ..SimConfig::default()
+            };
+            let out = run_script(kind, &dist, &ops, config, false);
+            (kind, out.control_bytes())
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for family in standard_topologies() {
+        let topology = match &family {
+            TopologyFamily::FullMesh => None,
+            f => Some(f.build(n)),
+        };
+        let config = SimConfig {
+            seed,
+            topology,
+            ..SimConfig::default()
+        };
+        for kind in ProtocolKind::ALL {
+            let out = run_script(kind, &dist, &ops, config.clone(), false);
+            let control = out.control_bytes();
+            let mesh = mesh_control[&kind];
+            rows.push(RoutedEfficiencyRow {
+                topology: family.label().to_string(),
+                protocol: kind,
+                messages: out.messages(),
+                forwarded: out.forwarded,
+                control_bytes: control,
+                control_ratio_vs_mesh: if mesh == 0 {
+                    1.0
+                } else {
+                    control as f64 / mesh as f64
+                },
+            });
+        }
+    }
+    rows
+}
+
+/// The coordinates of [`scenario_matrix`] used for the checked-in
+/// `BENCH_baseline.json`: process count, ops per process, seed. Shared by
+/// the `baseline` binary's write and check modes so they always compare
+/// like with like.
+pub const BASELINE_COORDS: (usize, usize, u64) = (8, 6, 11);
+
+/// One control-byte regression found by [`compare_to_baseline`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum BaselineDiff {
+    /// The cell's control bytes grew beyond the tolerance.
+    Regression {
+        /// The cell coordinate ([`ScenarioMatrixRow::coordinate`]).
+        coordinate: String,
+        /// Control bytes recorded in the baseline.
+        baseline: u64,
+        /// Control bytes measured now.
+        current: u64,
+    },
+    /// A baseline cell is missing from the current sweep (the matrix
+    /// shape changed — regenerate the baseline deliberately).
+    Missing {
+        /// The vanished coordinate.
+        coordinate: String,
+    },
+    /// A current cell has no baseline entry (new sweep dimension —
+    /// regenerate the baseline deliberately).
+    New {
+        /// The unexpected coordinate.
+        coordinate: String,
+    },
+}
+
+impl std::fmt::Display for BaselineDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineDiff::Regression {
+                coordinate,
+                baseline,
+                current,
+            } => write!(
+                f,
+                "REGRESSION {coordinate}: control bytes {baseline} -> {current} (+{:.1}%)",
+                (*current as f64 / *baseline as f64 - 1.0) * 100.0
+            ),
+            BaselineDiff::Missing { coordinate } => {
+                write!(f, "MISSING {coordinate}: cell not produced any more")
+            }
+            BaselineDiff::New { coordinate } => {
+                write!(f, "NEW {coordinate}: cell has no baseline entry")
+            }
+        }
+    }
+}
+
+/// Compare a sweep against a recorded baseline. A cell regresses when its
+/// control bytes exceed the baseline by more than `tolerance` (relative,
+/// e.g. `0.02` = 2%); improvements never fail. Shape changes (missing or
+/// new coordinates) are also reported, so a deliberately regenerated
+/// baseline is the only way to change the matrix silently.
+pub fn compare_to_baseline(
+    baseline: &[ScenarioMatrixRow],
+    current: &[ScenarioMatrixRow],
+    tolerance: f64,
+) -> Vec<BaselineDiff> {
+    use std::collections::BTreeMap;
+    let current_by: BTreeMap<String, &ScenarioMatrixRow> =
+        current.iter().map(|r| (r.coordinate(), r)).collect();
+    let baseline_by: BTreeMap<String, &ScenarioMatrixRow> =
+        baseline.iter().map(|r| (r.coordinate(), r)).collect();
+    let mut diffs = Vec::new();
+    for (coordinate, base) in &baseline_by {
+        match current_by.get(coordinate) {
+            None => diffs.push(BaselineDiff::Missing {
+                coordinate: coordinate.clone(),
+            }),
+            Some(cur) => {
+                let limit = base.control_bytes as f64 * (1.0 + tolerance);
+                if cur.control_bytes as f64 > limit {
+                    diffs.push(BaselineDiff::Regression {
+                        coordinate: coordinate.clone(),
+                        baseline: base.control_bytes,
+                        current: cur.control_bytes,
+                    });
+                }
+            }
+        }
+    }
+    for coordinate in current_by.keys() {
+        if !baseline_by.contains_key(coordinate) {
+            diffs.push(BaselineDiff::New {
+                coordinate: coordinate.clone(),
+            });
+        }
+    }
+    diffs
 }
 
 #[cfg(test)]
@@ -295,16 +553,18 @@ mod tests {
     #[test]
     fn scenario_matrix_covers_the_full_sweep() {
         let rows = scenario_matrix(6, 4, 3);
-        // 3 distributions × 4 workloads × 3 latencies × 4 protocols.
-        let expected = standard_distributions().len()
-            * standard_workloads().len()
-            * standard_latencies().len()
+        // Mesh sweeps every latency; each sparse topology runs under the
+        // default model only (matching the scenario tour).
+        let cells = standard_distributions().len() * standard_workloads().len();
+        let expected = (cells * standard_latencies().len()
+            + cells * (standard_topologies().len() - 1))
             * ProtocolKind::ALL.len();
         assert_eq!(rows.len(), expected);
-        assert_eq!(expected, 144);
+        assert_eq!(expected, 288);
         assert!(rows.iter().all(|r| r.messages > 0 || r.control_bytes == 0));
-        // Within every (distribution, workload, latency) cell, PRAM partial
-        // never spends more control bytes than causal partial.
+        // Within every (distribution, workload, latency, topology) cell,
+        // PRAM partial never spends more control bytes than causal
+        // partial — on sparse routed topologies too.
         for chunk in rows.chunks(4) {
             let pram = chunk
                 .iter()
@@ -316,15 +576,113 @@ mod tests {
                 .unwrap();
             assert!(
                 pram.control_bytes <= cpart.control_bytes,
-                "{}/{}/{}",
+                "{}/{}/{}/{}",
                 pram.distribution,
                 pram.workload,
-                pram.latency
+                pram.latency,
+                pram.topology
             );
         }
+        // Sparse topologies relay: some cell somewhere forwarded traffic,
+        // and mesh cells never do.
+        assert!(rows.iter().any(|r| r.topology != "mesh" && r.forwarded > 0));
+        assert!(rows
+            .iter()
+            .all(|r| r.topology != "mesh" || r.forwarded == 0));
         // Rows serialize to JSON object lines.
         let json = rows[0].to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"control_bytes\""));
+        assert!(json.contains("\"topology\""));
+    }
+
+    #[test]
+    fn routed_vs_mesh_sweep_quantifies_relay_overhead() {
+        let rows = routed_vs_mesh_sweep(8, 6, 3);
+        assert_eq!(
+            rows.len(),
+            standard_topologies().len() * ProtocolKind::ALL.len()
+        );
+        for row in &rows {
+            if row.topology == "mesh" {
+                assert_eq!(row.forwarded, 0);
+                assert!((row.control_ratio_vs_mesh - 1.0).abs() < 1e-12);
+            } else {
+                // Relaying can only add wire traffic, never remove it.
+                assert!(
+                    row.control_ratio_vs_mesh >= 1.0,
+                    "{}/{}",
+                    row.topology,
+                    row.protocol
+                );
+            }
+        }
+        // Somewhere the overlay genuinely forwarded transit traffic.
+        assert!(rows.iter().any(|r| r.forwarded > 0));
+        // The paper's ordering survives routing: PRAM partial stays the
+        // cheapest protocol on every topology.
+        for family in standard_topologies() {
+            let on = |k: ProtocolKind| {
+                rows.iter()
+                    .find(|r| r.topology == family.label() && r.protocol == k)
+                    .unwrap()
+                    .control_bytes
+            };
+            assert!(on(ProtocolKind::PramPartial) < on(ProtocolKind::CausalPartial));
+            assert!(on(ProtocolKind::PramPartial) < on(ProtocolKind::CausalFull));
+        }
+    }
+
+    #[test]
+    fn matrix_rows_round_trip_through_json() {
+        let rows = scenario_matrix(4, 2, 5);
+        for row in &rows {
+            let parsed = ScenarioMatrixRow::from_json(&row.to_json()).unwrap();
+            assert_eq!(parsed.coordinate(), row.coordinate());
+            assert_eq!(parsed.messages, row.messages);
+            assert_eq!(parsed.data_bytes, row.data_bytes);
+            assert_eq!(parsed.control_bytes, row.control_bytes);
+            assert_eq!(parsed.forwarded, row.forwarded);
+            assert_eq!(parsed.virtual_nanos, row.virtual_nanos);
+        }
+        // Array framing (trailing comma, whitespace) is tolerated; other
+        // lines are not rows.
+        let line = format!("  {},", rows[0].to_json());
+        assert!(ScenarioMatrixRow::from_json(&line).is_some());
+        assert!(ScenarioMatrixRow::from_json("[").is_none());
+        assert!(ScenarioMatrixRow::from_json("]").is_none());
+    }
+
+    #[test]
+    fn baseline_comparison_flags_regressions_but_not_improvements() {
+        let rows = scenario_matrix(4, 2, 5);
+        // Identical sweeps: clean.
+        assert!(compare_to_baseline(&rows, &rows, 0.02).is_empty());
+
+        // A 10% control-byte increase on one cell fails at 2% tolerance…
+        let mut worse = rows.clone();
+        worse[0].control_bytes = (worse[0].control_bytes.max(10) as f64 * 1.10) as u64;
+        let diffs = compare_to_baseline(&rows, &worse, 0.02);
+        assert_eq!(diffs.len(), 1);
+        assert!(matches!(diffs[0], BaselineDiff::Regression { .. }));
+        assert!(diffs[0].to_string().contains("REGRESSION"));
+        // …but passes at 20% tolerance.
+        assert!(compare_to_baseline(&rows, &worse, 0.20).is_empty());
+
+        // Improvements never fail.
+        let mut better = rows.clone();
+        for r in &mut better {
+            r.control_bytes /= 2;
+        }
+        assert!(compare_to_baseline(&rows, &better, 0.0).is_empty());
+
+        // Shape changes are loud in both directions.
+        let shrunk = &rows[1..];
+        let diffs = compare_to_baseline(&rows, shrunk, 0.02);
+        assert_eq!(diffs.len(), 1);
+        assert!(matches!(diffs[0], BaselineDiff::Missing { .. }));
+        let diffs = compare_to_baseline(shrunk, &rows, 0.02);
+        assert_eq!(diffs.len(), 1);
+        assert!(matches!(diffs[0], BaselineDiff::New { .. }));
     }
 }

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The Memory Consistency System protocols provided by this crate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ProtocolKind {
     /// Causal consistency with **full replication**: every node replicates
     /// every variable; updates carry vector clocks and are broadcast to all

@@ -99,6 +99,18 @@ impl DynDsm {
         dispatch!(self, sys => sys.topology())
     }
 
+    /// Whether sends are relayed over shortest paths (sparse topology or
+    /// forced routing) rather than delivered on direct links.
+    pub fn is_routed(&self) -> bool {
+        dispatch!(self, sys => sys.is_routed())
+    }
+
+    /// Transit envelopes forwarded by intermediate nodes — the extra hops
+    /// the overlay pays compared to a full mesh (0 when direct).
+    pub fn forwarded_messages(&self) -> u64 {
+        dispatch!(self, sys => sys.forwarded_messages())
+    }
+
     /// Issue `w_p(var)value`.
     pub fn write(&mut self, p: ProcId, var: VarId, value: i64) -> Result<(), DsmError> {
         dispatch!(self, sys => sys.write(p, var, value))

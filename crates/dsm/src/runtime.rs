@@ -1,23 +1,30 @@
 //! The DSM runtime: application processes issuing reads and writes against
 //! MCS nodes hosted on a simulated cluster.
 //!
-//! [`DsmSystem`] glues the pieces together: it owns a [`simnet::Simulator`]
-//! whose nodes are the protocol's MCS processes, validates that application
-//! accesses respect the variable distribution (under partial replication a
-//! process may only touch the variables it replicates), records every
-//! operation for offline consistency checking, and exposes the network and
-//! control-information statistics the benchmarks report.
+//! [`DsmSystem`] glues the pieces together: it owns a
+//! [`simnet::Transport`] whose nodes are the protocol's MCS processes,
+//! validates that application accesses respect the variable distribution
+//! (under partial replication a process may only touch the variables it
+//! replicates), records every operation for offline consistency checking,
+//! and exposes the network and control-information statistics the
+//! benchmarks report.
+//!
+//! The MCS protocols assume any process can message any other. On a full
+//! mesh the transport sends directly, exactly as the paper's model; on a
+//! sparse topology ([`SimConfig::topology`]) the transport relays every
+//! logical send over BFS shortest paths, so all four protocols run
+//! unmodified on rings, grids, stars, or any strongly connected link set.
 
 use crate::api::{DsmError, ProtocolKind};
 use crate::control::ControlSummary;
 use crate::protocol::{McsNode, ProtocolSpec};
 use crate::recorder::Recorder;
 use histories::{Distribution, History, ProcId, Value, VarId};
-use simnet::{NetworkStats, NodeId, RunOutcome, SimConfig, SimTime, Simulator, Topology};
+use simnet::{NetworkStats, NodeId, RunOutcome, SimConfig, SimTime, Topology, Transport};
 
 /// A complete simulated DSM deployment for protocol `P`.
 pub struct DsmSystem<P: ProtocolSpec> {
-    sim: Simulator<P::Msg, P::Node>,
+    net: Transport<P::Msg, P::Node>,
     dist: Distribution,
     recorder: Recorder,
 }
@@ -32,9 +39,14 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     ///
     /// The topology comes from `config.topology` when set (it must span
     /// exactly one node per process); otherwise a full mesh over the
-    /// distribution's processes is used. Note that the MCS protocols
-    /// assume any process can message any other, so a sparser topology is
-    /// only safe when the workload's communication pattern fits inside it.
+    /// distribution's processes is used. Under the default
+    /// [`RoutingMode::Auto`](simnet::RoutingMode) a full mesh sends
+    /// directly and anything sparser is relayed over shortest paths, so
+    /// any strongly connected topology works for every protocol.
+    ///
+    /// Panics if the topology's node count disagrees with the
+    /// distribution, or if routing is required but the topology is not
+    /// strongly connected.
     pub fn with_config(dist: Distribution, config: SimConfig) -> Self {
         let nodes = P::build_nodes(&dist);
         let topology = match &config.topology {
@@ -48,10 +60,10 @@ impl<P: ProtocolSpec> DsmSystem<P> {
             }
             None => Topology::full_mesh(dist.process_count()),
         };
-        let sim = Simulator::new(topology, config, nodes);
+        let net = Transport::new(topology, config, nodes).unwrap_or_else(|e| panic!("{e}"));
         let recorder = Recorder::new(dist.process_count());
         DsmSystem {
-            sim,
+            net,
             dist,
             recorder,
         }
@@ -79,12 +91,24 @@ impl<P: ProtocolSpec> DsmSystem<P> {
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.sim.now()
+        self.net.now()
     }
 
     /// The network topology the deployment runs over.
     pub fn topology(&self) -> &Topology {
-        self.sim.topology()
+        self.net.topology()
+    }
+
+    /// Whether sends are relayed over shortest paths (sparse topology or
+    /// forced routing) rather than delivered on direct links.
+    pub fn is_routed(&self) -> bool {
+        self.net.is_routed()
+    }
+
+    /// Transit envelopes forwarded by intermediate nodes — the extra hops
+    /// the overlay pays compared to a full mesh (0 when direct).
+    pub fn forwarded_messages(&self) -> u64 {
+        self.net.forwarded_messages()
     }
 
     fn validate(&self, p: ProcId, var: VarId) -> Result<(), DsmError> {
@@ -101,7 +125,7 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     pub fn write(&mut self, p: ProcId, var: VarId, value: i64) -> Result<(), DsmError> {
         self.validate(p, var)?;
         self.recorder.record_write(p, var, value);
-        self.sim.with_node(NodeId(p.index()), |node, ctx| {
+        self.net.with_node(NodeId(p.index()), |node, ctx| {
             node.local_write(ctx, var, value);
         });
         Ok(())
@@ -111,7 +135,7 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     pub fn read(&mut self, p: ProcId, var: VarId) -> Result<Value, DsmError> {
         self.validate(p, var)?;
         let value = self
-            .sim
+            .net
             .with_node(NodeId(p.index()), |node, _ctx| node.local_read(var));
         self.recorder.record_read(p, var, value);
         Ok(value)
@@ -119,28 +143,28 @@ impl<P: ProtocolSpec> DsmSystem<P> {
 
     /// Deliver every in-flight message (run the network to quiescence).
     pub fn settle(&mut self) -> RunOutcome {
-        self.sim.run_until_quiescent()
+        self.net.run_until_quiescent()
     }
 
     /// Deliver at most one pending message; returns `false` when idle.
     pub fn step(&mut self) -> bool {
-        self.sim.step()
+        self.net.step()
     }
 
     /// Number of messages still in flight.
     pub fn pending_messages(&self) -> usize {
-        self.sim.pending_events()
+        self.net.pending_events()
     }
 
     /// Network-level statistics (messages, data bytes, control bytes).
     pub fn network_stats(&self) -> &NetworkStats {
-        self.sim.stats()
+        self.net.stats()
     }
 
     /// Per-node control-information accounting.
     pub fn control_summary(&self) -> ControlSummary {
         let stats = (0..self.process_count())
-            .map(|i| self.sim.node(NodeId(i)).control().clone())
+            .map(|i| self.net.node(NodeId(i)).control().clone())
             .collect();
         ControlSummary::new(stats)
     }
@@ -158,7 +182,7 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     /// Direct read of a node's replica without recording an application
     /// operation (used by tests and convergence checks).
     pub fn peek(&self, p: ProcId, var: VarId) -> Value {
-        self.sim.node(NodeId(p.index())).local_read(var)
+        self.net.node(NodeId(p.index())).local_read(var)
     }
 }
 
@@ -307,9 +331,79 @@ mod tests {
         };
         let mut sys: DsmSystem<PramPartial> = DsmSystem::with_config(partial_dist(), config);
         assert_eq!(sys.topology().link_count(), 8);
+        assert!(sys.is_routed());
         sys.write(ProcId(0), VarId(0), 3).unwrap();
         sys.settle();
         assert_eq!(sys.peek(ProcId(1), VarId(0)), Value::Int(3));
+        // Ring neighbours: the update took its direct link, nothing was
+        // forwarded in transit.
+        assert_eq!(sys.forwarded_messages(), 0);
+    }
+
+    fn sparse_topologies(n: usize) -> Vec<Topology> {
+        vec![
+            Topology::ring(n),
+            Topology::star(n),
+            Topology::line(n),
+            Topology::grid_of(n),
+        ]
+    }
+
+    /// A protocol that broadcasts (causal-partial spreads control records
+    /// to *every* node) completes on sparse topologies with the same
+    /// replica contents and control tracking as on the full mesh.
+    #[test]
+    fn broadcasting_protocols_run_on_sparse_topologies() {
+        for topology in sparse_topologies(4) {
+            let config = SimConfig {
+                topology: Some(topology.clone()),
+                ..SimConfig::default()
+            };
+            let mut sys: DsmSystem<CausalPartial> = DsmSystem::with_config(partial_dist(), config);
+            assert!(sys.is_routed());
+            sys.write(ProcId(0), VarId(0), 10).unwrap();
+            sys.settle();
+            let summary = sys.control_summary();
+            for p in 0..4 {
+                assert!(
+                    summary.node(ProcId(p)).tracks(VarId(0)),
+                    "p{p} must process metadata about x0 on {topology:?}"
+                );
+            }
+            assert_eq!(sys.peek(ProcId(1), VarId(0)), Value::Int(10));
+            assert_eq!(sys.peek(ProcId(2), VarId(0)), Value::Bottom);
+        }
+    }
+
+    #[test]
+    fn sequencer_converges_on_a_star_topology() {
+        // Leaves can only talk to the hub; sequencer traffic (requests to
+        // p0, broadcasts back) plus relayed leaf-to-leaf messages all
+        // route through it.
+        let config = SimConfig {
+            topology: Some(Topology::star(4)),
+            ..SimConfig::default()
+        };
+        let mut sys: DsmSystem<Sequential> =
+            DsmSystem::with_config(Distribution::full(4, 1), config);
+        sys.write(ProcId(1), VarId(0), 11).unwrap();
+        sys.write(ProcId(2), VarId(0), 22).unwrap();
+        sys.write(ProcId(3), VarId(0), 33).unwrap();
+        sys.settle();
+        let final_value = sys.peek(ProcId(0), VarId(0));
+        for p in 1..4 {
+            assert_eq!(sys.peek(ProcId(p), VarId(0)), final_value);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no path")]
+    fn disconnected_topology_is_rejected_at_construction() {
+        let config = SimConfig {
+            topology: Some(Topology::explicit(4, [(0, 1), (1, 0), (2, 3), (3, 2)])),
+            ..SimConfig::default()
+        };
+        let _sys: DsmSystem<PramPartial> = DsmSystem::with_config(partial_dist(), config);
     }
 
     #[test]

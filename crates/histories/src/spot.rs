@@ -1,0 +1,372 @@
+//! A polynomial-time PRAM *spot-checker*.
+//!
+//! The full checkers in [`crate::checker`] search for the per-process
+//! serializations the consistency definitions require; that search is
+//! worst-case exponential, so large sweep cells cap it (the scenario tour
+//! only runs it on histories of ≤ 24 operations). This module provides the
+//! complementary tool for everything above the cap: a linear scan that is
+//! **sound for violations** — every history it rejects is genuinely not
+//! PRAM consistent — but incomplete (a pass does not prove consistency).
+//!
+//! The scan exploits the PRAM obligation directly: process `p`'s
+//! serialization of `H_{p+w}` must contain every writer's writes in that
+//! writer's program order, and a read returns the last write to its
+//! variable. Scanning `p`'s operations in program order while tracking,
+//! per writer `q`, the prefix of `q`'s writes that is already forced to
+//! precede the current point (because `p` read one of them, or issued
+//! them itself), two situations are contradictions no serialization can
+//! resolve:
+//!
+//! * **stale read** — `p` reads `q`'s `k`-th write of variable `x` after
+//!   the forced prefix of `q` already contains a *later* write of `q` to
+//!   `x`: that later write sits between the `k`-th write and the read in
+//!   every admissible serialization, so the read can never return the
+//!   `k`-th write's value;
+//! * **`⊥` after a write** — `p` reads `⊥` from `x` although a write to
+//!   `x` is already forced before the current point.
+//!
+//! Both checks use only program orders and the read-from relation, so the
+//! whole scan is `O(n · |H|)` for `n` processes.
+
+use crate::history::{History, OpIdx};
+use crate::op::{ProcId, Value, VarId};
+use crate::read_from::{ReadFrom, ReadFromError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A contradiction found by [`pram_spot_check`]. Every variant is a
+/// definite PRAM violation (soundness); the checker stops at the first
+/// one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpotViolation {
+    /// The read-from relation could not be inferred.
+    ReadFrom(ReadFromError),
+    /// `read` returns `source`, but `reader` had already observed
+    /// `newer` — a later write by the same writer to the same variable.
+    StaleRead {
+        /// The process whose scan found the contradiction.
+        reader: ProcId,
+        /// The offending read.
+        read: OpIdx,
+        /// The write the read returns.
+        source: OpIdx,
+        /// The same writer's later write to the same variable that is
+        /// already forced before the read.
+        newer: OpIdx,
+    },
+    /// `read` returns `⊥` although `earlier_write` (to the same variable)
+    /// is already forced before it.
+    BottomAfterWrite {
+        /// The process whose scan found the contradiction.
+        reader: ProcId,
+        /// The offending `⊥` read.
+        read: OpIdx,
+        /// A write to the read's variable already observed by the reader.
+        earlier_write: OpIdx,
+    },
+}
+
+impl fmt::Display for SpotViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpotViolation::ReadFrom(e) => write!(f, "read-from inference failed: {e}"),
+            SpotViolation::StaleRead {
+                reader,
+                read,
+                source,
+                newer,
+            } => write!(
+                f,
+                "{reader} reads {read:?} from {source:?} after observing the later write {newer:?} to the same variable"
+            ),
+            SpotViolation::BottomAfterWrite {
+                reader,
+                read,
+                earlier_write,
+            } => write!(
+                f,
+                "{reader} reads ⊥ at {read:?} after observing write {earlier_write:?} to the same variable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpotViolation {}
+
+/// Scan a history for definite PRAM violations in polynomial time.
+///
+/// Returns `Ok(())` when no contradiction is found — which does **not**
+/// prove PRAM consistency (use [`crate::check`] for the complete, possibly
+/// exponential answer) — and the first [`SpotViolation`] otherwise. Any
+/// history rejected here is also rejected by the full PRAM checker.
+pub fn pram_spot_check(h: &History) -> Result<(), SpotViolation> {
+    let rf = ReadFrom::infer(h).map_err(SpotViolation::ReadFrom)?;
+
+    // Per writer q: q's writes in program order, and each write's index in
+    // that sequence.
+    let n = h.process_count();
+    let mut writes_of: Vec<Vec<OpIdx>> = vec![Vec::new(); n];
+    let mut write_index: BTreeMap<OpIdx, usize> = BTreeMap::new();
+    for (q, writes) in writes_of.iter_mut().enumerate() {
+        for &idx in h.local(ProcId(q)) {
+            if h.op(idx).is_write() {
+                write_index.insert(idx, writes.len());
+                writes.push(idx);
+            }
+        }
+    }
+
+    for p in 0..n {
+        let reader = ProcId(p);
+        // forced[q]: how many of q's writes (a program-order prefix) are
+        // already forced before the current point of p's serialization.
+        let mut forced: Vec<usize> = vec![0; n];
+        // For each variable: the latest forced write to it by each writer
+        // would do, but the checks only need (a) *some* forced write — for
+        // the ⊥ rule — and (b) the highest forced write index per
+        // (writer, variable) — for the stale rule.
+        let mut seen_var: BTreeMap<VarId, OpIdx> = BTreeMap::new();
+        let mut max_forced_to: Vec<BTreeMap<VarId, usize>> = vec![BTreeMap::new(); n];
+
+        let advance = |q: usize,
+                       upto: usize,
+                       forced: &mut Vec<usize>,
+                       seen_var: &mut BTreeMap<VarId, OpIdx>,
+                       max_forced_to: &mut Vec<BTreeMap<VarId, usize>>| {
+            while forced[q] < upto {
+                let w = writes_of[q][forced[q]];
+                let var = h.op(w).var;
+                seen_var.entry(var).or_insert(w);
+                max_forced_to[q].insert(var, forced[q]);
+                forced[q] += 1;
+            }
+        };
+
+        for &idx in h.local(reader) {
+            let op = h.op(idx);
+            if op.is_write() {
+                // p's own writes are forced at their program positions.
+                let k = write_index[&idx];
+                advance(p, k + 1, &mut forced, &mut seen_var, &mut max_forced_to);
+                continue;
+            }
+            match op.value {
+                Value::Bottom => {
+                    if let Some(&w) = seen_var.get(&op.var) {
+                        return Err(SpotViolation::BottomAfterWrite {
+                            reader,
+                            read: idx,
+                            earlier_write: w,
+                        });
+                    }
+                }
+                Value::Int(_) => {
+                    // Non-⊥ reads always have a source after successful
+                    // read-from inference.
+                    let source = rf.source_of(idx).expect("inferred read has a source");
+                    let q = h.op(source).proc.index();
+                    let k = write_index[&source];
+                    if let Some(&newest) = max_forced_to[q].get(&op.var) {
+                        if newest > k {
+                            return Err(SpotViolation::StaleRead {
+                                reader,
+                                read: idx,
+                                source,
+                                newer: writes_of[q][newest],
+                            });
+                        }
+                    }
+                    advance(q, k + 1, &mut forced, &mut seen_var, &mut max_forced_to);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, Criterion};
+    use crate::history::HistoryBuilder;
+
+    /// Every spot-checker rejection must be confirmed by the complete
+    /// (exponential) PRAM checker — the soundness contract.
+    fn assert_sound(h: &History) {
+        if pram_spot_check(h).is_err() {
+            assert!(
+                !check(h, Criterion::Pram).consistent,
+                "spot checker flagged a PRAM-consistent history:\n{}",
+                h.pretty()
+            );
+        }
+    }
+
+    #[test]
+    fn stale_read_of_the_same_writer_is_flagged() {
+        // p0: w(x)1, w(x)2   p1: r(x)2, r(x)1
+        let mut hb = HistoryBuilder::new(2);
+        let w1 = hb.write(ProcId(0), VarId(0), 1);
+        let w2 = hb.write(ProcId(0), VarId(0), 2);
+        hb.read_int(ProcId(1), VarId(0), 2);
+        let r1 = hb.read_int(ProcId(1), VarId(0), 1);
+        let h = hb.build();
+        assert_eq!(
+            pram_spot_check(&h),
+            Err(SpotViolation::StaleRead {
+                reader: ProcId(1),
+                read: r1,
+                source: w1,
+                newer: w2,
+            })
+        );
+        assert_sound(&h);
+    }
+
+    #[test]
+    fn bottom_after_an_observed_write_is_flagged() {
+        // p0: w(x)1   p1: r(x)1, r(x)⊥
+        let mut hb = HistoryBuilder::new(2);
+        let w = hb.write(ProcId(0), VarId(0), 1);
+        hb.read_int(ProcId(1), VarId(0), 1);
+        let rb = hb.read_bottom(ProcId(1), VarId(0));
+        let h = hb.build();
+        assert_eq!(
+            pram_spot_check(&h),
+            Err(SpotViolation::BottomAfterWrite {
+                reader: ProcId(1),
+                read: rb,
+                earlier_write: w,
+            })
+        );
+        assert_sound(&h);
+    }
+
+    #[test]
+    fn bottom_after_own_write_is_flagged() {
+        let mut hb = HistoryBuilder::new(1);
+        hb.write(ProcId(0), VarId(0), 1);
+        hb.read_bottom(ProcId(0), VarId(0));
+        let h = hb.build();
+        assert!(matches!(
+            pram_spot_check(&h),
+            Err(SpotViolation::BottomAfterWrite { .. })
+        ));
+        assert_sound(&h);
+    }
+
+    #[test]
+    fn observing_a_writer_indirectly_forces_its_earlier_writes() {
+        // p0: w(x)1, w(y)2   p1: r(y)2, r(x)⊥
+        // Reading y=2 forces w(x)1 (earlier in p0's program order) before
+        // the ⊥ read of x.
+        let mut hb = HistoryBuilder::new(2);
+        hb.write(ProcId(0), VarId(0), 1);
+        hb.write(ProcId(0), VarId(1), 2);
+        hb.read_int(ProcId(1), VarId(1), 2);
+        hb.read_bottom(ProcId(1), VarId(0));
+        let h = hb.build();
+        assert!(matches!(
+            pram_spot_check(&h),
+            Err(SpotViolation::BottomAfterWrite { .. })
+        ));
+        assert_sound(&h);
+    }
+
+    #[test]
+    fn pram_consistent_disagreement_passes() {
+        // The canonical causal-but-not-sequential history: different
+        // processes may see different writers' writes in different orders.
+        let mut hb = HistoryBuilder::new(4);
+        hb.write(ProcId(0), VarId(0), 1);
+        hb.write(ProcId(1), VarId(0), 2);
+        hb.read_int(ProcId(2), VarId(0), 1);
+        hb.read_int(ProcId(2), VarId(0), 2);
+        hb.read_int(ProcId(3), VarId(0), 2);
+        hb.read_int(ProcId(3), VarId(0), 1);
+        let h = hb.build();
+        assert_eq!(pram_spot_check(&h), Ok(()));
+        assert!(check(&h, Criterion::Pram).consistent);
+    }
+
+    #[test]
+    fn pram_but_not_causal_history_passes() {
+        // p0: w(x)1   p1: r(x)1, w(x)2   p2: r(x)2, r(x)1
+        let mut hb = HistoryBuilder::new(3);
+        hb.write(ProcId(0), VarId(0), 1);
+        hb.read_int(ProcId(1), VarId(0), 1);
+        hb.write(ProcId(1), VarId(0), 2);
+        hb.read_int(ProcId(2), VarId(0), 2);
+        hb.read_int(ProcId(2), VarId(0), 1);
+        let h = hb.build();
+        assert_eq!(pram_spot_check(&h), Ok(()));
+        assert!(check(&h, Criterion::Pram).consistent);
+    }
+
+    #[test]
+    fn dangling_read_is_a_read_from_violation() {
+        let mut hb = HistoryBuilder::new(1);
+        hb.read_int(ProcId(0), VarId(0), 42);
+        let h = hb.build();
+        assert!(matches!(
+            pram_spot_check(&h),
+            Err(SpotViolation::ReadFrom(_))
+        ));
+    }
+
+    #[test]
+    fn empty_and_write_only_histories_pass() {
+        assert_eq!(pram_spot_check(&HistoryBuilder::new(3).build()), Ok(()));
+        let mut hb = HistoryBuilder::new(2);
+        hb.write(ProcId(0), VarId(0), 1);
+        hb.write(ProcId(1), VarId(1), 2);
+        assert_eq!(pram_spot_check(&hb.build()), Ok(()));
+    }
+
+    #[test]
+    fn agreement_with_the_complete_checker_on_exhaustive_small_histories() {
+        // Enumerate all 2-process histories of the shape
+        //   p0: w(x)1, w(x)2   p1: four reads of x drawn from {⊥, 1, 2}
+        // and check soundness (spot reject ⇒ full reject) on each.
+        let values = [Value::Bottom, Value::Int(1), Value::Int(2)];
+        let mut spot_rejections = 0;
+        for a in values {
+            for b in values {
+                for c in values {
+                    let mut hb = HistoryBuilder::new(2);
+                    hb.write(ProcId(0), VarId(0), 1);
+                    hb.write(ProcId(0), VarId(0), 2);
+                    for v in [a, b, c] {
+                        hb.read(ProcId(1), VarId(0), v);
+                    }
+                    let h = hb.build();
+                    assert_sound(&h);
+                    if pram_spot_check(&h).is_err() {
+                        spot_rejections += 1;
+                    }
+                }
+            }
+        }
+        // Sanity: the family does contain violations the scan catches
+        // (e.g. 2 then 1, or 1 then ⊥).
+        assert!(spot_rejections >= 10, "caught {spot_rejections}");
+    }
+
+    #[test]
+    fn violations_render_readably() {
+        let v = SpotViolation::StaleRead {
+            reader: ProcId(1),
+            read: OpIdx(3),
+            source: OpIdx(0),
+            newer: OpIdx(1),
+        };
+        assert!(v.to_string().contains("p1"));
+        assert!(v.to_string().contains("later write"));
+        let b = SpotViolation::BottomAfterWrite {
+            reader: ProcId(0),
+            read: OpIdx(2),
+            earlier_write: OpIdx(1),
+        };
+        assert!(b.to_string().contains("⊥"));
+    }
+}

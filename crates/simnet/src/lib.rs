@@ -14,10 +14,17 @@
 //!   and control-metadata byte accounting (see [`message::WireSize`]).
 //! * [`channel::Channel`] and [`channel::LatencyModel`] — reliable FIFO
 //!   links with constant or seeded-jitter latency.
-//! * [`network::Topology`] — which pairs of nodes may communicate.
+//! * [`network::Topology`] — which pairs of nodes may communicate (full
+//!   mesh, ring, grid, star, line, or arbitrary directed link sets).
 //! * [`node::Node`] — the trait protocol state machines implement.
 //! * [`sim::Simulator`] — the event-driven driver (run to quiescence,
 //!   bounded runs, deterministic tie-breaking).
+//! * [`route::Router`] / [`route::Relay`] — overlay routing: BFS
+//!   shortest-path tables and relay envelopes that let any-to-any
+//!   protocols run on sparse topologies.
+//! * [`transport::Transport`] — the send surface drivers use instead of
+//!   the raw simulator; picks direct or routed delivery per
+//!   [`transport::RoutingMode`].
 //! * [`stats::NetworkStats`] — per-link and per-node counters used by the
 //!   benchmark harness to quantify "control information" overhead.
 //! * [`trace::EventTrace`] — optional structured trace of every delivery.
@@ -35,17 +42,21 @@ pub mod event;
 pub mod message;
 pub mod network;
 pub mod node;
+pub mod route;
 pub mod sim;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod transport;
 
 pub use channel::{Channel, LatencyModel};
 pub use event::{Event, EventKind, EventQueue};
 pub use message::{Envelope, NodeId, WireSize};
 pub use network::Topology;
 pub use node::{Node, NodeContext};
-pub use sim::{RunOutcome, SimConfig, Simulator};
+pub use route::{Relay, RouteError, Routed, Router};
+pub use sim::{RunOutcome, SendError, SimConfig, Simulator};
 pub use stats::{LinkStats, NetworkStats, NodeStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{EventTrace, TraceEntry};
+pub use transport::{RoutingMode, Transport};

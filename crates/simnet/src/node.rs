@@ -72,6 +72,13 @@ impl<P> NodeContext<P> {
     pub fn queued_messages(&self) -> usize {
         self.outbox.len()
     }
+
+    /// Consume the context, returning the buffered sends and timer
+    /// requests (used by the routing layer to re-address sends).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(self) -> (Vec<(NodeId, P)>, Vec<(SimDuration, u64)>) {
+        (self.outbox, self.timers)
+    }
 }
 
 /// A protocol state machine hosted on a simulated node.

@@ -15,7 +15,36 @@ use crate::node::{Node, NodeContext};
 use crate::stats::NetworkStats;
 use crate::time::SimTime;
 use crate::trace::{EventTrace, TraceEntry};
+use crate::transport::RoutingMode;
 use std::fmt;
+
+/// A send was addressed to a node pair the topology does not link.
+///
+/// The raw [`Simulator`] never relays: it surfaces this typed error (or
+/// panics with its message, in the infallible entry points). The routing
+/// layer ([`crate::route`]) is the only place that converts a missing
+/// link into a routing decision — anything built on
+/// [`Transport`](crate::transport::Transport) never sees this error on a
+/// connected topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendError {
+    /// The node that attempted the send.
+    pub from: NodeId,
+    /// The unreachable destination.
+    pub to: NodeId,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node {} attempted to send to {} but the topology has no such link",
+            self.from, self.to
+        )
+    }
+}
+
+impl std::error::Error for SendError {}
 
 /// Configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -32,6 +61,11 @@ pub struct SimConfig {
     /// [`Simulator`] (like the DSM runtime) honour this; `None` means "use
     /// the driver's default" (a full mesh for the DSM protocols).
     pub topology: Option<Topology>,
+    /// Whether sends are relayed over shortest paths or must be direct
+    /// links. Only honoured by drivers that build a
+    /// [`Transport`](crate::transport::Transport) (like the DSM runtime);
+    /// a raw [`Simulator`] is always direct.
+    pub routing: RoutingMode,
 }
 
 impl Default for SimConfig {
@@ -42,6 +76,7 @@ impl Default for SimConfig {
             trace_capacity: None,
             max_events: 0,
             topology: None,
+            routing: RoutingMode::Auto,
         }
     }
 }
@@ -182,40 +217,75 @@ where
     /// Invoke `on_start` on every node (in id order) if not already done.
     /// Called automatically by the run methods; exposed for tests that want
     /// to inspect the state between start-up and the first delivery.
+    ///
+    /// Panics if a start-up send targets a missing link (see
+    /// [`Simulator::try_with_node`] for the error contract).
     pub fn start(&mut self) {
+        self.try_start().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn try_start(&mut self) -> Result<(), SendError> {
         if self.started {
-            return;
+            return Ok(());
         }
         self.started = true;
         for i in 0..self.nodes.len() {
             let mut ctx = NodeContext::new(NodeId(i), self.now);
             self.nodes[i].on_start(&mut ctx);
-            self.flush_context(NodeId(i), ctx);
+            self.flush_context(NodeId(i), ctx)?;
         }
+        Ok(())
     }
 
     /// Run `f` against node `id`'s state machine with a messaging context,
     /// then schedule whatever it sent. This is how application-level
     /// operations (reads/writes issued by application processes) enter the
     /// protocol.
+    ///
+    /// Panics with a [`SendError`] message if `f` sent to a node pair the
+    /// topology does not link; use [`Simulator::try_with_node`] to handle
+    /// that case.
     pub fn with_node<R>(
         &mut self,
         id: NodeId,
         f: impl FnOnce(&mut N, &mut NodeContext<P>) -> R,
     ) -> R {
-        self.start();
+        self.try_with_node(id, f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Simulator::with_node`]: returns the
+    /// [`SendError`] of the first buffered send that targets a missing
+    /// link. The node's state change still applies (the callback already
+    /// ran); its timers and the sends buffered before the offending one
+    /// are scheduled.
+    pub fn try_with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut N, &mut NodeContext<P>) -> R,
+    ) -> Result<R, SendError> {
+        self.try_start()?;
         let mut ctx = NodeContext::new(id, self.now);
         let r = f(&mut self.nodes[id.index()], &mut ctx);
-        self.flush_context(id, ctx);
-        r
+        self.flush_context(id, ctx)?;
+        Ok(r)
     }
 
     /// Process the next pending event, if any. Returns `false` when the
     /// queue is empty.
+    ///
+    /// Panics with a [`SendError`] message if the handled event caused a
+    /// send over a missing link; use [`Simulator::try_step`] to handle it.
     pub fn step(&mut self) -> bool {
-        self.start();
+        self.try_step().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Simulator::step`]: returns the [`SendError`]
+    /// of the first send over a missing link triggered by the handled
+    /// event (the event itself is still consumed).
+    pub fn try_step(&mut self) -> Result<bool, SendError> {
+        self.try_start()?;
         let Some(event) = self.queue.pop() else {
-            return false;
+            return Ok(false);
         };
         debug_assert!(event.at >= self.now, "time must not run backwards");
         self.now = event.at;
@@ -239,7 +309,7 @@ where
                 }
                 let mut ctx = NodeContext::new(to, self.now);
                 self.nodes[to.index()].on_message(&mut ctx, from, payload);
-                self.flush_context(to, ctx);
+                self.flush_context(to, ctx)?;
             }
             EventKind::Timer { node, tag } => {
                 if self.trace.is_enabled() {
@@ -251,24 +321,33 @@ where
                 }
                 let mut ctx = NodeContext::new(node, self.now);
                 self.nodes[node.index()].on_timer(&mut ctx, tag);
-                self.flush_context(node, ctx);
+                self.flush_context(node, ctx)?;
             }
         }
-        true
+        Ok(true)
     }
 
     /// Run until no events remain or the `max_events` budget is exhausted.
+    ///
+    /// Panics with a [`SendError`] message on a send over a missing link;
+    /// use [`Simulator::try_run_until_quiescent`] to handle it.
     pub fn run_until_quiescent(&mut self) -> RunOutcome {
-        self.start();
+        self.try_run_until_quiescent()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Simulator::run_until_quiescent`].
+    pub fn try_run_until_quiescent(&mut self) -> Result<RunOutcome, SendError> {
+        self.try_start()?;
         let mut processed = 0u64;
         while !self.queue.is_empty() {
             if self.config.max_events > 0 && processed >= self.config.max_events {
-                return RunOutcome::Exhausted { events: processed };
+                return Ok(RunOutcome::Exhausted { events: processed });
             }
-            self.step();
+            self.try_step()?;
             processed += 1;
         }
-        RunOutcome::Quiescent { events: processed }
+        Ok(RunOutcome::Quiescent { events: processed })
     }
 
     /// Run until virtual time reaches `deadline` or the system quiesces.
@@ -297,22 +376,24 @@ where
         (self.nodes, self.stats, self.trace)
     }
 
-    fn flush_context(&mut self, origin: NodeId, ctx: NodeContext<P>) {
+    fn flush_context(&mut self, origin: NodeId, ctx: NodeContext<P>) -> Result<(), SendError> {
         let NodeContext { outbox, timers, .. } = ctx;
-        for (to, payload) in outbox {
-            self.send_message(origin, to, payload);
-        }
+        // Timers cannot fail; schedule them first so a SendError on a later
+        // send never silently drops a timer the same callback requested.
         for (delay, tag) in timers {
             self.queue
                 .push(self.now + delay, EventKind::Timer { node: origin, tag });
         }
+        for (to, payload) in outbox {
+            self.send_message(origin, to, payload)?;
+        }
+        Ok(())
     }
 
-    fn send_message(&mut self, from: NodeId, to: NodeId, payload: P) {
-        assert!(
-            self.topology.connected(from, to),
-            "node {from} attempted to send to {to} but the topology has no such link"
-        );
+    fn send_message(&mut self, from: NodeId, to: NodeId, payload: P) -> Result<(), SendError> {
+        if !self.topology.connected(from, to) {
+            return Err(SendError { from, to });
+        }
         let bytes = payload.total_bytes();
         let slot = from.index() * self.topology.node_count() + to.index();
         let config = &self.config;
@@ -340,6 +421,7 @@ where
                 payload,
             },
         );
+        Ok(())
     }
 }
 
@@ -464,6 +546,31 @@ mod tests {
             // 0 -> 2 is not a ring edge.
             ctx.send(NodeId(2), RawPayload::new(1, 0));
         });
+    }
+
+    #[test]
+    fn sending_outside_topology_is_a_typed_error() {
+        let mut sim = ring_sim(5, 0);
+        let err = sim
+            .try_with_node(NodeId(0), |_n, ctx| {
+                ctx.send(NodeId(2), RawPayload::new(1, 0));
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SendError {
+                from: NodeId(0),
+                to: NodeId(2)
+            }
+        );
+        assert!(err.to_string().contains("n0"));
+        assert!(err.to_string().contains("n2"));
+        // Legal sends keep working afterwards.
+        let ok = sim.try_with_node(NodeId(0), |_n, ctx| {
+            ctx.send(NodeId(1), RawPayload::new(1, 0));
+        });
+        assert!(ok.is_ok());
+        assert!(sim.try_run_until_quiescent().is_ok());
     }
 
     #[test]

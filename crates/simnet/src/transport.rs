@@ -1,0 +1,364 @@
+//! The transport layer: one send surface over direct and routed networks.
+//!
+//! Protocol drivers (the DSM runtime in the `dsm` crate) do not talk to
+//! [`Simulator`] directly any more; they go through a [`Transport`], which
+//! decides *how* a logical send reaches its destination:
+//!
+//! * [`Transport::Direct`] — every send uses the topology link it names.
+//!   This is the classical full-mesh deployment; a send between
+//!   non-neighbours is a [`SendError`].
+//! * [`Transport::Routed`] — protocol nodes are wrapped in
+//!   [`Relay`](crate::route::Relay)s and every logical send travels as a
+//!   [`Routed`] envelope over BFS shortest paths, one channel hop at a
+//!   time. Any connected topology works, and per-hop latency and
+//!   statistics are accounted by the simulator as usual.
+//!
+//! [`RoutingMode::Auto`] (the default) picks direct on a full mesh and
+//! routed otherwise, so existing full-mesh runs keep byte-identical
+//! behaviour while sparse topologies just work. `ForceRouted` exists so
+//! differential tests can pin routed-full-mesh ≡ direct-full-mesh.
+
+use crate::message::{NodeId, WireSize};
+use crate::network::Topology;
+use crate::node::{Node, NodeContext};
+use crate::route::{route_outbox, Relay, RouteError, Routed, Router};
+use crate::sim::{RunOutcome, SimConfig, Simulator};
+use crate::stats::NetworkStats;
+use crate::time::SimTime;
+use crate::trace::EventTrace;
+use std::fmt;
+use std::sync::Arc;
+
+/// How a [`Transport`] carries logical sends over the topology.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RoutingMode {
+    /// Direct on a full mesh, routed on anything sparser.
+    #[default]
+    Auto,
+    /// Always relay over shortest paths, even on a full mesh (where every
+    /// route is the single direct link, making the run byte-identical to
+    /// `Direct` — the property the differential tests pin down).
+    ForceRouted,
+    /// Never relay: sends must be direct topology links, as in the
+    /// original any-to-any deployment.
+    Direct,
+}
+
+/// A simulated network that protocol nodes send through.
+///
+/// Mirrors the [`Simulator`] surface (`with_node`, `step`,
+/// `run_until_quiescent`, statistics, traces, `into_parts`) while hiding
+/// whether messages are delivered directly or relayed hop by hop.
+pub enum Transport<P, N> {
+    /// Direct sends over topology links.
+    Direct(Simulator<P, N>),
+    /// Multi-hop relaying over BFS shortest paths.
+    Routed(Simulator<Routed<P>, Relay<N>>),
+}
+
+impl<P, N> Transport<P, N>
+where
+    P: WireSize + fmt::Debug,
+    N: Node<P>,
+{
+    /// Build a transport over `topology` hosting `nodes`, honouring
+    /// `config.routing`. Fails with [`RouteError::Disconnected`] when a
+    /// routed mode is selected on a topology that is not strongly
+    /// connected.
+    pub fn new(topology: Topology, config: SimConfig, nodes: Vec<N>) -> Result<Self, RouteError> {
+        let routed = match config.routing {
+            RoutingMode::Direct => false,
+            RoutingMode::ForceRouted => true,
+            RoutingMode::Auto => !topology.is_full_mesh(),
+        };
+        if routed {
+            let router = Arc::new(Router::new(&topology)?);
+            let relays = nodes
+                .into_iter()
+                .enumerate()
+                .map(|(i, node)| Relay::new(node, NodeId(i), Arc::clone(&router)))
+                .collect();
+            Ok(Transport::Routed(Simulator::new(topology, config, relays)))
+        } else {
+            Ok(Transport::Direct(Simulator::new(topology, config, nodes)))
+        }
+    }
+
+    /// Whether sends are relayed over shortest paths.
+    pub fn is_routed(&self) -> bool {
+        matches!(self, Transport::Routed(_))
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        match self {
+            Transport::Direct(sim) => sim.now(),
+            Transport::Routed(sim) => sim.now(),
+        }
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        match self {
+            Transport::Direct(sim) => sim.topology(),
+            Transport::Routed(sim) => sim.topology(),
+        }
+    }
+
+    /// Immutable access to a protocol node's state machine.
+    pub fn node(&self, id: NodeId) -> &N {
+        match self {
+            Transport::Direct(sim) => sim.node(id),
+            Transport::Routed(sim) => sim.node(id).inner(),
+        }
+    }
+
+    /// Number of hosted protocol nodes.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Transport::Direct(sim) => sim.node_count(),
+            Transport::Routed(sim) => sim.node_count(),
+        }
+    }
+
+    /// Accumulated network statistics (per hop, when routed).
+    pub fn stats(&self) -> &NetworkStats {
+        match self {
+            Transport::Direct(sim) => sim.stats(),
+            Transport::Routed(sim) => sim.stats(),
+        }
+    }
+
+    /// The event trace (empty if tracing is disabled).
+    pub fn trace(&self) -> &EventTrace {
+        match self {
+            Transport::Direct(sim) => sim.trace(),
+            Transport::Routed(sim) => sim.trace(),
+        }
+    }
+
+    /// Total number of events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        match self {
+            Transport::Direct(sim) => sim.events_processed(),
+            Transport::Routed(sim) => sim.events_processed(),
+        }
+    }
+
+    /// Number of messages/timers still pending.
+    pub fn pending_events(&self) -> usize {
+        match self {
+            Transport::Direct(sim) => sim.pending_events(),
+            Transport::Routed(sim) => sim.pending_events(),
+        }
+    }
+
+    /// Total transit envelopes forwarded by intermediate nodes — the
+    /// extra hops sparse routing pays compared to a full mesh (always 0
+    /// when direct).
+    pub fn forwarded_messages(&self) -> u64 {
+        match self {
+            Transport::Direct(_) => 0,
+            Transport::Routed(sim) => (0..sim.node_count())
+                .map(|i| sim.node(NodeId(i)).forwarded())
+                .sum(),
+        }
+    }
+
+    /// Run `f` against node `id`'s state machine; its sends enter the
+    /// network according to the routing mode.
+    pub fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut N, &mut NodeContext<P>) -> R,
+    ) -> R {
+        match self {
+            Transport::Direct(sim) => sim.with_node(id, f),
+            Transport::Routed(sim) => sim.with_node(id, |relay, ctx| {
+                let mut inner_ctx = NodeContext::new(id, ctx.now());
+                let r = f(relay.inner_mut(), &mut inner_ctx);
+                route_outbox(relay.router(), id, inner_ctx, ctx);
+                r
+            }),
+        }
+    }
+
+    /// Process the next pending event, if any; `false` when idle.
+    pub fn step(&mut self) -> bool {
+        match self {
+            Transport::Direct(sim) => sim.step(),
+            Transport::Routed(sim) => sim.step(),
+        }
+    }
+
+    /// Run until no events remain or the `max_events` budget is
+    /// exhausted.
+    pub fn run_until_quiescent(&mut self) -> RunOutcome {
+        match self {
+            Transport::Direct(sim) => sim.run_until_quiescent(),
+            Transport::Routed(sim) => sim.run_until_quiescent(),
+        }
+    }
+
+    /// Run until virtual time reaches `deadline` or the system quiesces.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        match self {
+            Transport::Direct(sim) => sim.run_until(deadline),
+            Transport::Routed(sim) => sim.run_until(deadline),
+        }
+    }
+
+    /// Consume the transport, returning the protocol nodes and the
+    /// accumulated statistics and trace.
+    pub fn into_parts(self) -> (Vec<N>, NetworkStats, EventTrace) {
+        match self {
+            Transport::Direct(sim) => sim.into_parts(),
+            Transport::Routed(sim) => {
+                let (relays, stats, trace) = sim.into_parts();
+                (
+                    relays.into_iter().map(Relay::into_inner).collect(),
+                    stats,
+                    trace,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::RawPayload;
+
+    /// Counts deliveries and answers each incoming payload's source.
+    #[derive(Debug, Default)]
+    struct Sink {
+        got: Vec<(NodeId, usize)>,
+    }
+
+    impl Node<RawPayload> for Sink {
+        fn on_message(&mut self, _ctx: &mut NodeContext<RawPayload>, from: NodeId, p: RawPayload) {
+            self.got.push((from, p.data));
+        }
+    }
+
+    fn sinks(n: usize) -> Vec<Sink> {
+        (0..n).map(|_| Sink::default()).collect()
+    }
+
+    #[test]
+    fn auto_mode_is_direct_on_a_full_mesh_and_routed_on_a_ring() {
+        let direct =
+            Transport::new(Topology::full_mesh(4), SimConfig::default(), sinks(4)).unwrap();
+        assert!(!direct.is_routed());
+        let routed = Transport::new(Topology::ring(4), SimConfig::default(), sinks(4)).unwrap();
+        assert!(routed.is_routed());
+    }
+
+    #[test]
+    fn routed_transport_delivers_across_multiple_hops() {
+        let mut t = Transport::new(Topology::ring(6), SimConfig::default(), sinks(6)).unwrap();
+        // 0 → 3 is three ring hops away.
+        t.with_node(NodeId(0), |_n, ctx| {
+            ctx.send(NodeId(3), RawPayload::new(8, 4));
+        });
+        t.run_until_quiescent();
+        // Delivered once, attributed to the logical source.
+        assert_eq!(t.node(NodeId(3)).got, vec![(NodeId(0), 8)]);
+        // Three hops on the wire: 0→1, 1→2, 2→3; two of them forwards.
+        assert_eq!(t.stats().total_messages(), 3);
+        assert_eq!(t.stats().total_data_bytes(), 3 * 8);
+        assert_eq!(t.forwarded_messages(), 2);
+        // Intermediate protocol nodes never saw the payload.
+        assert!(t.node(NodeId(1)).got.is_empty());
+        assert!(t.node(NodeId(2)).got.is_empty());
+    }
+
+    #[test]
+    fn multi_hop_delivery_pays_per_hop_latency() {
+        let mut t = Transport::new(Topology::line(4), SimConfig::default(), sinks(4)).unwrap();
+        t.with_node(NodeId(0), |_n, ctx| {
+            ctx.send(NodeId(3), RawPayload::new(1, 0));
+        });
+        t.run_until_quiescent();
+        // Default constant latency is 10µs per hop; three hops.
+        assert_eq!(t.now(), SimTime::from_micros(30));
+    }
+
+    #[test]
+    fn forced_routing_on_a_full_mesh_matches_direct_sends_exactly() {
+        let run = |mode: RoutingMode| {
+            let config = SimConfig {
+                routing: mode,
+                ..SimConfig::default()
+            };
+            let mut t = Transport::new(Topology::full_mesh(5), config, sinks(5)).unwrap();
+            for i in 0..5usize {
+                t.with_node(NodeId(i), |_n, ctx| {
+                    ctx.send(NodeId((i + 2) % 5), RawPayload::new(8, 4));
+                });
+            }
+            t.run_until_quiescent();
+            let (nodes, stats, _) = t.into_parts();
+            (nodes.into_iter().map(|s| s.got).collect::<Vec<_>>(), stats)
+        };
+        let (direct_got, direct_stats) = run(RoutingMode::Direct);
+        let (routed_got, routed_stats) = run(RoutingMode::ForceRouted);
+        assert_eq!(direct_got, routed_got);
+        assert_eq!(direct_stats, routed_stats);
+        assert_eq!(direct_stats.total_messages(), 5);
+    }
+
+    #[test]
+    fn disconnected_topology_is_rejected_when_routing() {
+        let topo = Topology::explicit(3, [(0, 1), (1, 0)]);
+        let err = Transport::new(topo, SimConfig::default(), sinks(3))
+            .err()
+            .unwrap();
+        assert!(matches!(err, RouteError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn direct_mode_still_rejects_missing_links() {
+        let config = SimConfig {
+            routing: RoutingMode::Direct,
+            ..SimConfig::default()
+        };
+        let mut t = Transport::new(Topology::ring(5), config, sinks(5)).unwrap();
+        assert!(!t.is_routed());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.with_node(NodeId(0), |_n, ctx| {
+                ctx.send(NodeId(2), RawPayload::new(1, 0));
+            });
+        }));
+        assert!(result.is_err(), "direct sparse sends must fail loudly");
+    }
+
+    #[test]
+    fn timers_pass_through_the_relay() {
+        #[derive(Debug, Default)]
+        struct TimerEcho {
+            fired: Vec<u64>,
+        }
+        impl Node<RawPayload> for TimerEcho {
+            fn on_start(&mut self, ctx: &mut NodeContext<RawPayload>) {
+                ctx.set_timer(crate::time::SimDuration::from_micros(3), 7);
+            }
+            fn on_message(&mut self, _: &mut NodeContext<RawPayload>, _: NodeId, _: RawPayload) {}
+            fn on_timer(&mut self, _: &mut NodeContext<RawPayload>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut t = Transport::new(
+            Topology::ring(4),
+            SimConfig::default(),
+            (0..4).map(|_| TimerEcho::default()).collect(),
+        )
+        .unwrap();
+        t.run_until_quiescent();
+        assert!(t.is_routed());
+        for i in 0..4 {
+            assert_eq!(t.node(NodeId(i)).fired, vec![7]);
+        }
+    }
+}
