@@ -1,6 +1,6 @@
 //! A tour of the scenario engine: one driver loop sweeping protocols ×
 //! distribution families × workload families × latency models × network
-//! topologies.
+//! topologies × delivery modes.
 //!
 //! Run with:
 //! ```text
@@ -13,18 +13,26 @@
 //! per-protocol code anywhere in this file. Sparse topologies (ring, grid,
 //! star) run over the overlay routing layer — every logical send is
 //! relayed along BFS shortest paths — so all four protocols complete on
-//! all of them. Histories are recorded and checked against each
-//! protocol's advertised criterion: the complete (worst-case exponential)
-//! checker verifies histories up to 24 operations, and the polynomial
-//! PRAM spot-checker covers every larger cell, so the tour is an
-//! end-to-end correctness sweep at every size.
+//! all of them; the delivery-mode axis additionally runs each topology
+//! with tree multicast and control-record batching enabled. Cells are
+//! independent deterministic simulations, so they execute on a scoped
+//! thread fan-out ([`apps::scenario::parallel_map`]) and print in sweep
+//! order.
+//!
+//! Histories are recorded and checked against each protocol's advertised
+//! criterion: the complete (worst-case exponential) checker verifies
+//! histories up to 24 operations; larger causal cells go through the
+//! polynomial causal spot-checker (writes-into ∪ program-order cycle and
+//! overwritten-read detection) and larger PRAM cells through the PRAM
+//! spot-checker, so the tour is an end-to-end correctness sweep at every
+//! size.
 
 use apps::scenario::{
-    run_all, standard_distributions, standard_latencies, standard_topologies, standard_workloads,
-    Scenario, SettlePolicy, TopologyFamily,
+    parallel_map, run_all, standard_deliveries, standard_distributions, standard_latencies,
+    standard_topologies, standard_workloads, RunReport, Scenario, SettlePolicy, TopologyFamily,
 };
-use histories::{check, pram_spot_check};
-use simnet::LatencyModel;
+use histories::{causal_spot_check, check, pram_spot_check, Criterion};
+use simnet::{DeliveryMode, LatencyModel};
 
 fn main() {
     let n: usize = std::env::args()
@@ -32,76 +40,94 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
 
-    let distributions = standard_distributions();
-    let workloads = standard_workloads();
-    let latencies = standard_latencies();
-    let topologies = standard_topologies();
-
-    println!(
-        "{:<48} {:<16} {:>9} {:>7} {:>13} {:>12} {:>12} {:>6}",
-        "scenario", "protocol", "messages", "relayed", "ctl bytes", "ctl/op", "virt time", "ok"
-    );
-
-    let mut cells = 0usize;
-    let mut full_checks = 0usize;
-    let mut spot_checks = 0usize;
-    for topology in &topologies {
-        for dist_family in &distributions {
-            for workload in &workloads {
-                for latency in &latencies {
+    let mut scenarios = Vec::new();
+    for topology in standard_topologies() {
+        for dist_family in standard_distributions() {
+            for workload in standard_workloads() {
+                for latency in standard_latencies() {
                     // Latency models are swept on the mesh; sparse
                     // topologies (whose per-hop behaviour is the point)
                     // run under the default model to keep the tour fast.
-                    if *topology != TopologyFamily::FullMesh && *latency != LatencyModel::default()
-                    {
+                    if topology != TopologyFamily::FullMesh && latency != LatencyModel::default() {
                         continue;
                     }
-                    let scenario = Scenario {
-                        name: "tour".into(),
-                        distribution: dist_family.clone(),
-                        processes: n,
-                        variables: n,
-                        workload: *workload,
-                        ops_per_process: 4,
-                        settle: SettlePolicy::Every(4),
-                        latency: latency.clone(),
-                        topology: topology.clone(),
-                        seed: 7,
-                        record: true,
-                    };
-                    let label = scenario.label();
-                    for report in run_all(&scenario) {
-                        // The formal checkers run a serialization search
-                        // that is worst-case exponential; verify small
-                        // histories completely and spot-check the rest in
-                        // polynomial time.
-                        let ok = if report.history.len() <= 24 {
-                            full_checks += 1;
-                            check(&report.history, report.protocol.criterion()).consistent
-                        } else {
-                            spot_checks += 1;
-                            pram_spot_check(&report.history).is_ok()
-                        };
-                        assert!(ok, "{label}: {} violated its criterion", report.protocol);
-                        println!(
-                            "{:<48} {:<16} {:>9} {:>7} {:>13} {:>12.1} {:>12?} {:>6}",
-                            label,
-                            report.protocol.name(),
-                            report.messages(),
-                            report.forwarded,
-                            report.control_bytes(),
-                            report.control_bytes_per_op(),
-                            report.virtual_time,
-                            ok
-                        );
-                        cells += 1;
+                    for delivery in standard_deliveries() {
+                        // Delivery modes are swept on every topology under
+                        // the default latency; non-default latencies keep
+                        // the baseline wire format.
+                        if delivery != DeliveryMode::default() && latency != LatencyModel::default()
+                        {
+                            continue;
+                        }
+                        scenarios.push(Scenario {
+                            name: "tour".into(),
+                            distribution: dist_family.clone(),
+                            processes: n,
+                            variables: n,
+                            workload,
+                            ops_per_process: 4,
+                            settle: SettlePolicy::Every(4),
+                            latency: latency.clone(),
+                            topology: topology.clone(),
+                            delivery,
+                            seed: 7,
+                            record: true,
+                        });
                     }
                 }
             }
         }
     }
+
+    // Independent cells → scoped-thread fan-out; results come back in
+    // sweep order, so the printed table is identical to a sequential run.
+    let results: Vec<(String, Vec<RunReport>)> =
+        parallel_map(scenarios, |scenario| (scenario.label(), run_all(&scenario)));
+
+    println!(
+        "{:<58} {:<16} {:>9} {:>7} {:>13} {:>12} {:>12} {:>6}",
+        "scenario", "protocol", "messages", "relayed", "ctl bytes", "ctl/op", "virt time", "ok"
+    );
+
+    let mut cells = 0usize;
+    let mut full_checks = 0usize;
+    let mut causal_spots = 0usize;
+    let mut pram_spots = 0usize;
+    for (label, reports) in results {
+        for report in reports {
+            // The formal checkers run a serialization search that is
+            // worst-case exponential; verify small histories completely
+            // and spot-check the rest in polynomial time, with the
+            // sharper causal scan wherever the protocol advertises
+            // causal consistency.
+            let ok = if report.history.len() <= 24 {
+                full_checks += 1;
+                check(&report.history, report.protocol.criterion()).consistent
+            } else if report.protocol.criterion() == Criterion::Causal {
+                causal_spots += 1;
+                causal_spot_check(&report.history).is_ok()
+            } else {
+                pram_spots += 1;
+                pram_spot_check(&report.history).is_ok()
+            };
+            assert!(ok, "{label}: {} violated its criterion", report.protocol);
+            println!(
+                "{:<58} {:<16} {:>9} {:>7} {:>13} {:>12.1} {:>12?} {:>6}",
+                label,
+                report.protocol.name(),
+                report.messages(),
+                report.forwarded,
+                report.control_bytes(),
+                report.control_bytes_per_op(),
+                report.virtual_time,
+                ok
+            );
+            cells += 1;
+        }
+    }
     println!(
         "\n{cells} scenario cells executed and checked through one runtime-dispatched engine \
-         ({full_checks} complete checks, {spot_checks} polynomial spot-checks)."
+         ({full_checks} complete checks, {causal_spots} causal spot-checks, {pram_spots} PRAM \
+         spot-checks)."
     );
 }

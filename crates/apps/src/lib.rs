@@ -42,8 +42,9 @@ pub use graphs::{shortest_paths_reference, Network, INFINITY};
 pub use jacobi::{jacobi_distribution, run_jacobi, FixedPointProblem, JacobiRun, SCALE};
 pub use matrix::{matrix_distribution, run_matrix_product, Matrix, MatrixRun};
 pub use scenario::{
-    generate_family_ops, latency_label, run_all, run_scenario, run_script, standard_distributions,
-    standard_latencies, standard_workloads, DistributionFamily, RunReport, Scenario, SettlePolicy,
+    generate_family_ops, latency_label, parallel_map, run_all, run_scenario, run_script,
+    standard_deliveries, standard_distributions, standard_latencies, standard_topologies,
+    standard_workloads, DistributionFamily, RunReport, Scenario, SettlePolicy, TopologyFamily,
     WorkloadFamily,
 };
 pub use workload::{generate, WorkloadOp, WorkloadSpec};

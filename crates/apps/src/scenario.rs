@@ -23,7 +23,7 @@ use histories::{Distribution, History, ProcId, VarId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use simnet::{LatencyModel, NetworkStats, SimConfig, SimDuration, SimTime, Topology};
+use simnet::{DeliveryMode, LatencyModel, NetworkStats, SimConfig, SimDuration, SimTime, Topology};
 
 /// The variable-distribution families the experiments sweep.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -219,6 +219,12 @@ pub fn standard_topologies() -> Vec<TopologyFamily> {
     ]
 }
 
+/// The delivery modes of the standard sweep (baseline unicast/unbatched
+/// first; see [`DeliveryMode`]).
+pub fn standard_deliveries() -> Vec<DeliveryMode> {
+    DeliveryMode::ALL.to_vec()
+}
+
 /// The latency models of the standard sweep.
 pub fn standard_latencies() -> Vec<LatencyModel> {
     vec![
@@ -256,6 +262,10 @@ pub struct Scenario {
     /// Network topology family, built over `processes` nodes. Sparse
     /// families run over the overlay routing layer.
     pub topology: TopologyFamily,
+    /// Wire delivery mode: tree multicast for identical-payload fan-outs
+    /// and/or control-record batching. The default (unicast, unbatched)
+    /// reproduces the classical wire format exactly.
+    pub delivery: DeliveryMode,
     /// Seed for distribution construction, workload generation, and
     /// channel jitter.
     pub seed: u64,
@@ -275,6 +285,7 @@ impl Default for Scenario {
             settle: SettlePolicy::Every(6),
             latency: LatencyModel::default(),
             topology: TopologyFamily::FullMesh,
+            delivery: DeliveryMode::default(),
             seed: 42,
             record: false,
         }
@@ -303,6 +314,7 @@ impl Scenario {
             latency: self.latency.clone(),
             seed: self.seed ^ 0xD5_0C0DE,
             topology,
+            delivery: self.delivery,
             ..SimConfig::default()
         }
     }
@@ -324,11 +336,12 @@ impl Scenario {
     /// A compact label identifying the scenario's coordinates.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/{}/{}",
+            "{}/{}/{}/{}/{}",
             self.distribution.label(),
             self.workload.label(),
             latency_label(&self.latency),
-            self.topology.label()
+            self.topology.label(),
+            self.delivery.label()
         )
     }
 }
@@ -538,6 +551,60 @@ pub fn run_all(scenario: &Scenario) -> Vec<RunReport> {
         .iter()
         .map(|&kind| run_script(kind, &dist, &ops, scenario.sim_config(), scenario.record))
         .collect()
+}
+
+/// Map `f` over `items` on a small scoped-thread fan-out, preserving
+/// order.
+///
+/// Sweep cells (`scenario_matrix` rows, `scenario_tour` scenarios) are
+/// independent deterministic simulations, so they parallelize trivially:
+/// the items are split into one contiguous chunk per worker (at most
+/// [`std::thread::available_parallelism`], capped at 8; override with the
+/// `SWEEP_WORKERS` environment variable, `SWEEP_WORKERS=1` forces the
+/// sequential path) and the results are reassembled in input order — the
+/// output is bit-identical to the sequential map. No thread pool, no
+/// extra dependencies: the threads live only for the duration of the
+/// call.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = std::env::var("SWEEP_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        })
+        .min(items.len().max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_size));
+        chunks.push(items);
+        items = rest;
+    }
+    let f = &f;
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("sweep worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -812,7 +879,7 @@ mod tests {
             record: true,
             ..Scenario::default()
         };
-        assert_eq!(scenario.label(), "random-2/uniform/constant/custom");
+        assert_eq!(scenario.label(), "random-2/uniform/constant/custom/unicast");
         let report = run_scenario(ProtocolKind::PramPartial, &scenario);
         assert!(report.operations > 0);
     }

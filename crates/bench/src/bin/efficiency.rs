@@ -1,5 +1,4 @@
-//! Regenerate the efficiency experiments (E1–E4 of `EXPERIMENTS.md`) as
-//! text tables.
+//! Regenerate the efficiency experiments (E1–E6) as text tables.
 //!
 //! ```text
 //! cargo run --release -p bench --bin efficiency
@@ -7,8 +6,8 @@
 //! ```
 
 use bench::{
-    bellman_ford_point, distribution_families, efficiency_sweep_point, relevance_fraction,
-    routed_vs_mesh_sweep,
+    bellman_ford_point, delivery_mode_sweep, distribution_families, efficiency_sweep_point,
+    relevance_fraction, routed_vs_mesh_sweep,
 };
 use histories::Distribution;
 
@@ -125,6 +124,34 @@ fn main() {
             row.forwarded,
             row.control_bytes,
             row.control_ratio_vs_mesh
+        );
+    }
+    println!();
+
+    println!(
+        "E6 — wire-efficiency of delivery modes (12 processes, same workload and topology per \
+         block; control bytes vs the unicast/unbatched wire)"
+    );
+    println!(
+        "{:<8} {:<18} {:<16} {:>10} {:>10} {:>14} {:>15}",
+        "topology",
+        "delivery",
+        "protocol",
+        "messages",
+        "relayed",
+        "control bytes",
+        "ctl vs unicast"
+    );
+    for row in delivery_mode_sweep(12, 8, 7) {
+        println!(
+            "{:<8} {:<18} {:<16} {:>10} {:>10} {:>14} {:>14.2}x",
+            row.topology,
+            row.delivery,
+            row.protocol.name(),
+            row.messages,
+            row.forwarded,
+            row.control_bytes,
+            row.control_ratio_vs_unicast
         );
     }
     println!();

@@ -11,15 +11,16 @@
 #![warn(missing_docs)]
 
 use apps::scenario::{
-    generate_family_ops, latency_label, run_script, standard_distributions, standard_latencies,
-    standard_topologies, standard_workloads, DistributionFamily, SettlePolicy, TopologyFamily,
-    WorkloadFamily,
+    generate_family_ops, latency_label, parallel_map, run_script, standard_deliveries,
+    standard_distributions, standard_latencies, standard_topologies, standard_workloads,
+    DistributionFamily, SettlePolicy, TopologyFamily, WorkloadFamily,
 };
+use apps::workload::WorkloadOp;
 use apps::{run_bellman_ford, Network};
 use dsm::ProtocolKind;
 use histories::{Distribution, VarId};
 use serde::{Deserialize, Serialize};
-use simnet::{LatencyModel, SimConfig};
+use simnet::{DeliveryMode, LatencyModel, SimConfig};
 
 /// One row of an efficiency table: the cost of running a workload under one
 /// protocol.
@@ -150,9 +151,9 @@ pub fn distribution_families(n: usize, seed: u64) -> Vec<(String, Distribution)>
 }
 
 /// One cell of the scenario matrix: a (protocol, distribution family,
-/// workload family, latency model, topology family) coordinate and its
-/// measured costs. Serde-serializable so sweep results can be tracked as
-/// `BENCH_*.json`.
+/// workload family, latency model, topology family, delivery mode)
+/// coordinate and its measured costs. Serde-serializable so sweep results
+/// can be tracked as `BENCH_*.json`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ScenarioMatrixRow {
     /// Protocol name (see [`ProtocolKind::name`]).
@@ -166,6 +167,9 @@ pub struct ScenarioMatrixRow {
     /// Topology family label (`mesh` = direct sends, anything else runs
     /// over the overlay routing layer).
     pub topology: String,
+    /// Delivery-mode label (see [`DeliveryMode::label`]; `unicast` is the
+    /// classical wire format).
+    pub delivery: String,
     /// Number of processes.
     pub processes: usize,
     /// Messages sent (per hop: relayed envelopes count once per link).
@@ -187,12 +191,13 @@ impl ScenarioMatrixRow {
     /// cell, nothing that measures it).
     pub fn coordinate(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}/{}",
+            "{}/{}/{}/{}/{}/{}/{}",
             self.protocol,
             self.distribution,
             self.workload,
             self.latency,
             self.topology,
+            self.delivery,
             self.processes
         )
     }
@@ -202,14 +207,15 @@ impl ScenarioMatrixRow {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"protocol\":\"{}\",\"distribution\":\"{}\",\"workload\":\"{}\",\"latency\":\"{}\",\
-             \"topology\":\"{}\",\"processes\":{},\"messages\":{},\"data_bytes\":{},\
-             \"control_bytes\":{},\"control_bytes_per_op\":{:.3},\"forwarded\":{},\
-             \"virtual_nanos\":{}}}",
+             \"topology\":\"{}\",\"delivery\":\"{}\",\"processes\":{},\"messages\":{},\
+             \"data_bytes\":{},\"control_bytes\":{},\"control_bytes_per_op\":{:.3},\
+             \"forwarded\":{},\"virtual_nanos\":{}}}",
             self.protocol,
             self.distribution,
             self.workload,
             self.latency,
             self.topology,
+            self.delivery,
             self.processes,
             self.messages,
             self.data_bytes,
@@ -246,6 +252,7 @@ impl ScenarioMatrixRow {
             workload: str_field(line, "workload")?,
             latency: str_field(line, "latency")?,
             topology: str_field(line, "topology")?,
+            delivery: str_field(line, "delivery")?,
             processes: num_field(line, "processes")?.parse().ok()?,
             messages: num_field(line, "messages")?.parse().ok()?,
             data_bytes: num_field(line, "data_bytes")?.parse().ok()?,
@@ -257,68 +264,108 @@ impl ScenarioMatrixRow {
     }
 }
 
+/// One prepared cell of the scenario matrix, ready to execute.
+struct MatrixCell {
+    kind: ProtocolKind,
+    distribution: String,
+    workload: String,
+    latency: String,
+    topology: String,
+    delivery: String,
+    dist: Distribution,
+    ops: std::sync::Arc<Vec<WorkloadOp>>,
+    config: SimConfig,
+}
+
 /// The standard scenario matrix: protocol × distribution family ×
-/// workload family × latency model × topology family (the shared
-/// `standard_*` presets from `apps::scenario`), at `n` processes. One
-/// engine call per cell — this is the sweep space the paper's efficiency
-/// argument lives in. Latency models are swept on the mesh; sparse
-/// topologies (whose per-hop behaviour is the point) run under the
-/// default model, matching the `scenario_tour` example.
+/// workload family × latency model × topology family × delivery mode
+/// (the shared `standard_*` presets from `apps::scenario`), at `n`
+/// processes. One engine call per cell — this is the sweep space the
+/// paper's efficiency argument lives in. Latency models are swept on the
+/// mesh and delivery modes under the default latency; sparse topologies
+/// (whose per-hop behaviour is the point) run under the default model,
+/// matching the `scenario_tour` example.
+///
+/// Cells are independent deterministic simulations, so they execute on a
+/// scoped-thread fan-out ([`apps::scenario::parallel_map`]); the returned
+/// rows are in sweep order, bit-identical to a sequential run.
 pub fn scenario_matrix(n: usize, ops_per_process: usize, seed: u64) -> Vec<ScenarioMatrixRow> {
     let distributions = standard_distributions();
     let workloads = standard_workloads();
     let latencies = standard_latencies();
     let topologies = standard_topologies();
-    let mut rows = Vec::new();
+    let deliveries = standard_deliveries();
+    let mut cells = Vec::new();
     for topology_family in &topologies {
         for family in &distributions {
             let dist = family.build(n, 2 * n, seed);
             for workload in &workloads {
-                let ops = generate_family_ops(
+                let ops = std::sync::Arc::new(generate_family_ops(
                     &dist,
                     workload,
                     ops_per_process,
                     SettlePolicy::Every(6),
                     seed,
-                );
+                ));
                 for latency in &latencies {
                     if *topology_family != TopologyFamily::FullMesh
                         && *latency != LatencyModel::default()
                     {
                         continue;
                     }
-                    let topology = match topology_family {
-                        TopologyFamily::FullMesh => None,
-                        f => Some(f.build(n)),
-                    };
-                    let config = SimConfig {
-                        latency: latency.clone(),
-                        seed,
-                        topology,
-                        ..SimConfig::default()
-                    };
-                    for kind in ProtocolKind::ALL {
-                        let out = run_script(kind, &dist, &ops, config.clone(), false);
-                        rows.push(ScenarioMatrixRow {
-                            protocol: kind.name().to_string(),
-                            distribution: family.label(),
-                            workload: workload.label().to_string(),
-                            latency: latency_label(latency).to_string(),
-                            topology: topology_family.label().to_string(),
-                            processes: n,
-                            messages: out.messages(),
-                            data_bytes: out.data_bytes(),
-                            control_bytes: out.control_bytes(),
-                            control_bytes_per_op: out.control_bytes_per_op(),
-                            forwarded: out.forwarded,
-                            virtual_nanos: out.virtual_time.as_nanos(),
-                        });
+                    for &delivery in &deliveries {
+                        if delivery != DeliveryMode::default()
+                            && *latency != LatencyModel::default()
+                        {
+                            continue;
+                        }
+                        let topology = match topology_family {
+                            TopologyFamily::FullMesh => None,
+                            f => Some(f.build(n)),
+                        };
+                        let config = SimConfig {
+                            latency: latency.clone(),
+                            seed,
+                            topology,
+                            delivery,
+                            ..SimConfig::default()
+                        };
+                        for kind in ProtocolKind::ALL {
+                            cells.push(MatrixCell {
+                                kind,
+                                distribution: family.label(),
+                                workload: workload.label().to_string(),
+                                latency: latency_label(latency).to_string(),
+                                topology: topology_family.label().to_string(),
+                                delivery: delivery.label().to_string(),
+                                dist: dist.clone(),
+                                ops: std::sync::Arc::clone(&ops),
+                                config: config.clone(),
+                            });
+                        }
                     }
                 }
             }
         }
     }
-    rows
+    parallel_map(cells, |cell| {
+        let out = run_script(cell.kind, &cell.dist, &cell.ops, cell.config, false);
+        ScenarioMatrixRow {
+            protocol: cell.kind.name().to_string(),
+            distribution: cell.distribution,
+            workload: cell.workload,
+            latency: cell.latency,
+            topology: cell.topology,
+            delivery: cell.delivery,
+            processes: n,
+            messages: out.messages(),
+            data_bytes: out.data_bytes(),
+            control_bytes: out.control_bytes(),
+            control_bytes_per_op: out.control_bytes_per_op(),
+            forwarded: out.forwarded,
+            virtual_nanos: out.virtual_time.as_nanos(),
+        }
+    })
 }
 
 /// One row of the routed-vs-mesh comparison (experiment E5): the same
@@ -399,6 +446,97 @@ pub fn routed_vs_mesh_sweep(
                     control as f64 / mesh as f64
                 },
             });
+        }
+    }
+    rows
+}
+
+/// One row of the delivery-mode comparison (experiment E6): the same
+/// workload under one protocol, on one sparse topology, under one
+/// [`DeliveryMode`], with control bytes relative to the unicast/unbatched
+/// wire on the same topology.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeliveryEfficiencyRow {
+    /// Topology family label.
+    pub topology: String,
+    /// Delivery-mode label.
+    pub delivery: String,
+    /// Protocol measured.
+    pub protocol: ProtocolKind,
+    /// Messages on the wire (per hop / per tree edge).
+    pub messages: u64,
+    /// Transit envelopes forwarded by intermediate nodes.
+    pub forwarded: u64,
+    /// Control bytes on the wire.
+    pub control_bytes: u64,
+    /// This mode's control bytes divided by the unicast/unbatched run's
+    /// on the same topology (1.0 for the baseline mode itself; the wire
+    /// saving of tree multicast and record batching elsewhere).
+    pub control_ratio_vs_unicast: f64,
+}
+
+/// Run the standard synthetic workload under every protocol and every
+/// delivery mode on the star and grid topologies, reporting each cell's
+/// control-byte cost relative to the classical unicast/unbatched wire.
+/// The workload script, the topology, and the routing are identical
+/// across modes — only the wire format changes — so the ratio isolates
+/// what tree multicast and control-record batching save. This is the
+/// E6 table: the measured answer to "how much of the fan-out cost was
+/// redundant copies of identical bytes".
+///
+/// The script settles once at the end: batching amortizes a full vector
+/// clock over the records that accumulate per destination *between*
+/// delivery rounds, so the bulk-phase regime (many writes in flight per
+/// settle) is where its asymptotic saving shows. Per-op settling leaves
+/// every batch at size one, which by construction costs exactly the
+/// unbatched wire.
+pub fn delivery_mode_sweep(
+    n: usize,
+    ops_per_process: usize,
+    seed: u64,
+) -> Vec<DeliveryEfficiencyRow> {
+    let dist = Distribution::random(n, 2 * n, 2, seed);
+    let ops = generate_family_ops(
+        &dist,
+        &WorkloadFamily::Uniform { write_ratio: 0.5 },
+        ops_per_process,
+        SettlePolicy::AtEnd,
+        seed,
+    );
+    let mut rows = Vec::new();
+    for family in [TopologyFamily::Star, TopologyFamily::Grid] {
+        let run_mode = |delivery: DeliveryMode, kind: ProtocolKind| {
+            let config = SimConfig {
+                seed,
+                topology: Some(family.build(n)),
+                delivery,
+                ..SimConfig::default()
+            };
+            run_script(kind, &dist, &ops, config, false)
+        };
+        // DeliveryMode::ALL leads with the unicast baseline, so each
+        // protocol's reference control bytes are captured by the first
+        // iteration — every cell is simulated exactly once.
+        let mut unicast_control = std::collections::BTreeMap::new();
+        for delivery in DeliveryMode::ALL {
+            for kind in ProtocolKind::ALL {
+                let out = run_mode(delivery, kind);
+                let control = out.control_bytes();
+                let base = *unicast_control.entry(kind).or_insert(control);
+                rows.push(DeliveryEfficiencyRow {
+                    topology: family.label().to_string(),
+                    delivery: delivery.label().to_string(),
+                    protocol: kind,
+                    messages: out.messages(),
+                    forwarded: out.forwarded,
+                    control_bytes: control,
+                    control_ratio_vs_unicast: if base == 0 {
+                        1.0
+                    } else {
+                        control as f64 / base as f64
+                    },
+                });
+            }
         }
     }
     rows
@@ -553,18 +691,23 @@ mod tests {
     #[test]
     fn scenario_matrix_covers_the_full_sweep() {
         let rows = scenario_matrix(6, 4, 3);
-        // Mesh sweeps every latency; each sparse topology runs under the
-        // default model only (matching the scenario tour).
+        // Mesh sweeps every latency (baseline delivery) plus every
+        // non-default delivery mode (default latency); each sparse
+        // topology runs all delivery modes under the default model only
+        // (matching the scenario tour).
         let cells = standard_distributions().len() * standard_workloads().len();
-        let expected = (cells * standard_latencies().len()
-            + cells * (standard_topologies().len() - 1))
+        let per_mesh_cell = standard_latencies().len() + (standard_deliveries().len() - 1);
+        let per_sparse_cell = standard_deliveries().len();
+        let expected = (cells * per_mesh_cell
+            + cells * (standard_topologies().len() - 1) * per_sparse_cell)
             * ProtocolKind::ALL.len();
         assert_eq!(rows.len(), expected);
-        assert_eq!(expected, 288);
+        assert_eq!(expected, 864);
         assert!(rows.iter().all(|r| r.messages > 0 || r.control_bytes == 0));
-        // Within every (distribution, workload, latency, topology) cell,
-        // PRAM partial never spends more control bytes than causal
-        // partial — on sparse routed topologies too.
+        // Within every (distribution, workload, latency, topology,
+        // delivery) cell, PRAM partial never spends more control bytes
+        // than causal partial — on sparse routed topologies and under
+        // every delivery mode too.
         for chunk in rows.chunks(4) {
             let pram = chunk
                 .iter()
@@ -576,11 +719,12 @@ mod tests {
                 .unwrap();
             assert!(
                 pram.control_bytes <= cpart.control_bytes,
-                "{}/{}/{}/{}",
+                "{}/{}/{}/{}/{}",
                 pram.distribution,
                 pram.workload,
                 pram.latency,
-                pram.topology
+                pram.topology,
+                pram.delivery
             );
         }
         // Sparse topologies relay: some cell somewhere forwarded traffic,
@@ -630,6 +774,76 @@ mod tests {
             };
             assert!(on(ProtocolKind::PramPartial) < on(ProtocolKind::CausalPartial));
             assert!(on(ProtocolKind::PramPartial) < on(ProtocolKind::CausalFull));
+        }
+    }
+
+    #[test]
+    fn delivery_mode_sweep_quantifies_the_wire_savings() {
+        let rows = delivery_mode_sweep(8, 6, 3);
+        // Star and grid × four modes × four protocols.
+        assert_eq!(rows.len(), 2 * 4 * ProtocolKind::ALL.len());
+        let cell = |topo: &str, mode: &str, kind: ProtocolKind| {
+            rows.iter()
+                .find(|r| r.topology == topo && r.delivery == mode && r.protocol == kind)
+                .unwrap()
+        };
+        for topo in ["star", "grid"] {
+            for kind in ProtocolKind::ALL {
+                // The baseline mode is its own reference…
+                let base = cell(topo, "unicast", kind);
+                assert!((base.control_ratio_vs_unicast - 1.0).abs() < 1e-12);
+                // …and no mode ever pays more than it: multicast sends a
+                // subset of the unicast envelopes, batching delta-encodes
+                // a subset of the unicast record bytes.
+                for mode in ["multicast", "batched", "multicast-batched"] {
+                    let row = cell(topo, mode, kind);
+                    assert!(
+                        row.control_ratio_vs_unicast <= 1.0 + 1e-12,
+                        "{topo}/{mode}/{kind}: ratio {}",
+                        row.control_ratio_vs_unicast
+                    );
+                    assert!(row.messages <= base.messages);
+                }
+            }
+            // The measured drops the wire layer exists for: tree
+            // multicast cuts the broadcast-heavy protocols' control
+            // bytes…
+            for kind in [ProtocolKind::CausalFull, ProtocolKind::CausalPartial] {
+                assert!(
+                    cell(topo, "multicast", kind).control_ratio_vs_unicast < 1.0,
+                    "{topo}: multicast must cut {kind}'s broadcast bytes"
+                );
+            }
+            // …with one instructive exception: the sequencer broadcasts
+            // only from node 0, which on the star *is* the hub — its
+            // broadcast tree is flat (one private edge per leaf), so
+            // there is nothing to deduplicate there. On the grid the
+            // corner-seated sequencer shares tree edges like everyone
+            // else.
+            let seq = cell(topo, "multicast", ProtocolKind::Sequential);
+            if topo == "star" {
+                assert!((seq.control_ratio_vs_unicast - 1.0).abs() < 1e-12);
+            } else {
+                assert!(seq.control_ratio_vs_unicast < 1.0);
+            }
+            // …and batching cuts causal-partial's per-non-replica record
+            // cost, independently and cumulatively.
+            let batched = cell(topo, "batched", ProtocolKind::CausalPartial);
+            assert!(batched.control_ratio_vs_unicast < 1.0);
+            let both = cell(topo, "multicast-batched", ProtocolKind::CausalPartial);
+            assert!(both.control_ratio_vs_unicast <= batched.control_ratio_vs_unicast);
+            // Batching alone cannot touch protocols without control-only
+            // records.
+            for kind in [
+                ProtocolKind::PramPartial,
+                ProtocolKind::CausalFull,
+                ProtocolKind::Sequential,
+            ] {
+                assert!(
+                    (cell(topo, "batched", kind).control_ratio_vs_unicast - 1.0).abs() < 1e-12,
+                    "{topo}: batching must not change {kind}"
+                );
+            }
         }
     }
 

@@ -5,23 +5,40 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The Memory Consistency System protocols provided by this crate.
+///
+/// Every protocol issues *logical* sends — "this payload to these
+/// processes" — and the [`simnet::Transport`] underneath decides how they
+/// travel: direct links on a full mesh, BFS shortest-path relays on any
+/// sparse connected topology ([`simnet::RoutingMode`]), and, under a
+/// multicast [`simnet::DeliveryMode`], one envelope per broadcast-tree
+/// edge for identical-payload fan-outs. No protocol below ever names a
+/// physical link, so every variant here runs unmodified on every
+/// topology and delivery mode the runtime supports.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ProtocolKind {
     /// Causal consistency with **full replication**: every node replicates
-    /// every variable; updates carry vector clocks and are broadcast to all
-    /// nodes (the classical Ahamad et al. style implementation).
+    /// every variable; each update carries the writer's vector clock and
+    /// fans out to all other nodes in one multi-destination send (the
+    /// classical Ahamad et al. style implementation; a multicast wire
+    /// carries one copy per broadcast-tree edge).
     CausalFull,
-    /// Causal consistency with **partial replication**: data updates go
-    /// only to the replicas of the written variable, but — as the paper
-    /// proves unavoidable — dependency control information about every
-    /// write is propagated to every node.
+    /// Causal consistency with **partial replication**: data updates fan
+    /// out only to the replicas of the written variable, but — as the
+    /// paper proves unavoidable — a dependency control record about every
+    /// write still reaches every other node. Under a batching
+    /// [`simnet::DeliveryMode`] those records are buffered per
+    /// destination, piggybacked on the next update, and flushed in
+    /// delta-encoded batches.
     CausalPartial,
     /// PRAM consistency with **partial replication**: per-writer FIFO
-    /// sequence numbers, updates sent only to the replicas of the written
-    /// variable. The efficient implementation Theorem 2 licenses.
+    /// sequence numbers, updates fanned out only to the replicas of the
+    /// written variable. The efficient implementation Theorem 2 licenses —
+    /// no metadata about `x` ever leaves `C(x)`, whatever the transport.
     PramPartial,
-    /// Sequential consistency baseline: a sequencer totally orders all
-    /// writes and broadcasts them to every node (full replication).
+    /// Sequential consistency baseline: writers route requests to a
+    /// sequencer (node 0), which totally orders all writes and fans the
+    /// ordered stream out to every node (full replication). On a sparse
+    /// topology both legs are relayed like any other logical send.
     Sequential,
 }
 

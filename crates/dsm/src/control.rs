@@ -75,6 +75,18 @@ impl ControlStats {
         self.received_bytes.get(&x).copied().unwrap_or(0)
     }
 
+    /// Control entries (records) sent about `x`. Batching and multicast
+    /// change *bytes*, never entry counts: one entry per destination per
+    /// record, however the wire encodes it.
+    pub fn sent_entries(&self, x: VarId) -> u64 {
+        self.sent_entries.get(&x).copied().unwrap_or(0)
+    }
+
+    /// Control entries (records) received about `x`.
+    pub fn received_entries(&self, x: VarId) -> u64 {
+        self.received_entries.get(&x).copied().unwrap_or(0)
+    }
+
     /// Total control bytes sent by this node (all variables).
     pub fn total_sent_bytes(&self) -> u64 {
         self.sent_bytes.values().sum()
@@ -88,6 +100,11 @@ impl ControlStats {
     /// Total control entries (messages or piggybacked records) sent.
     pub fn total_sent_entries(&self) -> u64 {
         self.sent_entries.values().sum()
+    }
+
+    /// Total control entries (messages or piggybacked records) received.
+    pub fn total_received_entries(&self) -> u64 {
+        self.received_entries.values().sum()
     }
 }
 

@@ -21,7 +21,7 @@ use crate::protocol::pram_partial::PramPartial;
 use crate::protocol::sequential::Sequential;
 use crate::runtime::DsmSystem;
 use histories::{Distribution, History, ProcId, Value, VarId};
-use simnet::{NetworkStats, RunOutcome, SimConfig, SimTime, Topology};
+use simnet::{DeliveryMode, NetworkStats, RunOutcome, SimConfig, SimTime, Topology};
 
 /// A DSM deployment whose protocol was chosen at runtime.
 ///
@@ -103,6 +103,12 @@ impl DynDsm {
     /// forced routing) rather than delivered on direct links.
     pub fn is_routed(&self) -> bool {
         dispatch!(self, sys => sys.is_routed())
+    }
+
+    /// The wire delivery mode (multicast / batching) this deployment runs
+    /// under.
+    pub fn delivery(&self) -> DeliveryMode {
+        dispatch!(self, sys => sys.delivery())
     }
 
     /// Transit envelopes forwarded by intermediate nodes — the extra hops

@@ -138,12 +138,18 @@ impl McsNode for CausalFullNode {
             vc: self.vc.clone(),
         };
         let bytes = msg.control_size();
-        for i in 0..self.n {
-            if i != self.me.index() {
-                self.control.charge_sent(var, bytes);
-                ctx.send(NodeId(i), msg.clone());
-            }
+        // One logical record per destination (the control accounting the
+        // paper reasons about), handed to the transport as one
+        // multi-destination send so a multicast wire can deduplicate the
+        // identical payload along its broadcast tree.
+        let targets: Vec<NodeId> = (0..self.n)
+            .filter(|&i| i != self.me.index())
+            .map(NodeId)
+            .collect();
+        for _ in &targets {
+            self.control.charge_sent(var, bytes);
         }
+        ctx.send_multi(targets, msg);
     }
 
     fn replicates(&self, _var: VarId) -> bool {
@@ -164,7 +170,7 @@ impl ProtocolSpec for CausalFull {
     type Node = CausalFullNode;
     const KIND: ProtocolKind = ProtocolKind::CausalFull;
 
-    fn build_nodes(dist: &Distribution) -> Vec<CausalFullNode> {
+    fn build_nodes(dist: &Distribution, _delivery: simnet::DeliveryMode) -> Vec<CausalFullNode> {
         let n = dist.process_count();
         (0..n).map(|i| CausalFullNode::new(ProcId(i), n)).collect()
     }
@@ -240,7 +246,7 @@ mod tests {
     #[test]
     fn local_write_broadcasts_to_all_other_nodes() {
         let dist = Distribution::full(4, 2);
-        let mut nodes = CausalFull::build_nodes(&dist);
+        let mut nodes = CausalFull::build_nodes(&dist, simnet::DeliveryMode::UNICAST);
         let mut ctx = NodeContext::new(NodeId(0), simnet::SimTime::ZERO);
         nodes[0].local_write(&mut ctx, VarId(1), 7);
         assert_eq!(ctx.queued_messages(), 3);

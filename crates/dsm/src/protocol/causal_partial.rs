@@ -4,28 +4,83 @@
 //! — as Theorem 1 makes unavoidable when the variable distribution is not
 //! known to be hoop-free — *dependency control information about every
 //! write is still propagated to every other node*: a node that does not
-//! replicate `x` receives a control-only record for each write of `x` so
-//! that it can (a) order later updates it *does* replicate after that write
+//! replicate `x` receives a control record for each write of `x` so that
+//! it can (a) order later updates it *does* replicate after that write
 //! and (b) relay the dependency when its own writes are causally after it.
 //!
 //! This is the style of implementation the paper attributes to [7] and
 //! [14] and criticizes: partial replication of the *data* without partial
 //! replication of the *metadata*. Its measured control overhead is what the
 //! efficiency benchmarks compare against the PRAM protocol.
+//!
+//! ## Batching (`DeliveryMode::batching`)
+//!
+//! The naive wire format pays a full control message (an `O(n)` vector
+//! clock plus ids) per write per non-replica. Under a batching
+//! [`DeliveryMode`] the records are **buffered per destination** and
+//! drained two ways:
+//!
+//! * **piggybacked** on the next data update sent to that destination —
+//!   the update already carries the writer's current clock, so each
+//!   piggybacked record costs only its [`RECORD_DELTA_BYTES`] delta;
+//! * **flushed** as a [`CausalPartialMsg::ControlBatch`] — triggered by a
+//!   zero-delay timer armed on the first buffered record (so running the
+//!   network to quiescence always drains every buffer) or by the
+//!   [`MAX_BATCH`] size cap. A batch pays one full record plus the delta
+//!   for each additional one, the delta-encoding a real wire format would
+//!   use for consecutive clocks from one sender.
+//!
+//! Batching changes *bytes on the wire*, never *what is delivered*: every
+//! write still produces exactly one control record per non-replica, and
+//! the causal delivery condition is evaluated record by record exactly as
+//! in the unbatched mode. The differential proptests pin this down.
 
 use crate::api::ProtocolKind;
 use crate::clock::VectorClock;
 use crate::control::ControlStats;
 use crate::protocol::{McsNode, ProtocolSpec};
 use histories::{Distribution, ProcId, Value, VarId};
-use simnet::{Node, NodeContext, NodeId, WireSize};
+use simnet::{DeliveryMode, Node, NodeContext, NodeId, SimDuration, WireSize};
 use std::collections::BTreeMap;
+
+/// Incremental wire cost of a control record that rides with a carrier
+/// already bearing a full vector clock (writer id + variable id + clock
+/// delta).
+pub const RECORD_DELTA_BYTES: usize = 16;
+
+/// Buffered records per destination beyond which the buffer is flushed
+/// immediately, without waiting for a piggyback opportunity or the timer.
+pub const MAX_BATCH: usize = 16;
+
+/// Timer tag used by the batching flush.
+const FLUSH_TAG: u64 = 0xBA7C;
+
+/// A dependency control record: everything about a write except its data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ControlRecord {
+    /// The writing process.
+    pub writer: usize,
+    /// The written variable.
+    pub var: VarId,
+    /// The writer's vector clock after the write.
+    pub vc: VectorClock,
+}
+
+impl ControlRecord {
+    /// Wire cost of this record as a standalone control message (or as the
+    /// first record of a batch): the full vector clock plus ids.
+    pub fn full_bytes(&self) -> usize {
+        self.vc.wire_bytes() + 8
+    }
+}
 
 /// Messages of the partially replicated causal protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CausalPartialMsg {
     /// A full update: data value plus causal timestamp. Sent to the
-    /// replicas of the written variable.
+    /// replicas of the written variable. Under a batching delivery mode it
+    /// may carry piggybacked control records buffered for the same
+    /// destination (always empty otherwise).
     Update {
         /// The writing process.
         writer: usize,
@@ -35,9 +90,13 @@ pub enum CausalPartialMsg {
         value: i64,
         /// The writer's vector clock after the write.
         vc: VectorClock,
+        /// Control records buffered for this destination, riding along at
+        /// [`RECORD_DELTA_BYTES`] each.
+        piggyback: Vec<ControlRecord>,
     },
     /// A control-only dependency record: everything but the data. Sent to
-    /// every node that does not replicate the written variable.
+    /// every node that does not replicate the written variable (unbatched
+    /// mode).
     Control {
         /// The writing process.
         writer: usize,
@@ -46,29 +105,60 @@ pub enum CausalPartialMsg {
         /// The writer's vector clock after the write.
         vc: VectorClock,
     },
+    /// A flushed batch of control records for one destination (batching
+    /// mode; never empty). Costs one full record plus a delta per
+    /// additional record.
+    ControlBatch {
+        /// The buffered records, in the order they were produced.
+        records: Vec<ControlRecord>,
+    },
 }
 
 impl CausalPartialMsg {
-    /// The variable the message concerns.
+    const EMPTY_BATCH: &'static str =
+        "ControlBatch is never empty (the protocol only flushes non-empty buffers)";
+
+    /// The variable the message concerns (for a batch: its first record's).
+    ///
+    /// # Panics
+    /// Panics on a hand-built empty `ControlBatch`; the protocol never
+    /// produces one.
     pub fn var(&self) -> VarId {
         match self {
             CausalPartialMsg::Update { var, .. } | CausalPartialMsg::Control { var, .. } => *var,
+            CausalPartialMsg::ControlBatch { records } => {
+                records.first().expect(Self::EMPTY_BATCH).var
+            }
         }
     }
 
-    /// The writing process.
+    /// The writing process (for a batch: its first record's writer).
+    ///
+    /// # Panics
+    /// Panics on a hand-built empty `ControlBatch`; the protocol never
+    /// produces one.
     pub fn writer(&self) -> usize {
         match self {
             CausalPartialMsg::Update { writer, .. } | CausalPartialMsg::Control { writer, .. } => {
                 *writer
             }
+            CausalPartialMsg::ControlBatch { records } => {
+                records.first().expect(Self::EMPTY_BATCH).writer
+            }
         }
     }
 
-    /// The attached vector clock.
+    /// The attached vector clock (for a batch: its first record's).
+    ///
+    /// # Panics
+    /// Panics on a hand-built empty `ControlBatch`; the protocol never
+    /// produces one.
     pub fn vc(&self) -> &VectorClock {
         match self {
             CausalPartialMsg::Update { vc, .. } | CausalPartialMsg::Control { vc, .. } => vc,
+            CausalPartialMsg::ControlBatch { records } => {
+                &records.first().expect(Self::EMPTY_BATCH).vc
+            }
         }
     }
 }
@@ -77,11 +167,19 @@ impl WireSize for CausalPartialMsg {
     fn data_bytes(&self) -> usize {
         match self {
             CausalPartialMsg::Update { .. } => 8,
-            CausalPartialMsg::Control { .. } => 0,
+            CausalPartialMsg::Control { .. } | CausalPartialMsg::ControlBatch { .. } => 0,
         }
     }
     fn control_bytes(&self) -> usize {
-        self.vc().wire_bytes() + 8
+        match self {
+            CausalPartialMsg::Update { vc, piggyback, .. } => {
+                vc.wire_bytes() + 8 + RECORD_DELTA_BYTES * piggyback.len()
+            }
+            CausalPartialMsg::Control { vc, .. } => vc.wire_bytes() + 8,
+            CausalPartialMsg::ControlBatch { records } => records.first().map_or(0, |first| {
+                first.full_bytes() + RECORD_DELTA_BYTES * (records.len() - 1)
+            }),
+        }
     }
 }
 
@@ -96,11 +194,19 @@ pub struct CausalPartialNode {
     control: ControlStats,
     delivered_updates: u64,
     delivered_control: u64,
+    /// Whether control records are batched per destination.
+    batching: bool,
+    /// Per-destination buffers of not-yet-sent control records (batching
+    /// mode only; indexed by destination process id, own slot unused).
+    buffers: Vec<Vec<ControlRecord>>,
+    /// Whether a flush timer is currently pending.
+    flush_armed: bool,
 }
 
 impl CausalPartialNode {
-    /// Build the node for process `me` under the given distribution.
-    pub fn new(me: ProcId, dist: &Distribution) -> Self {
+    /// Build the node for process `me` under the given distribution, with
+    /// control-record batching per `delivery`.
+    pub fn new(me: ProcId, dist: &Distribution, delivery: DeliveryMode) -> Self {
         CausalPartialNode {
             me,
             dist: dist.clone(),
@@ -110,6 +216,9 @@ impl CausalPartialNode {
             control: ControlStats::new(),
             delivered_updates: 0,
             delivered_control: 0,
+            batching: delivery.batching,
+            buffers: vec![Vec::new(); dist.process_count()],
+            flush_armed: false,
         }
     }
 
@@ -123,7 +232,7 @@ impl CausalPartialNode {
         self.delivered_updates
     }
 
-    /// Control-only records processed so far — each one is metadata about a
+    /// Control records processed so far — each one is metadata about a
     /// variable this node does not replicate.
     pub fn delivered_control(&self) -> u64 {
         self.delivered_control
@@ -132,6 +241,11 @@ impl CausalPartialNode {
     /// Messages buffered awaiting causal delivery.
     pub fn pending_count(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Control records buffered for later sending (0 unless batching).
+    pub fn buffered_records(&self) -> usize {
+        self.buffers.iter().map(Vec::len).sum()
     }
 
     fn apply(&mut self, msg: &CausalPartialMsg) {
@@ -144,6 +258,9 @@ impl CausalPartialNode {
             CausalPartialMsg::Control { vc, .. } => {
                 self.vc.merge(vc);
                 self.delivered_control += 1;
+            }
+            CausalPartialMsg::ControlBatch { .. } => {
+                unreachable!("batches are decomposed into records on receipt")
             }
         }
     }
@@ -163,6 +280,34 @@ impl CausalPartialNode {
             }
         }
     }
+
+    /// Enqueue one control record for causal delivery, charging `bytes` of
+    /// received control information to its variable.
+    fn receive_record(&mut self, record: ControlRecord, bytes: usize) {
+        self.control.charge_received(record.var, bytes);
+        self.pending.push(CausalPartialMsg::Control {
+            writer: record.writer,
+            var: record.var,
+            vc: record.vc,
+        });
+    }
+
+    /// Send destination `d`'s buffered records as one batch.
+    fn flush_dest(&mut self, ctx: &mut NodeContext<CausalPartialMsg>, d: usize) {
+        let records = std::mem::take(&mut self.buffers[d]);
+        if records.is_empty() {
+            return;
+        }
+        for (i, r) in records.iter().enumerate() {
+            let bytes = if i == 0 {
+                r.full_bytes()
+            } else {
+                RECORD_DELTA_BYTES
+            };
+            self.control.charge_sent(r.var, bytes);
+        }
+        ctx.send(NodeId(d), CausalPartialMsg::ControlBatch { records });
+    }
 }
 
 impl Node<CausalPartialMsg> for CausalPartialNode {
@@ -172,9 +317,58 @@ impl Node<CausalPartialMsg> for CausalPartialNode {
         _from: NodeId,
         msg: CausalPartialMsg,
     ) {
-        self.control.charge_received(msg.var(), msg.control_bytes());
-        self.pending.push(msg);
+        match msg {
+            CausalPartialMsg::Update {
+                writer,
+                var,
+                value,
+                vc,
+                piggyback,
+            } => {
+                self.control.charge_received(var, vc.wire_bytes() + 8);
+                // Piggybacked records precede their carrier in the
+                // writer's stream; enqueue them first so per-writer order
+                // is preserved even before the causal check runs.
+                for record in piggyback {
+                    self.receive_record(record, RECORD_DELTA_BYTES);
+                }
+                self.pending.push(CausalPartialMsg::Update {
+                    writer,
+                    var,
+                    value,
+                    vc,
+                    piggyback: Vec::new(),
+                });
+            }
+            CausalPartialMsg::Control { writer, var, vc } => {
+                let record = ControlRecord { writer, var, vc };
+                let bytes = record.full_bytes();
+                self.receive_record(record, bytes);
+            }
+            CausalPartialMsg::ControlBatch { records } => {
+                let mut first = true;
+                for record in records {
+                    let bytes = if first {
+                        record.full_bytes()
+                    } else {
+                        RECORD_DELTA_BYTES
+                    };
+                    first = false;
+                    self.receive_record(record, bytes);
+                }
+            }
+        }
         self.deliver_ready();
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeContext<CausalPartialMsg>, tag: u64) {
+        if tag != FLUSH_TAG {
+            return;
+        }
+        self.flush_armed = false;
+        for d in 0..self.buffers.len() {
+            self.flush_dest(ctx, d);
+        }
     }
 }
 
@@ -190,29 +384,100 @@ impl McsNode for CausalPartialNode {
         self.store.insert(var, Value::Int(value));
         self.control.track(var);
         let replicas = self.dist.replicas_of(var);
-        let update = CausalPartialMsg::Update {
-            writer: self.me.index(),
-            var,
-            value,
-            vc: self.vc.clone(),
-        };
-        let control = CausalPartialMsg::Control {
+        let update_bytes = self.vc.wire_bytes() + 8;
+        let record = ControlRecord {
             writer: self.me.index(),
             var,
             vc: self.vc.clone(),
         };
-        for i in 0..self.dist.process_count() {
-            let target = ProcId(i);
-            if target == self.me {
-                continue;
+        let replica_targets: Vec<NodeId> = (0..self.dist.process_count())
+            .map(ProcId)
+            .filter(|&p| p != self.me && replicas.contains(&p))
+            .map(|p| NodeId(p.index()))
+            .collect();
+        let other_targets: Vec<NodeId> = (0..self.dist.process_count())
+            .map(ProcId)
+            .filter(|&p| p != self.me && !replicas.contains(&p))
+            .map(|p| NodeId(p.index()))
+            .collect();
+
+        if !self.batching {
+            // Classical wire format: one full message per destination.
+            let update = CausalPartialMsg::Update {
+                writer: self.me.index(),
+                var,
+                value,
+                vc: self.vc.clone(),
+                piggyback: Vec::new(),
+            };
+            for _ in &replica_targets {
+                self.control.charge_sent(var, update_bytes);
             }
-            if replicas.contains(&target) {
-                self.control.charge_sent(var, update.control_bytes());
-                ctx.send(NodeId(i), update.clone());
+            ctx.send_multi(replica_targets, update);
+            let control = CausalPartialMsg::Control {
+                writer: self.me.index(),
+                var,
+                vc: self.vc.clone(),
+            };
+            for _ in &other_targets {
+                self.control.charge_sent(var, record.full_bytes());
+            }
+            ctx.send_multi(other_targets, control);
+            return;
+        }
+
+        // Batching: buffer the record per non-replica (flushing a
+        // destination that hits the size cap)…
+        for t in other_targets {
+            self.buffers[t.index()].push(record.clone());
+            if self.buffers[t.index()].len() >= MAX_BATCH {
+                self.flush_dest(ctx, t.index());
+            }
+        }
+        // …and send the update, piggybacking each destination's buffered
+        // records on its copy. Destinations with empty buffers share one
+        // multi-destination send (so a multicast wire can deduplicate the
+        // identical payload); the rest get a personalized copy.
+        let mut clean = Vec::new();
+        for t in replica_targets {
+            if self.buffers[t.index()].is_empty() {
+                self.control.charge_sent(var, update_bytes);
+                clean.push(t);
             } else {
-                self.control.charge_sent(var, control.control_bytes());
-                ctx.send(NodeId(i), control.clone());
+                let piggyback = std::mem::take(&mut self.buffers[t.index()]);
+                self.control.charge_sent(var, update_bytes);
+                for r in &piggyback {
+                    self.control.charge_sent(r.var, RECORD_DELTA_BYTES);
+                }
+                ctx.send(
+                    t,
+                    CausalPartialMsg::Update {
+                        writer: self.me.index(),
+                        var,
+                        value,
+                        vc: self.vc.clone(),
+                        piggyback,
+                    },
+                );
             }
+        }
+        ctx.send_multi(
+            clean,
+            CausalPartialMsg::Update {
+                writer: self.me.index(),
+                var,
+                value,
+                vc: self.vc.clone(),
+                piggyback: Vec::new(),
+            },
+        );
+        // A zero-delay timer drains whatever the piggybacks did not:
+        // running the network to quiescence therefore always delivers
+        // every record, so settle points see the same state as the
+        // unbatched wire.
+        if !self.flush_armed && self.buffers.iter().any(|b| !b.is_empty()) {
+            self.flush_armed = true;
+            ctx.set_timer(SimDuration::from_nanos(0), FLUSH_TAG);
         }
     }
 
@@ -234,9 +499,9 @@ impl ProtocolSpec for CausalPartial {
     type Node = CausalPartialNode;
     const KIND: ProtocolKind = ProtocolKind::CausalPartial;
 
-    fn build_nodes(dist: &Distribution) -> Vec<CausalPartialNode> {
+    fn build_nodes(dist: &Distribution, delivery: DeliveryMode) -> Vec<CausalPartialNode> {
         (0..dist.process_count())
-            .map(|i| CausalPartialNode::new(ProcId(i), dist))
+            .map(|i| CausalPartialNode::new(ProcId(i), dist, delivery))
             .collect()
     }
 }
@@ -246,6 +511,10 @@ mod tests {
     use super::*;
     use simnet::SimTime;
 
+    fn control_msg(writer: usize, var: VarId, vc: VectorClock) -> CausalPartialMsg {
+        CausalPartialMsg::Control { writer, var, vc }
+    }
+
     #[test]
     fn control_only_messages_carry_no_data() {
         let upd = CausalPartialMsg::Update {
@@ -253,12 +522,9 @@ mod tests {
             var: VarId(0),
             value: 1,
             vc: VectorClock::new(4),
+            piggyback: Vec::new(),
         };
-        let ctl = CausalPartialMsg::Control {
-            writer: 0,
-            var: VarId(0),
-            vc: VectorClock::new(4),
-        };
+        let ctl = control_msg(0, VarId(0), VectorClock::new(4));
         assert_eq!(upd.data_bytes(), 8);
         assert_eq!(ctl.data_bytes(), 0);
         assert_eq!(upd.control_bytes(), ctl.control_bytes());
@@ -268,12 +534,45 @@ mod tests {
     }
 
     #[test]
+    fn batches_and_piggybacks_delta_encode_their_records() {
+        let record = |w: usize| ControlRecord {
+            writer: w,
+            var: VarId(1),
+            vc: VectorClock::new(4),
+        };
+        let single = CausalPartialMsg::ControlBatch {
+            records: vec![record(0)],
+        };
+        // A batch of one costs the same as a standalone control message.
+        assert_eq!(
+            single.control_bytes(),
+            control_msg(0, VarId(1), VectorClock::new(4)).control_bytes()
+        );
+        let triple = CausalPartialMsg::ControlBatch {
+            records: vec![record(0), record(1), record(2)],
+        };
+        assert_eq!(triple.control_bytes(), (4 * 8 + 8) + 2 * RECORD_DELTA_BYTES);
+        assert_eq!(triple.data_bytes(), 0);
+        assert_eq!(triple.writer(), 0);
+        assert_eq!(triple.var(), VarId(1));
+        // A piggybacked record costs its delta on top of the update.
+        let upd = CausalPartialMsg::Update {
+            writer: 0,
+            var: VarId(0),
+            value: 1,
+            vc: VectorClock::new(4),
+            piggyback: vec![record(0)],
+        };
+        assert_eq!(upd.control_bytes(), (4 * 8 + 8) + RECORD_DELTA_BYTES);
+    }
+
+    #[test]
     fn writes_send_updates_to_replicas_and_control_to_everyone_else() {
         // 4 processes; x0 replicated on p0 and p1 only.
         let mut dist = Distribution::new(4, 1);
         dist.assign(ProcId(0), VarId(0));
         dist.assign(ProcId(1), VarId(0));
-        let mut nodes = CausalPartial::build_nodes(&dist);
+        let mut nodes = CausalPartial::build_nodes(&dist, DeliveryMode::UNICAST);
         let mut ctx = NodeContext::new(NodeId(0), SimTime::ZERO);
         nodes[0].local_write(&mut ctx, VarId(0), 5);
         // 1 update (to p1) + 2 control records (to p2, p3).
@@ -285,23 +584,130 @@ mod tests {
     }
 
     #[test]
-    fn control_records_advance_the_clock_without_storing_data() {
+    fn batching_buffers_records_until_the_flush_timer() {
+        let mut dist = Distribution::new(4, 1);
+        dist.assign(ProcId(0), VarId(0));
+        dist.assign(ProcId(1), VarId(0));
+        let mut nodes = CausalPartial::build_nodes(&dist, DeliveryMode::BATCHED);
+        let mut ctx = NodeContext::new(NodeId(0), SimTime::ZERO);
+        nodes[0].local_write(&mut ctx, VarId(0), 5);
+        // Only the update leaves immediately; the two records wait.
+        assert_eq!(ctx.queued_messages(), 1);
+        assert_eq!(nodes[0].buffered_records(), 2);
+        // The flush timer drains both buffers as one batch each.
+        let mut flush_ctx = NodeContext::new(NodeId(0), SimTime::ZERO);
+        nodes[0].on_timer(&mut flush_ctx, FLUSH_TAG);
+        assert_eq!(flush_ctx.queued_messages(), 2);
+        assert_eq!(nodes[0].buffered_records(), 0);
+        // Unknown timer tags are ignored.
+        let mut other = NodeContext::new(NodeId(0), SimTime::ZERO);
+        nodes[0].on_timer(&mut other, 99);
+        assert_eq!(other.queued_messages(), 0);
+    }
+
+    #[test]
+    fn batching_piggybacks_buffered_records_on_the_next_update() {
+        // p0 replicates x0 (with p1) and x1 (with p2); p3 replicates
+        // nothing p0 writes.
+        let mut dist = Distribution::new(4, 2);
+        dist.assign(ProcId(0), VarId(0));
+        dist.assign(ProcId(1), VarId(0));
+        dist.assign(ProcId(0), VarId(1));
+        dist.assign(ProcId(2), VarId(1));
+        let mut nodes = CausalPartial::build_nodes(&dist, DeliveryMode::BATCHED);
+        let mut ctx = NodeContext::new(NodeId(0), SimTime::ZERO);
+        // Writing x0 buffers records for p2 and p3.
+        nodes[0].local_write(&mut ctx, VarId(0), 5);
+        assert_eq!(nodes[0].buffered_records(), 2);
+        // Writing x1 piggybacks p2's record on its update; p1 (not a
+        // replica of x1) and p3 keep waiting.
+        nodes[0].local_write(&mut ctx, VarId(1), 6);
+        assert_eq!(nodes[0].buffered_records(), 3); // p1(x1) + p3(x0, x1)
+        let piggybacked = ctx.outgoing().iter().any(|out| {
+            matches!(
+                out,
+                simnet::Outgoing::One(
+                    NodeId(2),
+                    CausalPartialMsg::Update { piggyback, .. }
+                ) if piggyback.len() == 1
+            )
+        });
+        assert!(piggybacked, "p2's update must carry the buffered record");
+    }
+
+    #[test]
+    fn a_full_buffer_flushes_without_waiting() {
+        let mut dist = Distribution::new(2, 1);
+        dist.assign(ProcId(0), VarId(0));
+        let mut node = CausalPartialNode::new(ProcId(0), &dist, DeliveryMode::BATCHED);
+        let mut ctx = NodeContext::new(NodeId(0), SimTime::ZERO);
+        for i in 0..MAX_BATCH as i64 {
+            node.local_write(&mut ctx, VarId(0), i);
+        }
+        // The cap flushed p1's buffer exactly once.
+        assert_eq!(node.buffered_records(), 0);
+        let batches = ctx
+            .outgoing()
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    simnet::Outgoing::One(_, CausalPartialMsg::ControlBatch { records })
+                        if records.len() == MAX_BATCH
+                )
+            })
+            .count();
+        assert_eq!(batches, 1);
+    }
+
+    #[test]
+    fn received_batches_deliver_record_by_record() {
         let mut dist = Distribution::new(3, 1);
         dist.assign(ProcId(0), VarId(0));
         dist.assign(ProcId(1), VarId(0));
-        let mut node = CausalPartialNode::new(ProcId(2), &dist);
-        let mut vc = VectorClock::new(3);
-        vc.increment(0);
+        let mut node = CausalPartialNode::new(ProcId(2), &dist, DeliveryMode::BATCHED);
+        let mut vc1 = VectorClock::new(3);
+        vc1.increment(0);
+        let mut vc2 = vc1.clone();
+        vc2.increment(0);
         let mut ctx = NodeContext::new(NodeId(2), SimTime::ZERO);
         node.on_message(
             &mut ctx,
             NodeId(0),
-            CausalPartialMsg::Control {
-                writer: 0,
-                var: VarId(0),
-                vc,
+            CausalPartialMsg::ControlBatch {
+                records: vec![
+                    ControlRecord {
+                        writer: 0,
+                        var: VarId(0),
+                        vc: vc1,
+                    },
+                    ControlRecord {
+                        writer: 0,
+                        var: VarId(0),
+                        vc: vc2,
+                    },
+                ],
             },
         );
+        assert_eq!(node.delivered_control(), 2);
+        assert_eq!(node.clock().get(0), 2);
+        // Same record count as two standalone messages, fewer bytes.
+        assert_eq!(
+            node.control().received_bytes(VarId(0)),
+            (3 * 8 + 8 + RECORD_DELTA_BYTES) as u64
+        );
+    }
+
+    #[test]
+    fn control_records_advance_the_clock_without_storing_data() {
+        let mut dist = Distribution::new(3, 1);
+        dist.assign(ProcId(0), VarId(0));
+        dist.assign(ProcId(1), VarId(0));
+        let mut node = CausalPartialNode::new(ProcId(2), &dist, DeliveryMode::UNICAST);
+        let mut vc = VectorClock::new(3);
+        vc.increment(0);
+        let mut ctx = NodeContext::new(NodeId(2), SimTime::ZERO);
+        node.on_message(&mut ctx, NodeId(0), control_msg(0, VarId(0), vc));
         assert_eq!(node.delivered_control(), 1);
         assert_eq!(node.delivered_updates(), 0);
         assert_eq!(node.local_read(VarId(0)), Value::Bottom);
@@ -314,32 +720,16 @@ mod tests {
     #[test]
     fn out_of_order_control_waits_for_dependencies() {
         let dist = Distribution::new(2, 1);
-        let mut node = CausalPartialNode::new(ProcId(1), &dist);
+        let mut node = CausalPartialNode::new(ProcId(1), &dist, DeliveryMode::UNICAST);
         let mut vc2 = VectorClock::new(2);
         vc2.increment(0);
         vc2.increment(0);
         let mut ctx = NodeContext::new(NodeId(1), SimTime::ZERO);
-        node.on_message(
-            &mut ctx,
-            NodeId(0),
-            CausalPartialMsg::Control {
-                writer: 0,
-                var: VarId(0),
-                vc: vc2,
-            },
-        );
+        node.on_message(&mut ctx, NodeId(0), control_msg(0, VarId(0), vc2));
         assert_eq!(node.pending_count(), 1);
         let mut vc1 = VectorClock::new(2);
         vc1.increment(0);
-        node.on_message(
-            &mut ctx,
-            NodeId(0),
-            CausalPartialMsg::Control {
-                writer: 0,
-                var: VarId(0),
-                vc: vc1,
-            },
-        );
+        node.on_message(&mut ctx, NodeId(0), control_msg(0, VarId(0), vc1));
         assert_eq!(node.pending_count(), 0);
         assert_eq!(node.delivered_control(), 2);
         assert_eq!(CausalPartial::KIND, ProtocolKind::CausalPartial);

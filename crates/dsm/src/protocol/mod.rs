@@ -20,7 +20,7 @@ pub mod sequential;
 use crate::api::ProtocolKind;
 use crate::control::ControlStats;
 use histories::{Distribution, Value, VarId};
-use simnet::{Node, NodeContext, WireSize};
+use simnet::{DeliveryMode, Node, NodeContext, WireSize};
 use std::fmt;
 
 /// The application-facing interface of an MCS process.
@@ -62,5 +62,11 @@ pub trait ProtocolSpec {
 
     /// Build the MCS nodes for a system with the given variable
     /// distribution (one node per process, in process-id order).
-    fn build_nodes(dist: &Distribution) -> Vec<Self::Node>;
+    ///
+    /// `delivery` carries the wire-efficiency knobs: protocols that emit
+    /// per-destination control records honour `delivery.batching` by
+    /// buffering and piggybacking them (the partially replicated causal
+    /// protocol); everyone else ignores it. The `multicast` half of the
+    /// mode is handled below the protocols, in the transport.
+    fn build_nodes(dist: &Distribution, delivery: DeliveryMode) -> Vec<Self::Node>;
 }

@@ -114,12 +114,20 @@ impl McsNode for PramNode {
             var,
             value,
         };
-        for replica in self.dist.replicas_of(var) {
-            if replica != self.me {
-                self.control.charge_sent(var, PramMsg::CONTROL_BYTES);
-                ctx.send(NodeId(replica.index()), msg.clone());
-            }
+        // One multi-destination send to the replica set: the metadata
+        // never leaves C(x), and a multicast wire shares tree edges the
+        // replicas' paths have in common.
+        let targets: Vec<NodeId> = self
+            .dist
+            .replicas_of(var)
+            .iter()
+            .filter(|&&r| r != self.me)
+            .map(|r| NodeId(r.index()))
+            .collect();
+        for _ in &targets {
+            self.control.charge_sent(var, PramMsg::CONTROL_BYTES);
         }
+        ctx.send_multi(targets, msg);
     }
 
     fn replicates(&self, var: VarId) -> bool {
@@ -140,7 +148,7 @@ impl ProtocolSpec for PramPartial {
     type Node = PramNode;
     const KIND: ProtocolKind = ProtocolKind::PramPartial;
 
-    fn build_nodes(dist: &Distribution) -> Vec<PramNode> {
+    fn build_nodes(dist: &Distribution, _delivery: simnet::DeliveryMode) -> Vec<PramNode> {
         (0..dist.process_count())
             .map(|i| PramNode::new(ProcId(i), dist))
             .collect()
@@ -176,7 +184,7 @@ mod tests {
     #[test]
     fn build_nodes_creates_one_per_process() {
         let dist = Distribution::ring_overlap(4);
-        let nodes = PramPartial::build_nodes(&dist);
+        let nodes = PramPartial::build_nodes(&dist, simnet::DeliveryMode::UNICAST);
         assert_eq!(nodes.len(), 4);
         assert!(nodes[1].replicates(VarId(1)));
         assert!(nodes[1].replicates(VarId(2)));

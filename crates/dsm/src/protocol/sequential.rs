@@ -117,12 +117,17 @@ impl SequentialNode {
             var,
             value,
         };
-        for i in 0..self.n {
-            if i != self.me.index() {
-                self.control.charge_sent(var, ordered.control_bytes());
-                ctx.send(NodeId(i), ordered.clone());
-            }
+        // The ordered write is one identical payload to everyone else —
+        // one multi-destination send, so the wire can multicast it along
+        // the sequencer's broadcast tree.
+        let targets: Vec<NodeId> = (0..self.n)
+            .filter(|&i| i != self.me.index())
+            .map(NodeId)
+            .collect();
+        for _ in &targets {
+            self.control.charge_sent(var, ordered.control_bytes());
         }
+        ctx.send_multi(targets, ordered);
         // The sequencer applies locally in order as well.
         self.enqueue_ordered(seq, writer, var, value);
     }
@@ -201,7 +206,7 @@ impl ProtocolSpec for Sequential {
     type Node = SequentialNode;
     const KIND: ProtocolKind = ProtocolKind::Sequential;
 
-    fn build_nodes(dist: &Distribution) -> Vec<SequentialNode> {
+    fn build_nodes(dist: &Distribution, _delivery: simnet::DeliveryMode) -> Vec<SequentialNode> {
         let n = dist.process_count();
         (0..n).map(|i| SequentialNode::new(ProcId(i), n)).collect()
     }
@@ -233,7 +238,7 @@ mod tests {
     #[test]
     fn sequencer_orders_and_broadcasts() {
         let dist = Distribution::full(3, 1);
-        let mut nodes = Sequential::build_nodes(&dist);
+        let mut nodes = Sequential::build_nodes(&dist, simnet::DeliveryMode::UNICAST);
         assert!(nodes[0].is_sequencer());
         assert!(!nodes[1].is_sequencer());
         let mut ctx = NodeContext::new(NodeId(0), SimTime::ZERO);
@@ -247,7 +252,7 @@ mod tests {
     #[test]
     fn non_sequencer_forwards_requests() {
         let dist = Distribution::full(3, 1);
-        let mut nodes = Sequential::build_nodes(&dist);
+        let mut nodes = Sequential::build_nodes(&dist, simnet::DeliveryMode::UNICAST);
         let mut ctx = NodeContext::new(NodeId(2), SimTime::ZERO);
         nodes[2].local_write(&mut ctx, VarId(0), 5);
         assert_eq!(ctx.queued_messages(), 1);

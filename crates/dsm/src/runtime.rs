@@ -20,12 +20,15 @@ use crate::control::ControlSummary;
 use crate::protocol::{McsNode, ProtocolSpec};
 use crate::recorder::Recorder;
 use histories::{Distribution, History, ProcId, Value, VarId};
-use simnet::{NetworkStats, NodeId, RunOutcome, SimConfig, SimTime, Topology, Transport};
+use simnet::{
+    DeliveryMode, NetworkStats, NodeId, RunOutcome, SimConfig, SimTime, Topology, Transport,
+};
 
 /// A complete simulated DSM deployment for protocol `P`.
 pub struct DsmSystem<P: ProtocolSpec> {
     net: Transport<P::Msg, P::Node>,
     dist: Distribution,
+    delivery: DeliveryMode,
     recorder: Recorder,
 }
 
@@ -48,7 +51,8 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     /// distribution, or if routing is required but the topology is not
     /// strongly connected.
     pub fn with_config(dist: Distribution, config: SimConfig) -> Self {
-        let nodes = P::build_nodes(&dist);
+        let delivery = config.delivery;
+        let nodes = P::build_nodes(&dist, delivery);
         let topology = match &config.topology {
             Some(t) => {
                 assert_eq!(
@@ -65,6 +69,7 @@ impl<P: ProtocolSpec> DsmSystem<P> {
         DsmSystem {
             net,
             dist,
+            delivery,
             recorder,
         }
     }
@@ -103,6 +108,12 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     /// forced routing) rather than delivered on direct links.
     pub fn is_routed(&self) -> bool {
         self.net.is_routed()
+    }
+
+    /// The wire delivery mode (multicast / batching) this deployment runs
+    /// under.
+    pub fn delivery(&self) -> DeliveryMode {
+        self.delivery
     }
 
     /// Transit envelopes forwarded by intermediate nodes — the extra hops

@@ -1,12 +1,21 @@
-//! A polynomial-time PRAM *spot-checker*.
+//! Polynomial-time consistency *spot-checkers*.
 //!
 //! The full checkers in [`crate::checker`] search for the per-process
 //! serializations the consistency definitions require; that search is
 //! worst-case exponential, so large sweep cells cap it (the scenario tour
 //! only runs it on histories of ≤ 24 operations). This module provides the
-//! complementary tool for everything above the cap: a linear scan that is
-//! **sound for violations** — every history it rejects is genuinely not
-//! PRAM consistent — but incomplete (a pass does not prove consistency).
+//! complementary tools for everything above the cap: polynomial scans that
+//! are **sound for violations** — every history they reject genuinely
+//! violates the criterion — but incomplete (a pass does not prove
+//! consistency).
+//!
+//! [`pram_spot_check`] covers PRAM (every protocol's floor);
+//! [`causal_spot_check`] sharpens the verdict for the causal protocols by
+//! additionally rejecting histories whose writes-into ∪ program-order
+//! closure is cyclic or in which a read returns a write that another
+//! causally-interposed write to the same variable has already overwritten
+//! — violations PRAM's per-writer view cannot see, because they arise from
+//! exactly the cross-process transitivity PRAM drops.
 //!
 //! The scan exploits the PRAM obligation directly: process `p`'s
 //! serialization of `H_{p+w}` must contain every writer's writes in that
@@ -30,6 +39,7 @@
 
 use crate::history::{History, OpIdx};
 use crate::op::{ProcId, Value, VarId};
+use crate::orders::ProgramOrder;
 use crate::read_from::{ReadFrom, ReadFromError};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -178,6 +188,110 @@ pub fn pram_spot_check(h: &History) -> Result<(), SpotViolation> {
                     }
                     advance(q, k + 1, &mut forced, &mut seen_var, &mut max_forced_to);
                 }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A contradiction found by [`causal_spot_check`]. Every variant is a
+/// definite causal-consistency violation (soundness); the checker stops at
+/// the first one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CausalSpotViolation {
+    /// A PRAM violation — causal consistency implies PRAM consistency, so
+    /// any rejection of the PRAM scan transfers.
+    Pram(SpotViolation),
+    /// The causal order (transitive closure of program order ∪ writes-into)
+    /// contains a cycle through `witness`, so no serialization can respect
+    /// it.
+    CyclicCausalOrder {
+        /// An operation lying on the cycle.
+        witness: OpIdx,
+    },
+    /// `read` returns `source`, but `interposed` — a write to the same
+    /// variable with `source 7→co interposed 7→co read` — sits between
+    /// them in every causal serialization, overwriting the value.
+    OverwrittenRead {
+        /// The offending read.
+        read: OpIdx,
+        /// The write the read returns.
+        source: OpIdx,
+        /// The causally interposed write to the same variable.
+        interposed: OpIdx,
+    },
+}
+
+impl fmt::Display for CausalSpotViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CausalSpotViolation::Pram(v) => write!(f, "PRAM (hence causal) violation: {v}"),
+            CausalSpotViolation::CyclicCausalOrder { witness } => {
+                write!(f, "causal order has a cycle through {witness:?}")
+            }
+            CausalSpotViolation::OverwrittenRead {
+                read,
+                source,
+                interposed,
+            } => write!(
+                f,
+                "{read:?} reads from {source:?}, but write {interposed:?} to the same variable is causally between them"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CausalSpotViolation {}
+
+/// Scan a history for definite causal-consistency violations in polynomial
+/// time.
+///
+/// Returns `Ok(())` when no contradiction is found — which does **not**
+/// prove causal consistency (use [`crate::check`] for the complete,
+/// possibly exponential answer) — and the first [`CausalSpotViolation`]
+/// otherwise. Any history rejected here is also rejected by the full
+/// causal checker. Three scans, all polynomial:
+///
+/// 1. the PRAM spot scan (causal ⊆ PRAM histories, so its violations
+///    transfer);
+/// 2. cycle detection on the causal order — the transitive closure of
+///    program order ∪ the writes-into relation (`O(|H|·edges)` bitset
+///    reachability);
+/// 3. overwritten reads: `r` reads from `w` although a write `w'` to the
+///    same variable satisfies `w 7→co w' 7→co r`. Every causal
+///    serialization of the reader's view orders `w` before `w'` before
+///    `r`, so `r` can never return `w`'s value (`O(reads × writes)`
+///    lookups in the closure).
+pub fn causal_spot_check(h: &History) -> Result<(), CausalSpotViolation> {
+    pram_spot_check(h).map_err(CausalSpotViolation::Pram)?;
+    // The PRAM scan already inferred read-from successfully.
+    let rf = ReadFrom::infer(h).expect("read-from inference succeeded above");
+    let mut graph = ProgramOrder::graph(h);
+    for (w, r) in rf.pairs() {
+        graph.add_edge(w, r);
+    }
+    let closure = graph.closure();
+    for v in 0..h.len() {
+        if closure.reaches(OpIdx(v), OpIdx(v)) {
+            return Err(CausalSpotViolation::CyclicCausalOrder { witness: OpIdx(v) });
+        }
+    }
+    let writes: Vec<(OpIdx, VarId)> = h.writes().map(|(idx, op)| (idx, op.var)).collect();
+    for (read, op) in h.reads() {
+        let Some(source) = rf.source_of(read) else {
+            continue;
+        };
+        for &(w, var) in &writes {
+            if var == op.var
+                && w != source
+                && closure.reaches(source, w)
+                && closure.reaches(w, read)
+            {
+                return Err(CausalSpotViolation::OverwrittenRead {
+                    read,
+                    source,
+                    interposed: w,
+                });
             }
         }
     }
@@ -352,6 +466,121 @@ mod tests {
         assert!(spot_rejections >= 10, "caught {spot_rejections}");
     }
 
+    /// Every causal spot rejection must be confirmed by the complete
+    /// (exponential) causal checker — the soundness contract.
+    fn assert_causal_sound(h: &History) {
+        if causal_spot_check(h).is_err() {
+            assert!(
+                !check(h, Criterion::Causal).consistent,
+                "causal spot checker flagged a causally consistent history:\n{}",
+                h.pretty()
+            );
+        }
+    }
+
+    #[test]
+    fn causal_spot_check_subsumes_the_pram_scan() {
+        // p0: w(x)1, w(x)2   p1: r(x)2, r(x)1 — a PRAM violation.
+        let mut hb = HistoryBuilder::new(2);
+        hb.write(ProcId(0), VarId(0), 1);
+        hb.write(ProcId(0), VarId(0), 2);
+        hb.read_int(ProcId(1), VarId(0), 2);
+        hb.read_int(ProcId(1), VarId(0), 1);
+        let h = hb.build();
+        assert!(matches!(
+            causal_spot_check(&h),
+            Err(CausalSpotViolation::Pram(SpotViolation::StaleRead { .. }))
+        ));
+        assert_causal_sound(&h);
+    }
+
+    #[test]
+    fn overwritten_read_across_processes_is_flagged() {
+        // p0: w(x)1   p1: r(x)1, w(x)2   p2: r(x)2, r(x)1
+        // PRAM-consistent (each writer's own order is respected at p2) but
+        // not causal: w(x)1 7→co w(x)2 through p1's read, so p2 may not
+        // read 1 after 2.
+        let mut hb = HistoryBuilder::new(3);
+        let w1 = hb.write(ProcId(0), VarId(0), 1);
+        hb.read_int(ProcId(1), VarId(0), 1);
+        let w2 = hb.write(ProcId(1), VarId(0), 2);
+        hb.read_int(ProcId(2), VarId(0), 2);
+        let r1 = hb.read_int(ProcId(2), VarId(0), 1);
+        let h = hb.build();
+        assert_eq!(pram_spot_check(&h), Ok(()), "PRAM cannot see this");
+        assert_eq!(
+            causal_spot_check(&h),
+            Err(CausalSpotViolation::OverwrittenRead {
+                read: r1,
+                source: w1,
+                interposed: w2,
+            })
+        );
+        assert!(!check(&h, Criterion::Causal).consistent);
+        assert!(check(&h, Criterion::Pram).consistent);
+    }
+
+    #[test]
+    fn cyclic_causal_order_is_flagged() {
+        // p0: r(x)1, w(x)1 — the read returns a write that is
+        // program-order after it: writes-into ∪ program order is cyclic.
+        let mut hb = HistoryBuilder::new(1);
+        hb.read_int(ProcId(0), VarId(0), 1);
+        hb.write(ProcId(0), VarId(0), 1);
+        let h = hb.build();
+        assert!(matches!(
+            causal_spot_check(&h),
+            Err(CausalSpotViolation::CyclicCausalOrder { .. })
+        ));
+        assert_causal_sound(&h);
+    }
+
+    #[test]
+    fn causally_consistent_histories_pass_the_causal_scan() {
+        // Concurrent writes read in different orders by different
+        // processes: causal (no causal edge between the writes).
+        let mut hb = HistoryBuilder::new(4);
+        hb.write(ProcId(0), VarId(0), 1);
+        hb.write(ProcId(1), VarId(0), 2);
+        hb.read_int(ProcId(2), VarId(0), 1);
+        hb.read_int(ProcId(2), VarId(0), 2);
+        hb.read_int(ProcId(3), VarId(0), 2);
+        hb.read_int(ProcId(3), VarId(0), 1);
+        let h = hb.build();
+        assert_eq!(causal_spot_check(&h), Ok(()));
+        assert!(check(&h, Criterion::Causal).consistent);
+        // Empty histories trivially pass.
+        assert_eq!(causal_spot_check(&HistoryBuilder::new(2).build()), Ok(()));
+    }
+
+    #[test]
+    fn causal_scan_is_sound_on_exhaustive_small_histories() {
+        // p0: w(x)1   p1: r(x)?, w(x)2   p2: two reads of x from {⊥,1,2}.
+        // Check both soundness contracts on every member, and that the
+        // causal scan is strictly sharper than the PRAM scan somewhere.
+        let values = [Value::Bottom, Value::Int(1), Value::Int(2)];
+        let mut sharper = 0;
+        for a in values {
+            for b in values {
+                for c in values {
+                    let mut hb = HistoryBuilder::new(3);
+                    hb.write(ProcId(0), VarId(0), 1);
+                    hb.read(ProcId(1), VarId(0), a);
+                    hb.write(ProcId(1), VarId(0), 2);
+                    hb.read(ProcId(2), VarId(0), b);
+                    hb.read(ProcId(2), VarId(0), c);
+                    let h = hb.build();
+                    assert_sound(&h);
+                    assert_causal_sound(&h);
+                    if pram_spot_check(&h).is_ok() && causal_spot_check(&h).is_err() {
+                        sharper += 1;
+                    }
+                }
+            }
+        }
+        assert!(sharper >= 1, "the causal scan never out-resolved PRAM");
+    }
+
     #[test]
     fn violations_render_readably() {
         let v = SpotViolation::StaleRead {
@@ -368,5 +597,15 @@ mod tests {
             earlier_write: OpIdx(1),
         };
         assert!(b.to_string().contains("⊥"));
+        let c = CausalSpotViolation::OverwrittenRead {
+            read: OpIdx(3),
+            source: OpIdx(0),
+            interposed: OpIdx(1),
+        };
+        assert!(c.to_string().contains("causally between"));
+        let cy = CausalSpotViolation::CyclicCausalOrder { witness: OpIdx(2) };
+        assert!(cy.to_string().contains("cycle"));
+        let p = CausalSpotViolation::Pram(v);
+        assert!(p.to_string().contains("PRAM"));
     }
 }

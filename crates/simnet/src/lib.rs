@@ -53,10 +53,10 @@ pub use channel::{Channel, LatencyModel};
 pub use event::{Event, EventKind, EventQueue};
 pub use message::{Envelope, NodeId, WireSize};
 pub use network::Topology;
-pub use node::{Node, NodeContext};
-pub use route::{Relay, RouteError, Routed, Router};
+pub use node::{Node, NodeContext, Outgoing};
+pub use route::{Multicast, Packet, Relay, RouteError, Routed, Router};
 pub use sim::{RunOutcome, SendError, SimConfig, Simulator};
 pub use stats::{LinkStats, NetworkStats, NodeStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{EventTrace, TraceEntry};
-pub use transport::{RoutingMode, Transport};
+pub use transport::{DeliveryMode, RoutingMode, Transport};

@@ -5,6 +5,34 @@
 use crate::message::NodeId;
 use crate::time::{SimDuration, SimTime};
 
+/// One buffered outgoing transmission: a unicast to a single destination,
+/// or one payload addressed to a whole destination set.
+///
+/// The distinction is *advisory*: a multi-destination entry is logically
+/// identical to sending the payload to each destination in order, and the
+/// raw [`Simulator`](crate::sim::Simulator) expands it exactly that way.
+/// The transport layer, however, may exploit the grouping — under a
+/// multicast [`DeliveryMode`](crate::transport::DeliveryMode) one envelope
+/// carrying the destination set is deduplicated along the sender's
+/// broadcast tree so the payload traverses each tree edge once.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Outgoing<P> {
+    /// A unicast send to one destination.
+    One(NodeId, P),
+    /// One payload addressed to every node in the destination set.
+    Many(Vec<NodeId>, P),
+}
+
+impl<P> Outgoing<P> {
+    /// Number of logical deliveries this entry produces.
+    pub fn fan_out(&self) -> usize {
+        match self {
+            Outgoing::One(..) => 1,
+            Outgoing::Many(targets, _) => targets.len(),
+        }
+    }
+}
+
 /// Actions a node may take while handling an event.
 ///
 /// A `NodeContext` is passed to every [`Node`] callback; sends and timer
@@ -17,8 +45,8 @@ pub struct NodeContext<P> {
     me: NodeId,
     /// Current virtual time.
     now: SimTime,
-    /// Buffered outgoing messages `(to, payload)`.
-    pub(crate) outbox: Vec<(NodeId, P)>,
+    /// Buffered outgoing transmissions, in the order they were requested.
+    pub(crate) outbox: Vec<Outgoing<P>>,
     /// Buffered timer requests `(delay, tag)`.
     pub(crate) timers: Vec<(SimDuration, u64)>,
 }
@@ -50,16 +78,48 @@ impl<P> NodeContext<P> {
 
     /// Send `payload` to `to` over the (reliable FIFO) channel.
     pub fn send(&mut self, to: NodeId, payload: P) {
-        self.outbox.push((to, payload));
+        self.outbox.push(Outgoing::One(to, payload));
     }
 
-    /// Broadcast `payload` to every node in `targets` (cloning it).
+    /// Send one `payload` to every node in `targets`.
+    ///
+    /// The targets are a *set*: duplicates are dropped (keeping the first
+    /// occurrence's position), and each remaining destination receives the
+    /// payload exactly once — so every wire strategy agrees on what is
+    /// delivered. Beyond that this is logically identical to calling
+    /// [`NodeContext::send`] once per target (in order); protocols must
+    /// not depend on anything stronger. The transport may carry the group
+    /// as a single deduplicated envelope per broadcast-tree edge when
+    /// multicast delivery is enabled, which is why fan-outs of an
+    /// identical payload should prefer this entry point over a send loop.
+    pub fn send_multi(&mut self, targets: impl IntoIterator<Item = NodeId>, payload: P) {
+        let mut seen = Vec::new();
+        let targets: Vec<NodeId> = targets
+            .into_iter()
+            .filter(|&t| {
+                let fresh = !seen.contains(&t);
+                if fresh {
+                    seen.push(t);
+                }
+                fresh
+            })
+            .collect();
+        match targets.len() {
+            0 => {}
+            1 => self.outbox.push(Outgoing::One(targets[0], payload)),
+            _ => self.outbox.push(Outgoing::Many(targets, payload)),
+        }
+    }
+
+    /// Broadcast `payload` to every node in `targets` as independent
+    /// unicast sends (cloning it). Unlike [`NodeContext::send_multi`] the
+    /// copies stay independent on the wire even under multicast delivery.
     pub fn multicast(&mut self, targets: impl IntoIterator<Item = NodeId>, payload: P)
     where
         P: Clone,
     {
         for t in targets {
-            self.outbox.push((t, payload.clone()));
+            self.outbox.push(Outgoing::One(t, payload.clone()));
         }
     }
 
@@ -68,15 +128,23 @@ impl<P> NodeContext<P> {
         self.timers.push((delay, tag));
     }
 
-    /// Number of messages queued in this callback so far.
+    /// Number of logical messages queued in this callback so far (a
+    /// multi-destination entry counts once per destination).
     pub fn queued_messages(&self) -> usize {
-        self.outbox.len()
+        self.outbox.iter().map(Outgoing::fan_out).sum()
     }
 
-    /// Consume the context, returning the buffered sends and timer
+    /// The transmissions buffered so far, in request order (exposed so
+    /// protocol unit tests can inspect what a callback sent without
+    /// spinning up a simulator).
+    pub fn outgoing(&self) -> &[Outgoing<P>] {
+        &self.outbox
+    }
+
+    /// Consume the context, returning the buffered transmissions and timer
     /// requests (used by the routing layer to re-address sends).
     #[allow(clippy::type_complexity)]
-    pub(crate) fn into_parts(self) -> (Vec<(NodeId, P)>, Vec<(SimDuration, u64)>) {
+    pub(crate) fn into_parts(self) -> (Vec<Outgoing<P>>, Vec<(SimDuration, u64)>) {
         (self.outbox, self.timers)
     }
 }
@@ -110,9 +178,48 @@ mod tests {
         assert_eq!(ctx.queued_messages(), 3);
         assert_eq!(
             ctx.outbox,
-            vec![(NodeId(1), 10), (NodeId(0), 99), (NodeId(2), 99)]
+            vec![
+                Outgoing::One(NodeId(1), 10),
+                Outgoing::One(NodeId(0), 99),
+                Outgoing::One(NodeId(2), 99)
+            ]
         );
         assert_eq!(ctx.timers, vec![(SimDuration::from_micros(5), 42)]);
+    }
+
+    #[test]
+    fn send_multi_groups_destinations() {
+        let mut ctx: NodeContext<u32> = NodeContext::new(NodeId(0), SimTime::ZERO);
+        ctx.send_multi([NodeId(1), NodeId(2), NodeId(3)], 7);
+        ctx.send_multi([], 8);
+        ctx.send_multi([NodeId(4)], 9);
+        assert_eq!(ctx.queued_messages(), 4);
+        assert_eq!(
+            ctx.outbox,
+            vec![
+                Outgoing::Many(vec![NodeId(1), NodeId(2), NodeId(3)], 7),
+                Outgoing::One(NodeId(4), 9)
+            ]
+        );
+        assert_eq!(ctx.outbox[0].fan_out(), 3);
+        assert_eq!(ctx.outbox[1].fan_out(), 1);
+    }
+
+    #[test]
+    fn send_multi_deduplicates_targets() {
+        // The destination set is a set: every wire strategy must agree on
+        // what is delivered, so duplicates are dropped at the source.
+        let mut ctx: NodeContext<u32> = NodeContext::new(NodeId(0), SimTime::ZERO);
+        ctx.send_multi([NodeId(2), NodeId(1), NodeId(2), NodeId(1)], 7);
+        ctx.send_multi([NodeId(3), NodeId(3)], 8);
+        assert_eq!(
+            ctx.outbox,
+            vec![
+                Outgoing::Many(vec![NodeId(2), NodeId(1)], 7),
+                Outgoing::One(NodeId(3), 8)
+            ]
+        );
+        assert_eq!(ctx.queued_messages(), 3);
     }
 
     struct Echo {
@@ -135,6 +242,6 @@ mod tests {
         assert!(ctx.outbox.is_empty());
         e.on_message(&mut ctx, NodeId(1), 5);
         assert_eq!(e.got, vec![5]);
-        assert_eq!(ctx.outbox, vec![(NodeId(1), 6)]);
+        assert_eq!(ctx.outbox, vec![Outgoing::One(NodeId(1), 6)]);
     }
 }

@@ -23,13 +23,26 @@
 //!   and envelopes that arrive at their destination are delivered to the
 //!   inner node as if they had come straight from the logical source.
 //!
+//! * [`Multicast`] — the wire-efficient fan-out envelope: **one** payload
+//!   plus a destination set. It is deduplicated along the logical source's
+//!   broadcast tree: each relay delivers locally if it is a destination,
+//!   splits the remaining set among the subtrees that contain them, and
+//!   forwards one copy per subtree — so the payload traverses each tree
+//!   edge at most once, instead of once per destination as a unicast
+//!   fan-out would.
+//! * [`Packet`] — what actually travels a routed network: a unicast
+//!   [`Routed`] envelope or a [`Multicast`] one.
+//!
 //! Every hop is a real channel send, so per-hop latency and per-hop
 //! [`NetworkStats`](crate::stats::NetworkStats) accounting come from the
-//! simulator unchanged.
+//! simulator unchanged; a [`Multicast`] envelope's bytes are accounted
+//! once per tree edge it crosses, which is exactly the wire saving the
+//! efficiency tables measure.
 
 use crate::message::{NodeId, WireSize};
 use crate::network::Topology;
-use crate::node::{Node, NodeContext};
+use crate::node::{Node, NodeContext, Outgoing};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -159,6 +172,23 @@ impl Router {
             .collect()
     }
 
+    /// The next node after `at` on `src`'s broadcast-tree path to `dst`
+    /// (`None` when `at` is not a proper ancestor of `dst` in `src`'s
+    /// tree). At the root this agrees with [`Router::next_hop`], since the
+    /// next-hop tables are derived from the same BFS trees — so unicast
+    /// envelopes and multicast envelopes leave the source on the same
+    /// link.
+    pub fn tree_next_hop(&self, src: NodeId, at: NodeId, dst: NodeId) -> Option<NodeId> {
+        let mut cur = dst;
+        loop {
+            match self.tree_parent(src, cur) {
+                Some(p) if p == at => return Some(cur),
+                Some(p) => cur = p,
+                None => return None,
+            }
+        }
+    }
+
     /// The full shortest path `from → … → to` (excluding `from`, including
     /// `to`; empty when `from == to`).
     pub fn path(&self, from: NodeId, to: NodeId) -> Vec<NodeId> {
@@ -203,6 +233,65 @@ impl<P: WireSize> WireSize for Routed<P> {
     }
 }
 
+/// The multicast envelope: **one** payload in transit from `src` to a set
+/// of destinations, deduplicated along `src`'s broadcast tree.
+///
+/// Where a unicast fan-out pays the payload once per destination per hop,
+/// a multicast envelope pays it once per broadcast-tree edge: a relay
+/// splits the destination set among the subtrees containing them and
+/// forwards one copy per subtree. Destination sets shrink monotonically
+/// toward the leaves, and every destination receives the payload exactly
+/// once.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Multicast<P> {
+    /// The logical sender (whose broadcast tree the envelope follows).
+    pub src: NodeId,
+    /// The destinations still to be served by this copy.
+    pub dsts: Vec<NodeId>,
+    /// The protocol payload (one copy, shared by all destinations).
+    pub payload: P,
+}
+
+impl<P: WireSize> WireSize for Multicast<P> {
+    fn data_bytes(&self) -> usize {
+        self.payload.data_bytes()
+    }
+    fn control_bytes(&self) -> usize {
+        // Like the `Routed` header, the destination set rides for free —
+        // addressing is implied by a send in the protocol's own
+        // accounting. The payload is charged once per tree edge the
+        // envelope crosses (each forward is a real channel send), which
+        // is precisely the deduplicated wire cost.
+        self.payload.control_bytes()
+    }
+}
+
+/// What travels the wire of a routed network: a unicast relay envelope or
+/// a tree-deduplicated multicast one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Packet<P> {
+    /// A point-to-point envelope relayed hop by hop.
+    One(Routed<P>),
+    /// A shared-payload envelope forwarded along the source's broadcast
+    /// tree.
+    Many(Multicast<P>),
+}
+
+impl<P: WireSize> WireSize for Packet<P> {
+    fn data_bytes(&self) -> usize {
+        match self {
+            Packet::One(env) => env.data_bytes(),
+            Packet::Many(env) => env.data_bytes(),
+        }
+    }
+    fn control_bytes(&self) -> usize {
+        match self {
+            Packet::One(env) => env.control_bytes(),
+            Packet::Many(env) => env.control_bytes(),
+        }
+    }
+}
+
 /// A protocol node hosted on a routed (possibly sparse) network.
 ///
 /// Wraps an inner [`Node`] so that its any-to-any sends become multi-hop
@@ -214,17 +303,24 @@ pub struct Relay<N> {
     inner: N,
     me: NodeId,
     router: Arc<Router>,
+    /// Whether multi-destination sends travel as tree-deduplicated
+    /// [`Multicast`] envelopes (`true`) or per-destination unicast
+    /// [`Routed`] envelopes (`false`).
+    multicast: bool,
     forwarded: u64,
 }
 
 impl<N> Relay<N> {
     /// Host `inner` as node `me` on the routed network described by
-    /// `router`.
-    pub fn new(inner: N, me: NodeId, router: Arc<Router>) -> Self {
+    /// `router`. When `multicast` is set, multi-destination sends are
+    /// deduplicated along `me`'s broadcast tree; otherwise they fan out
+    /// as independent unicast envelopes (the classical behaviour).
+    pub fn new(inner: N, me: NodeId, router: Arc<Router>, multicast: bool) -> Self {
         Relay {
             inner,
             me,
             router,
+            multicast,
             forwarded: 0,
         }
     }
@@ -244,6 +340,11 @@ impl<N> Relay<N> {
         &self.router
     }
 
+    /// Whether multi-destination sends are tree-deduplicated.
+    pub fn multicast_enabled(&self) -> bool {
+        self.multicast
+    }
+
     /// Number of transit envelopes this node forwarded for other pairs.
     pub fn forwarded(&self) -> u64 {
         self.forwarded
@@ -255,60 +356,136 @@ impl<N> Relay<N> {
     }
 }
 
-/// Drain an inner context into an outer routed context: sends are wrapped
-/// in [`Routed`] envelopes addressed to their first hop, timers pass
-/// through unchanged.
-pub(crate) fn route_outbox<P>(
+/// Partition multicast destinations by their next hop, preserving input
+/// order within each group. One [`Multicast`] envelope is then emitted per
+/// group — this is the tree-splitting rule shared by the source (keyed by
+/// [`Router::next_hop`], which at the tree root *is* the broadcast-tree
+/// child) and by transit relays (keyed by [`Router::tree_next_hop`]), so
+/// the two stages can never disagree on how a destination set splits.
+fn group_by_hop(
+    targets: impl IntoIterator<Item = NodeId>,
+    mut hop: impl FnMut(NodeId) -> NodeId,
+) -> BTreeMap<NodeId, Vec<NodeId>> {
+    let mut groups: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+    for t in targets {
+        groups.entry(hop(t)).or_default().push(t);
+    }
+    groups
+}
+
+/// Drain an inner context into an outer routed context: unicast sends are
+/// wrapped in [`Routed`] envelopes addressed to their first hop;
+/// multi-destination sends become one [`Multicast`] envelope per
+/// broadcast-tree child when `multicast` is enabled (and degrade to the
+/// unicast fan-out otherwise); timers pass through unchanged.
+pub(crate) fn route_outbox<P: Clone>(
     router: &Router,
     me: NodeId,
+    multicast: bool,
     inner: NodeContext<P>,
-    outer: &mut NodeContext<Routed<P>>,
+    outer: &mut NodeContext<Packet<P>>,
 ) {
     let (outbox, timers) = inner.into_parts();
-    for (to, payload) in outbox {
-        let first_hop = router.next_hop(me, to);
+    let unicast = |outer: &mut NodeContext<Packet<P>>, to: NodeId, payload: P| {
         outer.send(
-            first_hop,
-            Routed {
+            router.next_hop(me, to),
+            Packet::One(Routed {
                 src: me,
                 dst: to,
                 payload,
-            },
+            }),
         );
+    };
+    for out in outbox {
+        match out {
+            Outgoing::One(to, payload) => unicast(outer, to, payload),
+            Outgoing::Many(targets, payload) if !multicast => {
+                for to in targets {
+                    unicast(outer, to, payload.clone());
+                }
+            }
+            Outgoing::Many(targets, payload) => {
+                // One envelope per broadcast-tree child of the source,
+                // carrying the subset of targets inside that subtree.
+                let groups = group_by_hop(targets, |to| router.next_hop(me, to));
+                for (first_hop, dsts) in groups {
+                    outer.send(
+                        first_hop,
+                        Packet::Many(Multicast {
+                            src: me,
+                            dsts,
+                            payload: payload.clone(),
+                        }),
+                    );
+                }
+            }
+        }
     }
     for (delay, tag) in timers {
         outer.set_timer(delay, tag);
     }
 }
 
-impl<P, N> Node<Routed<P>> for Relay<N>
+impl<P, N> Node<Packet<P>> for Relay<N>
 where
-    P: WireSize + fmt::Debug,
+    P: WireSize + fmt::Debug + Clone,
     N: Node<P>,
 {
-    fn on_start(&mut self, ctx: &mut NodeContext<Routed<P>>) {
+    fn on_start(&mut self, ctx: &mut NodeContext<Packet<P>>) {
         let mut inner_ctx = NodeContext::new(self.me, ctx.now());
         self.inner.on_start(&mut inner_ctx);
-        route_outbox(&self.router, self.me, inner_ctx, ctx);
+        route_outbox(&self.router, self.me, self.multicast, inner_ctx, ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut NodeContext<Routed<P>>, _from: NodeId, env: Routed<P>) {
-        if env.dst == self.me {
-            let mut inner_ctx = NodeContext::new(self.me, ctx.now());
-            self.inner.on_message(&mut inner_ctx, env.src, env.payload);
-            route_outbox(&self.router, self.me, inner_ctx, ctx);
-        } else {
-            // Transit traffic: forward along the shortest path without
-            // waking the protocol node.
-            self.forwarded += 1;
-            ctx.send(self.router.next_hop(self.me, env.dst), env);
+    fn on_message(&mut self, ctx: &mut NodeContext<Packet<P>>, _from: NodeId, packet: Packet<P>) {
+        match packet {
+            Packet::One(env) => {
+                if env.dst == self.me {
+                    let mut inner_ctx = NodeContext::new(self.me, ctx.now());
+                    self.inner.on_message(&mut inner_ctx, env.src, env.payload);
+                    route_outbox(&self.router, self.me, self.multicast, inner_ctx, ctx);
+                } else {
+                    // Transit traffic: forward along the shortest path
+                    // without waking the protocol node.
+                    self.forwarded += 1;
+                    ctx.send(self.router.next_hop(self.me, env.dst), Packet::One(env));
+                }
+            }
+            Packet::Many(env) => {
+                let Multicast { src, dsts, payload } = env;
+                // Split the remaining destinations among the children of
+                // this node in `src`'s broadcast tree; one copy per child
+                // keeps the payload on each tree edge at most once.
+                let deliver_here = dsts.contains(&self.me);
+                let groups = group_by_hop(dsts.into_iter().filter(|&d| d != self.me), |d| {
+                    self.router
+                        .tree_next_hop(src, self.me, d)
+                        .expect("multicast envelope reached a node outside its broadcast-tree path")
+                });
+                for (next, dsts) in groups {
+                    self.forwarded += 1;
+                    ctx.send(
+                        next,
+                        Packet::Many(Multicast {
+                            src,
+                            dsts,
+                            payload: payload.clone(),
+                        }),
+                    );
+                }
+                if deliver_here {
+                    let mut inner_ctx = NodeContext::new(self.me, ctx.now());
+                    self.inner.on_message(&mut inner_ctx, src, payload);
+                    route_outbox(&self.router, self.me, self.multicast, inner_ctx, ctx);
+                }
+            }
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut NodeContext<Routed<P>>, tag: u64) {
+    fn on_timer(&mut self, ctx: &mut NodeContext<Packet<P>>, tag: u64) {
         let mut inner_ctx = NodeContext::new(self.me, ctx.now());
         self.inner.on_timer(&mut inner_ctx, tag);
-        route_outbox(&self.router, self.me, inner_ctx, ctx);
+        route_outbox(&self.router, self.me, self.multicast, inner_ctx, ctx);
     }
 }
 
@@ -413,6 +590,135 @@ mod tests {
                 to: NodeId(0),
             })
         );
+    }
+
+    #[test]
+    fn tree_next_hop_follows_the_broadcast_tree() {
+        for topo in [
+            Topology::ring(7),
+            Topology::grid(3, 3),
+            Topology::star(6),
+            Topology::line(5),
+            Topology::full_mesh(5),
+        ] {
+            let n = topo.node_count();
+            let r = Router::new(&topo).unwrap();
+            for src in 0..n {
+                let src = NodeId(src);
+                for dst in 0..n {
+                    let dst = NodeId(dst);
+                    if src == dst {
+                        assert_eq!(r.tree_next_hop(src, src, dst), None);
+                        continue;
+                    }
+                    // At the root, the tree child agrees with the unicast
+                    // next hop (same BFS trees).
+                    assert_eq!(r.tree_next_hop(src, src, dst), Some(r.next_hop(src, dst)));
+                    // Walking tree_next_hop from the root traces exactly
+                    // the parent-chain path.
+                    let mut at = src;
+                    let mut walked = Vec::new();
+                    while at != dst {
+                        let next = r.tree_next_hop(src, at, dst).unwrap();
+                        walked.push(next);
+                        at = next;
+                    }
+                    assert_eq!(walked, r.path(src, dst));
+                    // A node off the path is not an ancestor.
+                    for other in 0..n {
+                        let other = NodeId(other);
+                        if other != dst && !walked.contains(&other) && other != src {
+                            assert_eq!(r.tree_next_hop(src, other, dst), None);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The per-writer FIFO guarantee in mixed unicast/multicast traffic
+    /// rests on this property: the hop-by-hop unicast route (each relay
+    /// consulting its *own* `next_hop` table) traces exactly the source's
+    /// broadcast-tree path that multicast envelopes follow, because all
+    /// tables come from the same id-order BFS. If tie-breaking ever
+    /// changed to let the routes diverge, a writer's consecutive sends to
+    /// one destination could travel different physical paths and arrive
+    /// reordered under latency jitter — so this test pins the property on
+    /// the standard topologies and on random strongly connected graphs.
+    #[test]
+    fn unicast_relay_paths_coincide_with_broadcast_tree_paths() {
+        let mut topologies = vec![
+            Topology::ring(7),
+            Topology::grid(3, 3),
+            Topology::grid(2, 5),
+            Topology::star(6),
+            Topology::line(5),
+            Topology::full_mesh(5),
+        ];
+        // Random connected graphs: a ring backbone (strong connectivity)
+        // plus deterministic pseudo-random chords.
+        for seed in 0..40u64 {
+            let n = 5 + (seed % 6) as usize;
+            let mut links = Vec::new();
+            for i in 0..n {
+                links.push((i, (i + 1) % n));
+                links.push(((i + 1) % n, i));
+            }
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            for _ in 0..n {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let a = (state >> 33) as usize % n;
+                let b = (state >> 13) as usize % n;
+                if a != b {
+                    links.push((a, b));
+                    links.push((b, a));
+                }
+            }
+            topologies.push(Topology::explicit(n, links));
+        }
+        for topo in topologies {
+            let n = topo.node_count();
+            let r = Router::new(&topo).unwrap();
+            for src in 0..n {
+                for dst in 0..n {
+                    let (src, dst) = (NodeId(src), NodeId(dst));
+                    if src == dst {
+                        continue;
+                    }
+                    // Walk the unicast relay route: every hop re-resolved
+                    // from the current node's own table, as Relay does.
+                    let mut at = src;
+                    let mut hop_by_hop = Vec::new();
+                    while at != dst {
+                        at = r.next_hop(at, dst);
+                        hop_by_hop.push(at);
+                        assert!(hop_by_hop.len() <= n, "unicast route must terminate");
+                    }
+                    assert_eq!(
+                        hop_by_hop,
+                        r.path(src, dst),
+                        "unicast route and tree path diverged for {src}->{dst} on {topo:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_envelope_bytes_delegate_to_the_payload_once() {
+        let env = Multicast {
+            src: NodeId(0),
+            dsts: vec![NodeId(1), NodeId(2), NodeId(3)],
+            payload: RawPayload::new(8, 16),
+        };
+        // One payload on the wire regardless of how many destinations the
+        // envelope still serves.
+        assert_eq!(env.data_bytes(), 8);
+        assert_eq!(env.control_bytes(), 16);
+        let packet = Packet::Many(env);
+        assert_eq!(packet.total_bytes(), 24);
     }
 
     #[test]

@@ -11,11 +11,11 @@ use crate::channel::{Channel, LatencyModel};
 use crate::event::{EventKind, EventQueue};
 use crate::message::{NodeId, WireSize};
 use crate::network::Topology;
-use crate::node::{Node, NodeContext};
+use crate::node::{Node, NodeContext, Outgoing};
 use crate::stats::NetworkStats;
 use crate::time::SimTime;
 use crate::trace::{EventTrace, TraceEntry};
-use crate::transport::RoutingMode;
+use crate::transport::{DeliveryMode, RoutingMode};
 use std::fmt;
 
 /// A send was addressed to a node pair the topology does not link.
@@ -66,6 +66,13 @@ pub struct SimConfig {
     /// [`Transport`](crate::transport::Transport) (like the DSM runtime);
     /// a raw [`Simulator`] is always direct.
     pub routing: RoutingMode,
+    /// How identical-payload fan-outs travel the wire (tree multicast) and
+    /// whether protocols may batch control records
+    /// ([`DeliveryMode::default`] reproduces the classical one-envelope-
+    /// per-destination, one-record-per-write behaviour exactly). Multicast
+    /// only changes the wire when sends are routed; a raw [`Simulator`]
+    /// and the direct transport always fan out per destination.
+    pub delivery: DeliveryMode,
 }
 
 impl Default for SimConfig {
@@ -77,6 +84,7 @@ impl Default for SimConfig {
             max_events: 0,
             topology: None,
             routing: RoutingMode::Auto,
+            delivery: DeliveryMode::default(),
         }
     }
 }
@@ -132,7 +140,7 @@ pub struct Simulator<P, N> {
 
 impl<P, N> Simulator<P, N>
 where
-    P: WireSize + fmt::Debug,
+    P: WireSize + fmt::Debug + Clone,
     N: Node<P>,
 {
     /// Build a simulator over `topology` hosting `nodes` (one per topology
@@ -384,8 +392,18 @@ where
             self.queue
                 .push(self.now + delay, EventKind::Timer { node: origin, tag });
         }
-        for (to, payload) in outbox {
-            self.send_message(origin, to, payload)?;
+        // The raw simulator has no routing tables, so a multi-destination
+        // entry degrades to its definition: one unicast per destination, in
+        // order. Tree deduplication lives in the routed transport alone.
+        for out in outbox {
+            match out {
+                Outgoing::One(to, payload) => self.send_message(origin, to, payload)?,
+                Outgoing::Many(targets, payload) => {
+                    for to in targets {
+                        self.send_message(origin, to, payload.clone())?;
+                    }
+                }
+            }
         }
         Ok(())
     }

@@ -21,11 +21,12 @@
 use crate::message::{NodeId, WireSize};
 use crate::network::Topology;
 use crate::node::{Node, NodeContext};
-use crate::route::{route_outbox, Relay, RouteError, Routed, Router};
+use crate::route::{route_outbox, Packet, Relay, RouteError, Router};
 use crate::sim::{RunOutcome, SimConfig, Simulator};
 use crate::stats::NetworkStats;
 use crate::time::SimTime;
 use crate::trace::EventTrace;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
@@ -44,6 +45,87 @@ pub enum RoutingMode {
     Direct,
 }
 
+/// The wire-efficiency knobs of a deployment: how identical-payload
+/// fan-outs travel, and whether protocols may batch control records.
+///
+/// The default (`unicast`, unbatched) reproduces the classical behaviour
+/// exactly — one envelope per destination, one control record per write —
+/// so existing runs stay bit-identical. The other modes are the
+/// wire-efficiency layer this crate measures:
+///
+/// * `multicast` — a [`NodeContext::send_multi`] group travels as one
+///   [`Multicast`](crate::route::Multicast) envelope per broadcast-tree
+///   edge instead of one [`Routed`](crate::route::Routed) envelope per
+///   destination per hop. Only routed transports can share edges; the
+///   direct full mesh degrades to the unicast fan-out (every destination
+///   is one private link away, so there is nothing to share).
+/// * `batching` — protocols that emit per-destination control records
+///   (the partially replicated causal protocol) may buffer them per
+///   destination, piggyback them on the next data update to that
+///   destination, and delta-encode batches, instead of paying a full
+///   control message per record. A bounded flush (a zero-delay timer plus
+///   a batch-size cap) guarantees quiescence still drains every record.
+///
+/// Delivery modes never change *what* is delivered — histories, settled
+/// replica contents, and per-destination control-record counts are
+/// pinned equal across all four modes by differential tests — only what
+/// the wire pays for it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DeliveryMode {
+    /// Deduplicate identical-payload fan-outs along broadcast trees.
+    pub multicast: bool,
+    /// Allow protocols to batch and piggyback control records.
+    pub batching: bool,
+}
+
+impl DeliveryMode {
+    /// One envelope per destination, one control record per write — the
+    /// classical baseline (the default).
+    pub const UNICAST: DeliveryMode = DeliveryMode {
+        multicast: false,
+        batching: false,
+    };
+    /// Tree multicast, unbatched control records.
+    pub const MULTICAST: DeliveryMode = DeliveryMode {
+        multicast: true,
+        batching: false,
+    };
+    /// Unicast fan-out, batched/piggybacked control records.
+    pub const BATCHED: DeliveryMode = DeliveryMode {
+        multicast: false,
+        batching: true,
+    };
+    /// Tree multicast and batched control records.
+    pub const MULTICAST_BATCHED: DeliveryMode = DeliveryMode {
+        multicast: true,
+        batching: true,
+    };
+
+    /// All delivery modes, baseline first (the sweep order used by
+    /// benchmark tables).
+    pub const ALL: [DeliveryMode; 4] = [
+        DeliveryMode::UNICAST,
+        DeliveryMode::MULTICAST,
+        DeliveryMode::BATCHED,
+        DeliveryMode::MULTICAST_BATCHED,
+    ];
+
+    /// Short label used in tables and benchmark ids.
+    pub fn label(self) -> &'static str {
+        match (self.multicast, self.batching) {
+            (false, false) => "unicast",
+            (true, false) => "multicast",
+            (false, true) => "batched",
+            (true, true) => "multicast-batched",
+        }
+    }
+
+    /// Parse a [`DeliveryMode::label`] back into a mode.
+    pub fn parse(label: &str) -> Option<DeliveryMode> {
+        DeliveryMode::ALL.into_iter().find(|m| m.label() == label)
+    }
+}
+
 /// A simulated network that protocol nodes send through.
 ///
 /// Mirrors the [`Simulator`] surface (`with_node`, `step`,
@@ -52,19 +134,20 @@ pub enum RoutingMode {
 pub enum Transport<P, N> {
     /// Direct sends over topology links.
     Direct(Simulator<P, N>),
-    /// Multi-hop relaying over BFS shortest paths.
-    Routed(Simulator<Routed<P>, Relay<N>>),
+    /// Multi-hop relaying over BFS shortest paths, with optional
+    /// broadcast-tree multicast for multi-destination sends.
+    Routed(Simulator<Packet<P>, Relay<N>>),
 }
 
 impl<P, N> Transport<P, N>
 where
-    P: WireSize + fmt::Debug,
+    P: WireSize + fmt::Debug + Clone,
     N: Node<P>,
 {
     /// Build a transport over `topology` hosting `nodes`, honouring
-    /// `config.routing`. Fails with [`RouteError::Disconnected`] when a
-    /// routed mode is selected on a topology that is not strongly
-    /// connected.
+    /// `config.routing` and `config.delivery`. Fails with
+    /// [`RouteError::Disconnected`] when a routed mode is selected on a
+    /// topology that is not strongly connected.
     pub fn new(topology: Topology, config: SimConfig, nodes: Vec<N>) -> Result<Self, RouteError> {
         let routed = match config.routing {
             RoutingMode::Direct => false,
@@ -72,11 +155,12 @@ where
             RoutingMode::Auto => !topology.is_full_mesh(),
         };
         if routed {
+            let multicast = config.delivery.multicast;
             let router = Arc::new(Router::new(&topology)?);
             let relays = nodes
                 .into_iter()
                 .enumerate()
-                .map(|(i, node)| Relay::new(node, NodeId(i), Arc::clone(&router)))
+                .map(|(i, node)| Relay::new(node, NodeId(i), Arc::clone(&router), multicast))
                 .collect();
             Ok(Transport::Routed(Simulator::new(topology, config, relays)))
         } else {
@@ -177,7 +261,13 @@ where
             Transport::Routed(sim) => sim.with_node(id, |relay, ctx| {
                 let mut inner_ctx = NodeContext::new(id, ctx.now());
                 let r = f(relay.inner_mut(), &mut inner_ctx);
-                route_outbox(relay.router(), id, inner_ctx, ctx);
+                route_outbox(
+                    relay.router(),
+                    id,
+                    relay.multicast_enabled(),
+                    inner_ctx,
+                    ctx,
+                );
                 r
             }),
         }
@@ -332,6 +422,110 @@ mod tests {
             });
         }));
         assert!(result.is_err(), "direct sparse sends must fail loudly");
+    }
+
+    fn multi_config(multicast: bool) -> SimConfig {
+        SimConfig {
+            delivery: if multicast {
+                DeliveryMode::MULTICAST
+            } else {
+                DeliveryMode::UNICAST
+            },
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn tree_multicast_pays_each_tree_edge_once_on_a_line() {
+        // 0 — 1 — 2 — 3: a broadcast from 0 shares the 0→1 and 1→2 edges.
+        let run = |multicast: bool| {
+            let mut t =
+                Transport::new(Topology::line(4), multi_config(multicast), sinks(4)).unwrap();
+            t.with_node(NodeId(0), |_n, ctx| {
+                ctx.send_multi([NodeId(1), NodeId(2), NodeId(3)], RawPayload::new(8, 4));
+            });
+            t.run_until_quiescent();
+            for i in 1..4 {
+                assert_eq!(t.node(NodeId(i)).got, vec![(NodeId(0), 8)], "node {i}");
+            }
+            (
+                t.stats().total_messages(),
+                t.stats().total_data_bytes(),
+                t.forwarded_messages(),
+                t.now(),
+            )
+        };
+        // Unicast fan-out: 1 + 2 + 3 = 6 envelopes on the wire.
+        assert_eq!(run(false), (6, 6 * 8, 3, SimTime::from_micros(30)));
+        // Tree multicast: one envelope per tree edge = 3.
+        assert_eq!(run(true), (3, 3 * 8, 2, SimTime::from_micros(30)));
+    }
+
+    #[test]
+    fn tree_multicast_from_a_star_leaf_shares_the_hub_edge() {
+        let n = 6;
+        let run = |multicast: bool| {
+            let mut t =
+                Transport::new(Topology::star(n), multi_config(multicast), sinks(n)).unwrap();
+            // Leaf 1 broadcasts to everyone else (hub 0 + leaves 2..n).
+            t.with_node(NodeId(1), |_n, ctx| {
+                ctx.send_multi(
+                    (0..n).filter(|&i| i != 1).map(NodeId),
+                    RawPayload::new(8, 4),
+                );
+            });
+            t.run_until_quiescent();
+            for i in (0..n).filter(|&i| i != 1) {
+                assert_eq!(t.node(NodeId(i)).got, vec![(NodeId(1), 8)], "node {i}");
+            }
+            t.stats().total_messages()
+        };
+        // Unicast: 1 hop to the hub + 2 hops to each of the n-2 far
+        // leaves = 1 + 2(n-2).
+        assert_eq!(run(false), 1 + 2 * (n as u64 - 2));
+        // Multicast: the leaf→hub edge once, then one copy per far leaf.
+        assert_eq!(run(true), 1 + (n as u64 - 2));
+    }
+
+    #[test]
+    fn multicast_deliveries_match_unicast_deliveries_on_a_ring() {
+        let run = |multicast: bool| {
+            let mut t =
+                Transport::new(Topology::ring(7), multi_config(multicast), sinks(7)).unwrap();
+            for src in 0..7usize {
+                t.with_node(NodeId(src), |_n, ctx| {
+                    ctx.send_multi(
+                        (0..7).filter(|&i| i != src).map(NodeId),
+                        RawPayload::new(8, 4),
+                    );
+                });
+            }
+            t.run_until_quiescent();
+            let (nodes, stats, _) = t.into_parts();
+            (
+                nodes.into_iter().map(|s| s.got).collect::<Vec<_>>(),
+                stats.total_messages(),
+            )
+        };
+        let (unicast_got, unicast_msgs) = run(false);
+        let (multicast_got, multicast_msgs) = run(true);
+        // Every node hears the same broadcasts from the same sources…
+        assert_eq!(unicast_got, multicast_got);
+        // …while the wire carries strictly fewer envelopes.
+        assert!(
+            multicast_msgs < unicast_msgs,
+            "{multicast_msgs} vs {unicast_msgs}"
+        );
+    }
+
+    #[test]
+    fn delivery_mode_labels_round_trip() {
+        for mode in DeliveryMode::ALL {
+            assert_eq!(DeliveryMode::parse(mode.label()), Some(mode));
+        }
+        assert_eq!(DeliveryMode::parse("nonsense"), None);
+        assert_eq!(DeliveryMode::default(), DeliveryMode::UNICAST);
+        assert_eq!(DeliveryMode::MULTICAST_BATCHED.label(), "multicast-batched");
     }
 
     #[test]
