@@ -1,6 +1,6 @@
 //! A tour of the scenario engine: one driver loop sweeping protocols ×
 //! distribution families × workload families × latency models × network
-//! topologies × delivery modes.
+//! topologies × delivery modes × fault families.
 //!
 //! Run with:
 //! ```text
@@ -14,10 +14,12 @@
 //! star) run over the overlay routing layer — every logical send is
 //! relayed along BFS shortest paths — so all four protocols complete on
 //! all of them; the delivery-mode axis additionally runs each topology
-//! with tree multicast and control-record batching enabled. Cells are
-//! independent deterministic simulations, so they execute on a scoped
-//! thread fan-out ([`apps::scenario::parallel_map`]) and print in sweep
-//! order.
+//! with tree multicast and control-record batching enabled, and the fault
+//! axis re-runs each topology under seeded message drops (with
+//! retransmission), duplication (discarded by the link layer), and a
+//! scripted crash-restart with snapshot recovery. Cells are independent
+//! deterministic simulations, so they execute on a scoped thread fan-out
+//! ([`apps::scenario::parallel_map`]) and print in sweep order.
 //!
 //! Histories are recorded and checked against each protocol's advertised
 //! criterion: the complete (worst-case exponential) checker verifies
@@ -25,14 +27,19 @@
 //! polynomial causal spot-checker (writes-into ∪ program-order cycle and
 //! overwritten-read detection) and larger PRAM cells through the PRAM
 //! spot-checker, so the tour is an end-to-end correctness sweep at every
-//! size.
+//! size. On top of the per-cell checks, lossy and duplicating cells of
+//! race-free (producer/consumer) workloads are pinned **equal** to their
+//! fault-free sibling cell: link faults may change what the wire pays,
+//! never what the protocols deliver.
 
 use apps::scenario::{
-    parallel_map, run_all, standard_deliveries, standard_distributions, standard_latencies,
-    standard_topologies, standard_workloads, RunReport, Scenario, SettlePolicy, TopologyFamily,
+    parallel_map, run_all, standard_deliveries, standard_distributions, standard_faults,
+    standard_latencies, standard_topologies, standard_workloads, FaultFamily, RunReport, Scenario,
+    SettlePolicy, TopologyFamily, WorkloadFamily,
 };
 use histories::{causal_spot_check, check, pram_spot_check, Criterion};
 use simnet::{DeliveryMode, LatencyModel};
+use std::collections::BTreeMap;
 
 fn main() {
     let n: usize = std::env::args()
@@ -59,20 +66,33 @@ fn main() {
                         {
                             continue;
                         }
-                        scenarios.push(Scenario {
-                            name: "tour".into(),
-                            distribution: dist_family.clone(),
-                            processes: n,
-                            variables: n,
-                            workload,
-                            ops_per_process: 4,
-                            settle: SettlePolicy::Every(4),
-                            latency: latency.clone(),
-                            topology: topology.clone(),
-                            delivery,
-                            seed: 7,
-                            record: true,
-                        });
+                        for faults in standard_faults() {
+                            // Fault families are swept on every topology
+                            // under the default latency and wire format:
+                            // the fault layer lives beneath both, so one
+                            // axis at a time keeps the tour interpretable.
+                            if faults != FaultFamily::None
+                                && (latency != LatencyModel::default()
+                                    || delivery != DeliveryMode::default())
+                            {
+                                continue;
+                            }
+                            scenarios.push(Scenario {
+                                name: "tour".into(),
+                                distribution: dist_family.clone(),
+                                processes: n,
+                                variables: n,
+                                workload,
+                                ops_per_process: 4,
+                                settle: SettlePolicy::Every(4),
+                                latency: latency.clone(),
+                                topology: topology.clone(),
+                                delivery,
+                                faults,
+                                seed: 7,
+                                record: true,
+                            });
+                        }
                     }
                 }
             }
@@ -81,20 +101,49 @@ fn main() {
 
     // Independent cells → scoped-thread fan-out; results come back in
     // sweep order, so the printed table is identical to a sequential run.
-    let results: Vec<(String, Vec<RunReport>)> =
-        parallel_map(scenarios, |scenario| (scenario.label(), run_all(&scenario)));
+    let results: Vec<(String, FaultFamily, WorkloadFamily, Vec<RunReport>)> =
+        parallel_map(scenarios, |scenario| {
+            (
+                scenario.label(),
+                scenario.faults,
+                scenario.workload,
+                run_all(&scenario),
+            )
+        });
 
     println!(
-        "{:<58} {:<16} {:>9} {:>7} {:>13} {:>12} {:>12} {:>6}",
-        "scenario", "protocol", "messages", "relayed", "ctl bytes", "ctl/op", "virt time", "ok"
+        "{:<66} {:<16} {:>9} {:>7} {:>6} {:>5} {:>13} {:>12} {:>6}",
+        "scenario",
+        "protocol",
+        "messages",
+        "relayed",
+        "drops",
+        "dups",
+        "ctl bytes",
+        "virt time",
+        "ok"
     );
 
+    // Fault-free sibling histories, keyed by the label minus its fault
+    // segment, used to pin lossy/duplicating equivalence below.
+    let mut baselines: BTreeMap<String, Vec<histories::History>> = BTreeMap::new();
     let mut cells = 0usize;
     let mut full_checks = 0usize;
     let mut causal_spots = 0usize;
     let mut pram_spots = 0usize;
-    for (label, reports) in results {
-        for report in reports {
+    let mut pinned_equal = 0usize;
+    for (label, faults, workload, reports) in results {
+        let coordinate = label
+            .rsplit_once('/')
+            .map(|(head, _)| head.to_string())
+            .unwrap_or_else(|| label.clone());
+        if faults == FaultFamily::None {
+            baselines.insert(
+                coordinate.clone(),
+                reports.iter().map(|r| r.history.clone()).collect(),
+            );
+        }
+        for (i, report) in reports.iter().enumerate() {
             // The formal checkers run a serialization search that is
             // worst-case exponential; verify small histories completely
             // and spot-check the rest in polynomial time, with the
@@ -111,14 +160,29 @@ fn main() {
                 pram_spot_check(&report.history).is_ok()
             };
             assert!(ok, "{label}: {} violated its criterion", report.protocol);
+            // Link faults must not change what race-free runs deliver:
+            // lossy/duplicating producer-consumer cells are bit-identical
+            // to their fault-free sibling.
+            if matches!(faults, FaultFamily::Lossy | FaultFamily::Duplicating)
+                && workload == WorkloadFamily::ProducerConsumer
+            {
+                let clean = &baselines[&coordinate][i];
+                assert_eq!(
+                    clean, &report.history,
+                    "{label}: {} history diverged from the fault-free run",
+                    report.protocol
+                );
+                pinned_equal += 1;
+            }
             println!(
-                "{:<58} {:<16} {:>9} {:>7} {:>13} {:>12.1} {:>12?} {:>6}",
+                "{:<66} {:<16} {:>9} {:>7} {:>6} {:>5} {:>13} {:>12?} {:>6}",
                 label,
                 report.protocol.name(),
                 report.messages(),
                 report.forwarded,
+                report.drops(),
+                report.duplicates(),
                 report.control_bytes(),
-                report.control_bytes_per_op(),
                 report.virtual_time,
                 ok
             );
@@ -128,6 +192,6 @@ fn main() {
     println!(
         "\n{cells} scenario cells executed and checked through one runtime-dispatched engine \
          ({full_checks} complete checks, {causal_spots} causal spot-checks, {pram_spots} PRAM \
-         spot-checks)."
+         spot-checks, {pinned_equal} fault cells pinned equal to their fault-free sibling)."
     );
 }

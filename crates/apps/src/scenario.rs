@@ -23,7 +23,9 @@ use histories::{Distribution, History, ProcId, VarId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use simnet::{DeliveryMode, LatencyModel, NetworkStats, SimConfig, SimDuration, SimTime, Topology};
+use simnet::{
+    DeliveryMode, FaultPlan, LatencyModel, NetworkStats, SimConfig, SimDuration, SimTime, Topology,
+};
 
 /// The variable-distribution families the experiments sweep.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -175,6 +177,82 @@ impl TopologyFamily {
     }
 }
 
+/// The fault families the experiments sweep. Faults live beneath the
+/// protocols (the simulator's channels and delivery path), so every
+/// protocol runs under every family; the differential tests pin that
+/// link faults never change what is delivered, and that crash-restart
+/// recovers the state a never-crashed node would hold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultFamily {
+    /// Reliable channels, no outages — the paper's model (the default;
+    /// runs are bit-identical to the pre-fault engine).
+    None,
+    /// Every transmission is dropped (and retransmitted) with probability
+    /// 0.2, independently per link attempt.
+    Lossy,
+    /// Every transmission is duplicated with probability 0.2; the
+    /// receiver's link layer discards the second copy.
+    Duplicating,
+    /// One process (the highest-id one) crashes a third of the way
+    /// through the script and restarts from its persisted replica
+    /// snapshot at two thirds, running its catch-up handshake.
+    CrashRestart,
+}
+
+impl FaultFamily {
+    /// Short label used in tables and benchmark ids.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultFamily::None => "none",
+            FaultFamily::Lossy => "lossy",
+            FaultFamily::Duplicating => "duplicating",
+            FaultFamily::CrashRestart => "crash-restart",
+        }
+    }
+
+    /// The link-level fault plan of this family (crash windows are driven
+    /// at the script level by [`CrashSchedule`], not by the plan).
+    pub fn fault_plan(&self, seed: u64) -> FaultPlan {
+        let seed = seed ^ 0xFA17_5EED;
+        match self {
+            FaultFamily::None | FaultFamily::CrashRestart => FaultPlan::default(),
+            FaultFamily::Lossy => FaultPlan::lossy(0.2, seed),
+            FaultFamily::Duplicating => FaultPlan::duplicating(0.2, seed),
+        }
+    }
+
+    /// The scripted crash of this family for a script of `ops` over
+    /// `procs` processes: the highest-id process goes down before the
+    /// op at one third of the script and restarts before the op at two
+    /// thirds. `None` for fault families without crashes, for scripts
+    /// too short to fit a window, and for single-process systems.
+    pub fn crash_schedule(&self, ops: &[WorkloadOp], procs: usize) -> Option<CrashSchedule> {
+        if *self != FaultFamily::CrashRestart || procs < 2 || ops.len() < 3 {
+            return None;
+        }
+        Some(CrashSchedule {
+            proc: ProcId(procs - 1),
+            crash_before_op: ops.len() / 3,
+            restart_before_op: 2 * ops.len() / 3,
+        })
+    }
+}
+
+/// A scripted node outage: `proc` crashes before the `crash_before_op`-th
+/// operation of the script and restarts (snapshot restore + catch-up
+/// handshake + recovery settle) before the `restart_before_op`-th.
+/// Operations issued by the crashed process inside the window are skipped
+/// — a down process executes nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSchedule {
+    /// The process that crashes.
+    pub proc: ProcId,
+    /// Script index before which the crash happens.
+    pub crash_before_op: usize,
+    /// Script index before which the restart happens.
+    pub restart_before_op: usize,
+}
+
 /// Short label for a latency model, used in tables and benchmark ids.
 pub fn latency_label(model: &LatencyModel) -> &'static str {
     match model {
@@ -225,6 +303,16 @@ pub fn standard_deliveries() -> Vec<DeliveryMode> {
     DeliveryMode::ALL.to_vec()
 }
 
+/// The fault families of the standard sweep (fault-free baseline first).
+pub fn standard_faults() -> Vec<FaultFamily> {
+    vec![
+        FaultFamily::None,
+        FaultFamily::Lossy,
+        FaultFamily::Duplicating,
+        FaultFamily::CrashRestart,
+    ]
+}
+
 /// The latency models of the standard sweep.
 pub fn standard_latencies() -> Vec<LatencyModel> {
     vec![
@@ -266,6 +354,10 @@ pub struct Scenario {
     /// and/or control-record batching. The default (unicast, unbatched)
     /// reproduces the classical wire format exactly.
     pub delivery: DeliveryMode,
+    /// Fault family: link drop/duplication schedules and/or a scripted
+    /// crash-restart. The default ([`FaultFamily::None`]) is the paper's
+    /// reliable model, bit-identical to the pre-fault engine.
+    pub faults: FaultFamily,
     /// Seed for distribution construction, workload generation, and
     /// channel jitter.
     pub seed: u64,
@@ -286,6 +378,7 @@ impl Default for Scenario {
             latency: LatencyModel::default(),
             topology: TopologyFamily::FullMesh,
             delivery: DeliveryMode::default(),
+            faults: FaultFamily::None,
             seed: 42,
             record: false,
         }
@@ -315,6 +408,7 @@ impl Scenario {
             seed: self.seed ^ 0xD5_0C0DE,
             topology,
             delivery: self.delivery,
+            faults: self.faults.fault_plan(self.seed),
             ..SimConfig::default()
         }
     }
@@ -336,12 +430,13 @@ impl Scenario {
     /// A compact label identifying the scenario's coordinates.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}",
+            "{}/{}/{}/{}/{}/{}",
             self.distribution.label(),
             self.workload.label(),
             latency_label(&self.latency),
             self.topology.label(),
-            self.delivery.label()
+            self.delivery.label(),
+            self.faults.label()
         )
     }
 }
@@ -492,6 +587,21 @@ impl RunReport {
             self.messages() as f64 / self.operations as f64
         }
     }
+
+    /// Transmissions dropped (and retransmitted) by the fault schedule.
+    pub fn drops(&self) -> u64 {
+        self.network.total_drops()
+    }
+
+    /// Duplicate copies delivered and discarded by link layers.
+    pub fn duplicates(&self) -> u64 {
+        self.network.total_duplicates()
+    }
+
+    /// Deliveries lost because their destination was crashed.
+    pub fn crash_losses(&self) -> u64 {
+        self.network.total_crash_losses()
+    }
 }
 
 /// Execute a prepared workload script against a fresh runtime-selected
@@ -504,27 +614,28 @@ pub fn run_script(
     config: SimConfig,
     record: bool,
 ) -> RunReport {
+    run_script_faulted(kind, dist, ops, config, record, None)
+}
+
+/// [`run_script`] with a scripted crash: `crash.proc` goes down before
+/// the op at `crash_before_op` (its own ops inside the window are skipped
+/// — a down process executes nothing) and restarts — snapshot restore,
+/// catch-up handshake, recovery settle — before the op at
+/// `restart_before_op`. A process still down when the script ends is
+/// restarted before the final settle, so every run ends fully recovered.
+pub fn run_script_faulted(
+    kind: ProtocolKind,
+    dist: &Distribution,
+    ops: &[WorkloadOp],
+    config: SimConfig,
+    record: bool,
+    crash: Option<CrashSchedule>,
+) -> RunReport {
     let mut dsm = DynDsm::with_config(kind, dist.clone(), config);
     if !record {
         dsm.disable_recording();
     }
-    for op in ops {
-        match *op {
-            WorkloadOp::Write { proc, var, value } => {
-                dsm.write(proc, var, value)
-                    .expect("workload respects the distribution");
-            }
-            WorkloadOp::Read { proc, var } => {
-                let _ = dsm
-                    .read(proc, var)
-                    .expect("workload respects the distribution");
-            }
-            WorkloadOp::Settle => {
-                dsm.settle();
-            }
-        }
-    }
-    dsm.settle();
+    apply_script(&mut dsm, ops, crash);
     RunReport {
         protocol: kind,
         history: dsm.history(),
@@ -536,20 +647,84 @@ pub fn run_script(
     }
 }
 
+/// Drive `ops` (plus an optional scripted crash) against an existing
+/// deployment, ending with a final settle. This is the one crash-driver
+/// loop — [`run_script_faulted`] and the differential fault tests both
+/// go through it, so the crash semantics (where the window sits, which
+/// ops a down process skips, the forced restart before the final
+/// settle) can never drift between the engine and its oracle.
+pub fn apply_script(dsm: &mut DynDsm, ops: &[WorkloadOp], crash: Option<CrashSchedule>) {
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(c) = crash {
+            if i == c.crash_before_op {
+                dsm.crash(c.proc)
+                    .expect("crash schedule targets a live process");
+            }
+            if i == c.restart_before_op {
+                dsm.restart(c.proc).expect("restart follows the crash");
+            }
+        }
+        match *op {
+            WorkloadOp::Write { proc, var, value } => {
+                if dsm.is_crashed(proc) {
+                    continue;
+                }
+                dsm.write(proc, var, value)
+                    .expect("workload respects the distribution");
+            }
+            WorkloadOp::Read { proc, var } => {
+                if dsm.is_crashed(proc) {
+                    continue;
+                }
+                let _ = dsm
+                    .read(proc, var)
+                    .expect("workload respects the distribution");
+            }
+            WorkloadOp::Settle => {
+                dsm.settle();
+            }
+        }
+    }
+    if let Some(c) = crash {
+        if dsm.is_crashed(c.proc) {
+            dsm.restart(c.proc).expect("restart follows the crash");
+        }
+    }
+    dsm.settle();
+}
+
 /// Run a scenario under one protocol.
 pub fn run_scenario(kind: ProtocolKind, scenario: &Scenario) -> RunReport {
     let dist = scenario.build_distribution();
     let ops = scenario.generate_ops(&dist);
-    run_script(kind, &dist, &ops, scenario.sim_config(), scenario.record)
+    let crash = scenario.faults.crash_schedule(&ops, scenario.processes);
+    run_script_faulted(
+        kind,
+        &dist,
+        &ops,
+        scenario.sim_config(),
+        scenario.record,
+        crash,
+    )
 }
 
 /// Run a scenario under every protocol, in benchmark-table order.
 pub fn run_all(scenario: &Scenario) -> Vec<RunReport> {
     let dist = scenario.build_distribution();
     let ops = scenario.generate_ops(&dist);
+    let crash = scenario.faults.crash_schedule(&ops, scenario.processes);
     ProtocolKind::ALL
         .iter()
-        .map(|&kind| run_script(kind, &dist, &ops, scenario.sim_config(), scenario.record))
+        .map(|&kind| {
+            run_script_faulted(
+                kind,
+                &dist,
+                &ops,
+                scenario.sim_config(),
+                scenario.record,
+                crash,
+            )
+        })
         .collect()
 }
 
@@ -879,7 +1054,10 @@ mod tests {
             record: true,
             ..Scenario::default()
         };
-        assert_eq!(scenario.label(), "random-2/uniform/constant/custom/unicast");
+        assert_eq!(
+            scenario.label(),
+            "random-2/uniform/constant/custom/unicast/none"
+        );
         let report = run_scenario(ProtocolKind::PramPartial, &scenario);
         assert!(report.operations > 0);
     }
@@ -894,5 +1072,114 @@ mod tests {
         assert_eq!(report.operations, 0);
         assert_eq!(report.control_bytes_per_op(), 0.0);
         assert_eq!(report.messages_per_op(), 0.0);
+    }
+
+    #[test]
+    fn every_protocol_meets_its_criterion_under_every_fault_family() {
+        for faults in standard_faults() {
+            let scenario = Scenario {
+                processes: 4,
+                variables: 6,
+                workload: WorkloadFamily::ProducerConsumer,
+                ops_per_process: 5,
+                settle: SettlePolicy::Every(3),
+                faults,
+                record: true,
+                ..Scenario::default()
+            };
+            for report in run_all(&scenario) {
+                assert!(
+                    check(&report.history, report.protocol.criterion()).consistent,
+                    "{} under {}:\n{}",
+                    report.protocol,
+                    faults.label(),
+                    report.history.pretty()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn link_fault_families_leave_race_free_runs_equivalent() {
+        // Single writer per variable + settle-synchronized reads: the
+        // observable behaviour is pinned to the fault-free run, while the
+        // wire pays measurable retransmissions / duplicates.
+        let base = Scenario {
+            processes: 5,
+            variables: 7,
+            workload: WorkloadFamily::ProducerConsumer,
+            ops_per_process: 6,
+            settle: SettlePolicy::Every(4),
+            record: true,
+            seed: 13,
+            ..Scenario::default()
+        };
+        let clean = run_scenario(ProtocolKind::CausalPartial, &base);
+        assert_eq!(clean.drops(), 0);
+        assert_eq!(clean.duplicates(), 0);
+        let lossy = run_scenario(
+            ProtocolKind::CausalPartial,
+            &Scenario {
+                faults: FaultFamily::Lossy,
+                ..base.clone()
+            },
+        );
+        assert_eq!(clean.history, lossy.history);
+        assert_eq!(clean.control, lossy.control);
+        assert!(lossy.drops() > 0);
+        assert!(lossy.control_bytes() > clean.control_bytes());
+        assert!(lossy.virtual_time > clean.virtual_time);
+        let dup = run_scenario(
+            ProtocolKind::CausalPartial,
+            &Scenario {
+                faults: FaultFamily::Duplicating,
+                ..base
+            },
+        );
+        assert_eq!(clean.history, dup.history);
+        assert_eq!(clean.control, dup.control);
+        assert!(dup.duplicates() > 0);
+    }
+
+    #[test]
+    fn crash_restart_scenarios_recover_and_count_losses() {
+        let scenario = Scenario {
+            processes: 5,
+            variables: 7,
+            workload: WorkloadFamily::ProducerConsumer,
+            ops_per_process: 6,
+            settle: SettlePolicy::Every(4),
+            faults: FaultFamily::CrashRestart,
+            record: true,
+            seed: 13,
+            ..Scenario::default()
+        };
+        for report in run_all(&scenario) {
+            // The crashed process missed deliveries…
+            assert!(
+                report.crash_losses() > 0,
+                "{}: a crash window must lose deliveries",
+                report.protocol
+            );
+            // …and the recorded history still meets the criterion.
+            assert!(
+                check(&report.history, report.protocol.criterion()).consistent,
+                "{}:\n{}",
+                report.protocol,
+                report.history.pretty()
+            );
+        }
+    }
+
+    #[test]
+    fn crash_schedules_skip_short_scripts_and_tiny_systems() {
+        let ops = vec![WorkloadOp::Settle];
+        assert_eq!(FaultFamily::CrashRestart.crash_schedule(&ops, 8), None);
+        let ops: Vec<WorkloadOp> = (0..9).map(|_| WorkloadOp::Settle).collect();
+        assert_eq!(FaultFamily::CrashRestart.crash_schedule(&ops, 1), None);
+        assert_eq!(FaultFamily::Lossy.crash_schedule(&ops, 8), None);
+        let schedule = FaultFamily::CrashRestart.crash_schedule(&ops, 8).unwrap();
+        assert_eq!(schedule.proc, ProcId(7));
+        assert!(schedule.crash_before_op < schedule.restart_before_op);
     }
 }

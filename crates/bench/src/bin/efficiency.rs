@@ -1,4 +1,4 @@
-//! Regenerate the efficiency experiments (E1–E6) as text tables.
+//! Regenerate the efficiency experiments (E1–E7) as text tables.
 //!
 //! ```text
 //! cargo run --release -p bench --bin efficiency
@@ -7,7 +7,7 @@
 
 use bench::{
     bellman_ford_point, delivery_mode_sweep, distribution_families, efficiency_sweep_point,
-    relevance_fraction, routed_vs_mesh_sweep,
+    fault_tolerance_sweep, relevance_fraction, routed_vs_mesh_sweep,
 };
 use histories::Distribution;
 
@@ -152,6 +152,40 @@ fn main() {
             row.forwarded,
             row.control_bytes,
             row.control_ratio_vs_unicast
+        );
+    }
+    println!();
+
+    println!(
+        "E7 — fault-tolerance overhead (12 processes, producer/consumer workload; control bytes \
+         and virtual time vs the fault-free run on the same topology)"
+    );
+    println!(
+        "{:<8} {:<14} {:<16} {:>9} {:>6} {:>5} {:>7} {:>14} {:>12} {:>12}",
+        "topology",
+        "fault",
+        "protocol",
+        "messages",
+        "drops",
+        "dups",
+        "lost",
+        "control bytes",
+        "ctl vs none",
+        "time vs none"
+    );
+    for row in fault_tolerance_sweep(12, 8, 7) {
+        println!(
+            "{:<8} {:<14} {:<16} {:>9} {:>6} {:>5} {:>7} {:>14} {:>11.2}x {:>11.2}x",
+            row.topology,
+            row.fault,
+            row.protocol.name(),
+            row.messages,
+            row.drops,
+            row.duplicates,
+            row.crash_losses,
+            row.control_bytes,
+            row.control_ratio_vs_faultfree,
+            row.virtual_ratio_vs_faultfree
         );
     }
     println!();

@@ -11,9 +11,10 @@
 #![warn(missing_docs)]
 
 use apps::scenario::{
-    generate_family_ops, latency_label, parallel_map, run_script, standard_deliveries,
-    standard_distributions, standard_latencies, standard_topologies, standard_workloads,
-    DistributionFamily, SettlePolicy, TopologyFamily, WorkloadFamily,
+    generate_family_ops, latency_label, parallel_map, run_script, run_script_faulted,
+    standard_deliveries, standard_distributions, standard_faults, standard_latencies,
+    standard_topologies, standard_workloads, CrashSchedule, DistributionFamily, FaultFamily,
+    SettlePolicy, TopologyFamily, WorkloadFamily,
 };
 use apps::workload::WorkloadOp;
 use apps::{run_bellman_ford, Network};
@@ -170,6 +171,9 @@ pub struct ScenarioMatrixRow {
     /// Delivery-mode label (see [`DeliveryMode::label`]; `unicast` is the
     /// classical wire format).
     pub delivery: String,
+    /// Fault-family label (see [`FaultFamily::label`]; `none` is the
+    /// paper's reliable model).
+    pub fault: String,
     /// Number of processes.
     pub processes: usize,
     /// Messages sent (per hop: relayed envelopes count once per link).
@@ -182,6 +186,10 @@ pub struct ScenarioMatrixRow {
     pub control_bytes_per_op: f64,
     /// Transit envelopes forwarded by intermediate nodes (0 on the mesh).
     pub forwarded: u64,
+    /// Transmissions dropped and retransmitted by the fault schedule.
+    pub drops: u64,
+    /// Duplicate copies delivered and discarded by link layers.
+    pub duplicates: u64,
     /// Virtual nanoseconds until quiescence.
     pub virtual_nanos: u64,
 }
@@ -191,13 +199,14 @@ impl ScenarioMatrixRow {
     /// cell, nothing that measures it).
     pub fn coordinate(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}/{}/{}",
+            "{}/{}/{}/{}/{}/{}/{}/{}",
             self.protocol,
             self.distribution,
             self.workload,
             self.latency,
             self.topology,
             self.delivery,
+            self.fault,
             self.processes
         )
     }
@@ -207,21 +216,24 @@ impl ScenarioMatrixRow {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"protocol\":\"{}\",\"distribution\":\"{}\",\"workload\":\"{}\",\"latency\":\"{}\",\
-             \"topology\":\"{}\",\"delivery\":\"{}\",\"processes\":{},\"messages\":{},\
-             \"data_bytes\":{},\"control_bytes\":{},\"control_bytes_per_op\":{:.3},\
-             \"forwarded\":{},\"virtual_nanos\":{}}}",
+             \"topology\":\"{}\",\"delivery\":\"{}\",\"fault\":\"{}\",\"processes\":{},\
+             \"messages\":{},\"data_bytes\":{},\"control_bytes\":{},\"control_bytes_per_op\":{:.3},\
+             \"forwarded\":{},\"drops\":{},\"duplicates\":{},\"virtual_nanos\":{}}}",
             self.protocol,
             self.distribution,
             self.workload,
             self.latency,
             self.topology,
             self.delivery,
+            self.fault,
             self.processes,
             self.messages,
             self.data_bytes,
             self.control_bytes,
             self.control_bytes_per_op,
             self.forwarded,
+            self.drops,
+            self.duplicates,
             self.virtual_nanos
         )
     }
@@ -253,12 +265,15 @@ impl ScenarioMatrixRow {
             latency: str_field(line, "latency")?,
             topology: str_field(line, "topology")?,
             delivery: str_field(line, "delivery")?,
+            fault: str_field(line, "fault")?,
             processes: num_field(line, "processes")?.parse().ok()?,
             messages: num_field(line, "messages")?.parse().ok()?,
             data_bytes: num_field(line, "data_bytes")?.parse().ok()?,
             control_bytes: num_field(line, "control_bytes")?.parse().ok()?,
             control_bytes_per_op: num_field(line, "control_bytes_per_op")?.parse().ok()?,
             forwarded: num_field(line, "forwarded")?.parse().ok()?,
+            drops: num_field(line, "drops")?.parse().ok()?,
+            duplicates: num_field(line, "duplicates")?.parse().ok()?,
             virtual_nanos: num_field(line, "virtual_nanos")?.parse().ok()?,
         })
     }
@@ -272,29 +287,35 @@ struct MatrixCell {
     latency: String,
     topology: String,
     delivery: String,
+    fault: String,
     dist: Distribution,
     ops: std::sync::Arc<Vec<WorkloadOp>>,
     config: SimConfig,
+    crash: Option<CrashSchedule>,
 }
 
 /// The standard scenario matrix: protocol × distribution family ×
-/// workload family × latency model × topology family × delivery mode
-/// (the shared `standard_*` presets from `apps::scenario`), at `n`
-/// processes. One engine call per cell — this is the sweep space the
-/// paper's efficiency argument lives in. Latency models are swept on the
-/// mesh and delivery modes under the default latency; sparse topologies
-/// (whose per-hop behaviour is the point) run under the default model,
-/// matching the `scenario_tour` example.
+/// workload family × latency model × topology family × delivery mode ×
+/// fault family (the shared `standard_*` presets from `apps::scenario`),
+/// at `n` processes. One engine call per cell — this is the sweep space
+/// the paper's efficiency argument lives in. Latency models are swept on
+/// the mesh and delivery modes under the default latency; sparse
+/// topologies (whose per-hop behaviour is the point) run under the
+/// default model, and fault families under the default latency *and*
+/// wire format, matching the `scenario_tour` example.
 ///
 /// Cells are independent deterministic simulations, so they execute on a
 /// scoped-thread fan-out ([`apps::scenario::parallel_map`]); the returned
-/// rows are in sweep order, bit-identical to a sequential run.
+/// rows are in sweep order, bit-identical to a sequential run. The fault
+/// schedules are seeded, so fault rows are as reproducible as the rest —
+/// the `baseline --check` CI gate covers them too.
 pub fn scenario_matrix(n: usize, ops_per_process: usize, seed: u64) -> Vec<ScenarioMatrixRow> {
     let distributions = standard_distributions();
     let workloads = standard_workloads();
     let latencies = standard_latencies();
     let topologies = standard_topologies();
     let deliveries = standard_deliveries();
+    let faults = standard_faults();
     let mut cells = Vec::new();
     for topology_family in &topologies {
         for family in &distributions {
@@ -319,29 +340,41 @@ pub fn scenario_matrix(n: usize, ops_per_process: usize, seed: u64) -> Vec<Scena
                         {
                             continue;
                         }
-                        let topology = match topology_family {
-                            TopologyFamily::FullMesh => None,
-                            f => Some(f.build(n)),
-                        };
-                        let config = SimConfig {
-                            latency: latency.clone(),
-                            seed,
-                            topology,
-                            delivery,
-                            ..SimConfig::default()
-                        };
-                        for kind in ProtocolKind::ALL {
-                            cells.push(MatrixCell {
-                                kind,
-                                distribution: family.label(),
-                                workload: workload.label().to_string(),
-                                latency: latency_label(latency).to_string(),
-                                topology: topology_family.label().to_string(),
-                                delivery: delivery.label().to_string(),
-                                dist: dist.clone(),
-                                ops: std::sync::Arc::clone(&ops),
-                                config: config.clone(),
-                            });
+                        for &fault in &faults {
+                            if fault != FaultFamily::None
+                                && (*latency != LatencyModel::default()
+                                    || delivery != DeliveryMode::default())
+                            {
+                                continue;
+                            }
+                            let topology = match topology_family {
+                                TopologyFamily::FullMesh => None,
+                                f => Some(f.build(n)),
+                            };
+                            let config = SimConfig {
+                                latency: latency.clone(),
+                                seed,
+                                topology,
+                                delivery,
+                                faults: fault.fault_plan(seed),
+                                ..SimConfig::default()
+                            };
+                            let crash = fault.crash_schedule(&ops, n);
+                            for kind in ProtocolKind::ALL {
+                                cells.push(MatrixCell {
+                                    kind,
+                                    distribution: family.label(),
+                                    workload: workload.label().to_string(),
+                                    latency: latency_label(latency).to_string(),
+                                    topology: topology_family.label().to_string(),
+                                    delivery: delivery.label().to_string(),
+                                    fault: fault.label().to_string(),
+                                    dist: dist.clone(),
+                                    ops: std::sync::Arc::clone(&ops),
+                                    config: config.clone(),
+                                    crash,
+                                });
+                            }
                         }
                     }
                 }
@@ -349,7 +382,14 @@ pub fn scenario_matrix(n: usize, ops_per_process: usize, seed: u64) -> Vec<Scena
         }
     }
     parallel_map(cells, |cell| {
-        let out = run_script(cell.kind, &cell.dist, &cell.ops, cell.config, false);
+        let out = run_script_faulted(
+            cell.kind,
+            &cell.dist,
+            &cell.ops,
+            cell.config,
+            false,
+            cell.crash,
+        );
         ScenarioMatrixRow {
             protocol: cell.kind.name().to_string(),
             distribution: cell.distribution,
@@ -357,12 +397,15 @@ pub fn scenario_matrix(n: usize, ops_per_process: usize, seed: u64) -> Vec<Scena
             latency: cell.latency,
             topology: cell.topology,
             delivery: cell.delivery,
+            fault: cell.fault,
             processes: n,
             messages: out.messages(),
             data_bytes: out.data_bytes(),
             control_bytes: out.control_bytes(),
             control_bytes_per_op: out.control_bytes_per_op(),
             forwarded: out.forwarded,
+            drops: out.drops(),
+            duplicates: out.duplicates(),
             virtual_nanos: out.virtual_time.as_nanos(),
         }
     })
@@ -542,6 +585,110 @@ pub fn delivery_mode_sweep(
     rows
 }
 
+/// One row of the fault-tolerance comparison (experiment E7): the same
+/// workload under one protocol, on one topology, under one
+/// [`FaultFamily`], with control bytes and virtual time relative to the
+/// fault-free run on the same topology.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FaultToleranceRow {
+    /// Topology family label.
+    pub topology: String,
+    /// Fault-family label.
+    pub fault: String,
+    /// Protocol measured.
+    pub protocol: ProtocolKind,
+    /// Messages on the wire.
+    pub messages: u64,
+    /// Transmissions dropped and retransmitted.
+    pub drops: u64,
+    /// Duplicate copies delivered and discarded by link layers.
+    pub duplicates: u64,
+    /// Deliveries lost at a crashed node.
+    pub crash_losses: u64,
+    /// Control bytes on the wire (retransmissions and catch-up traffic
+    /// included).
+    pub control_bytes: u64,
+    /// This fault family's control bytes divided by the fault-free run's
+    /// on the same topology (1.0 for the baseline itself; the recovery
+    /// overhead elsewhere).
+    pub control_ratio_vs_faultfree: f64,
+    /// This fault family's virtual completion time divided by the
+    /// fault-free run's (retransmit delays and recovery rounds show up
+    /// here).
+    pub virtual_ratio_vs_faultfree: f64,
+}
+
+/// Run a race-free (producer/consumer) workload under every protocol and
+/// every fault family on the mesh, star, and grid, reporting each cell's
+/// control-byte and virtual-time cost relative to the fault-free run on
+/// the same topology. The workload, topology, and wire format are
+/// identical across fault families — only the fault schedule changes —
+/// and the differential tests pin that link faults leave the delivered
+/// histories identical, so the ratios isolate exactly what reliability
+/// costs: retransmissions, duplicate copies, and the crash-restart
+/// catch-up handshake. This is the E7 table.
+pub fn fault_tolerance_sweep(
+    n: usize,
+    ops_per_process: usize,
+    seed: u64,
+) -> Vec<FaultToleranceRow> {
+    let dist = Distribution::random(n, 2 * n, 2, seed);
+    let ops = generate_family_ops(
+        &dist,
+        &WorkloadFamily::ProducerConsumer,
+        ops_per_process,
+        SettlePolicy::Every(6),
+        seed,
+    );
+    let mut rows = Vec::new();
+    for family in [
+        TopologyFamily::FullMesh,
+        TopologyFamily::Star,
+        TopologyFamily::Grid,
+    ] {
+        // standard_faults() leads with the fault-free baseline, so each
+        // protocol's reference numbers are captured by the first
+        // iteration — every cell is simulated exactly once.
+        let mut baseline: std::collections::BTreeMap<ProtocolKind, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for fault in standard_faults() {
+            for kind in ProtocolKind::ALL {
+                let config = SimConfig {
+                    seed,
+                    topology: match &family {
+                        TopologyFamily::FullMesh => None,
+                        f => Some(f.build(n)),
+                    },
+                    faults: fault.fault_plan(seed),
+                    ..SimConfig::default()
+                };
+                let crash = fault.crash_schedule(&ops, n);
+                let out = run_script_faulted(kind, &dist, &ops, config, false, crash);
+                let control = out.control_bytes();
+                let nanos = out.virtual_time.as_nanos().max(1);
+                let (base_control, base_nanos) = *baseline.entry(kind).or_insert((control, nanos));
+                rows.push(FaultToleranceRow {
+                    topology: family.label().to_string(),
+                    fault: fault.label().to_string(),
+                    protocol: kind,
+                    messages: out.messages(),
+                    drops: out.drops(),
+                    duplicates: out.duplicates(),
+                    crash_losses: out.crash_losses(),
+                    control_bytes: control,
+                    control_ratio_vs_faultfree: if base_control == 0 {
+                        1.0
+                    } else {
+                        control as f64 / base_control as f64
+                    },
+                    virtual_ratio_vs_faultfree: nanos as f64 / base_nanos as f64,
+                });
+            }
+        }
+    }
+    rows
+}
+
 /// The coordinates of [`scenario_matrix`] used for the checked-in
 /// `BENCH_baseline.json`: process count, ops per process, seed. Shared by
 /// the `baseline` binary's write and check modes so they always compare
@@ -693,16 +840,21 @@ mod tests {
         let rows = scenario_matrix(6, 4, 3);
         // Mesh sweeps every latency (baseline delivery) plus every
         // non-default delivery mode (default latency); each sparse
-        // topology runs all delivery modes under the default model only
-        // (matching the scenario tour).
+        // topology runs all delivery modes under the default model only;
+        // fault families ride the default latency + default wire format
+        // on every topology (matching the scenario tour).
         let cells = standard_distributions().len() * standard_workloads().len();
-        let per_mesh_cell = standard_latencies().len() + (standard_deliveries().len() - 1);
-        let per_sparse_cell = standard_deliveries().len();
+        let per_mesh_cell = standard_latencies().len()
+            + (standard_deliveries().len() - 1)
+            + (standard_faults().len() - 1);
+        let per_sparse_cell = standard_deliveries().len() + (standard_faults().len() - 1);
         let expected = (cells * per_mesh_cell
             + cells * (standard_topologies().len() - 1) * per_sparse_cell)
             * ProtocolKind::ALL.len();
         assert_eq!(rows.len(), expected);
-        assert_eq!(expected, 864);
+        assert_eq!(expected, 1440);
+        // The fault-free subset is exactly the PR-4 sweep: 864 rows.
+        assert_eq!(rows.iter().filter(|r| r.fault == "none").count(), 864);
         assert!(rows.iter().all(|r| r.messages > 0 || r.control_bytes == 0));
         // Within every (distribution, workload, latency, topology,
         // delivery) cell, PRAM partial never spends more control bytes
@@ -733,11 +885,73 @@ mod tests {
         assert!(rows
             .iter()
             .all(|r| r.topology != "mesh" || r.forwarded == 0));
+        // Fault rows genuinely injected faults somewhere…
+        assert!(rows.iter().any(|r| r.fault == "lossy" && r.drops > 0));
+        assert!(rows
+            .iter()
+            .any(|r| r.fault == "duplicating" && r.duplicates > 0));
+        // …and fault-free rows never pay for them.
+        assert!(rows
+            .iter()
+            .all(|r| r.fault != "none" || (r.drops == 0 && r.duplicates == 0)));
         // Rows serialize to JSON object lines.
         let json = rows[0].to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"control_bytes\""));
         assert!(json.contains("\"topology\""));
+        assert!(json.contains("\"fault\""));
+    }
+
+    /// Satellite determinism pin: the same fault seeds yield bit-identical
+    /// sweep JSON across two runs, under the parallel sweep fan-out.
+    #[test]
+    fn fault_sweep_json_is_bit_identical_across_runs() {
+        let encode = |rows: Vec<ScenarioMatrixRow>| -> Vec<String> {
+            rows.into_iter().map(|r| r.to_json()).collect()
+        };
+        let a = encode(scenario_matrix(5, 3, 9));
+        let b = encode(scenario_matrix(5, 3, 9));
+        assert_eq!(a, b);
+        // A different seed changes the fault schedule somewhere.
+        let c = encode(scenario_matrix(5, 3, 10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fault_tolerance_sweep_quantifies_recovery_overhead() {
+        let rows = fault_tolerance_sweep(8, 6, 3);
+        // Mesh, star, grid × four fault families × four protocols.
+        assert_eq!(
+            rows.len(),
+            3 * standard_faults().len() * ProtocolKind::ALL.len()
+        );
+        let cell = |topo: &str, fault: &str, kind: ProtocolKind| {
+            rows.iter()
+                .find(|r| r.topology == topo && r.fault == fault && r.protocol == kind)
+                .unwrap()
+        };
+        for topo in ["mesh", "star", "grid"] {
+            for kind in ProtocolKind::ALL {
+                // The fault-free row is its own reference and is clean.
+                let base = cell(topo, "none", kind);
+                assert!((base.control_ratio_vs_faultfree - 1.0).abs() < 1e-12);
+                assert_eq!(base.drops + base.duplicates + base.crash_losses, 0);
+                // Drops force retransmissions: more control bytes and more
+                // virtual time, never less.
+                let lossy = cell(topo, "lossy", kind);
+                assert!(lossy.drops > 0, "{topo}/{kind}");
+                assert!(lossy.control_ratio_vs_faultfree >= 1.0);
+                assert!(lossy.virtual_ratio_vs_faultfree >= 1.0);
+                // Duplicates pay wire bytes without touching delivery.
+                let dup = cell(topo, "duplicating", kind);
+                assert!(dup.duplicates > 0, "{topo}/{kind}");
+                assert!(dup.control_ratio_vs_faultfree >= 1.0);
+                // The crash window lost deliveries that recovery had to
+                // re-fetch.
+                let crash = cell(topo, "crash-restart", kind);
+                assert!(crash.crash_losses > 0, "{topo}/{kind}");
+            }
+        }
     }
 
     #[test]

@@ -113,6 +113,14 @@ pub enum DsmError {
         /// The offending process id.
         proc: ProcId,
     },
+    /// The process is crashed: it can issue no operations until it is
+    /// restarted from its persisted snapshot (and a crash/restart call
+    /// was itself invalid — crashing a crashed process, restarting a
+    /// live one).
+    Crashed {
+        /// The crashed (or not-crashed, for an invalid restart) process.
+        proc: ProcId,
+    },
 }
 
 impl fmt::Display for DsmError {
@@ -122,6 +130,12 @@ impl fmt::Display for DsmError {
                 write!(f, "process {proc} does not replicate variable {var}")
             }
             DsmError::UnknownProcess { proc } => write!(f, "unknown process {proc}"),
+            DsmError::Crashed { proc } => {
+                write!(
+                    f,
+                    "process {proc} crash/restart state does not allow this operation"
+                )
+            }
         }
     }
 }

@@ -23,11 +23,53 @@ use crate::runtime::DsmSystem;
 use histories::{Distribution, History, ProcId, Value, VarId};
 use simnet::{DeliveryMode, NetworkStats, RunOutcome, SimConfig, SimTime, Topology};
 
+/// A persisted replica image of one process, taken by
+/// [`DynDsm::snapshot`] and restorable by [`DynDsm::restore`]. Wraps the
+/// concrete protocol node state (replica values, vector clock or sequence
+/// trackers, pending control records, unflushed buffers, write logs), so
+/// the snapshot/restore round trip is lossless by construction — the
+/// differential fault tests pin that down with equality.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReplicaSnapshot {
+    /// A fully replicated causal node image.
+    CausalFull(Box<crate::protocol::causal_full::CausalFullNode>),
+    /// A partially replicated causal node image.
+    CausalPartial(Box<crate::protocol::causal_partial::CausalPartialNode>),
+    /// A PRAM node image.
+    PramPartial(Box<crate::protocol::pram_partial::PramNode>),
+    /// A sequencer-protocol node image.
+    Sequential(Box<crate::protocol::sequential::SequentialNode>),
+}
+
+impl ReplicaSnapshot {
+    /// The protocol the snapshot belongs to.
+    pub fn kind(&self) -> ProtocolKind {
+        match self {
+            ReplicaSnapshot::CausalFull(_) => ProtocolKind::CausalFull,
+            ReplicaSnapshot::CausalPartial(_) => ProtocolKind::CausalPartial,
+            ReplicaSnapshot::PramPartial(_) => ProtocolKind::PramPartial,
+            ReplicaSnapshot::Sequential(_) => ProtocolKind::Sequential,
+        }
+    }
+
+    /// The persisted replica value of `var` (`⊥` if never written).
+    pub fn value(&self, var: VarId) -> Value {
+        use crate::protocol::McsNode;
+        match self {
+            ReplicaSnapshot::CausalFull(n) => n.local_read(var),
+            ReplicaSnapshot::CausalPartial(n) => n.local_read(var),
+            ReplicaSnapshot::PramPartial(n) => n.local_read(var),
+            ReplicaSnapshot::Sequential(n) => n.local_read(var),
+        }
+    }
+}
+
 /// A DSM deployment whose protocol was chosen at runtime.
 ///
 /// Exposes the full [`DsmSystem`] surface — reads, writes, settling,
-/// stepping, statistics, control accounting, and history recording — with
-/// every call dispatched to the concrete protocol chosen at construction.
+/// stepping, statistics, control accounting, history recording, and the
+/// fault layer's crash/restart lifecycle — with every call dispatched to
+/// the concrete protocol chosen at construction.
 pub enum DynDsm {
     /// Causal consistency, full replication.
     CausalFull(DsmSystem<CausalFull>),
@@ -166,6 +208,59 @@ impl DynDsm {
     /// operation (used by tests and convergence checks).
     pub fn peek(&self, p: ProcId, var: VarId) -> Value {
         dispatch!(self, sys => sys.peek(p, var))
+    }
+
+    /// Whether process `p` is currently crashed.
+    pub fn is_crashed(&self, p: ProcId) -> bool {
+        dispatch!(self, sys => sys.is_crashed(p))
+    }
+
+    /// A persisted snapshot of process `p`'s replica state — the image a
+    /// restart would restore (see [`DsmSystem::snapshot`]).
+    pub fn snapshot(&self, p: ProcId) -> ReplicaSnapshot {
+        match self {
+            DynDsm::CausalFull(sys) => ReplicaSnapshot::CausalFull(Box::new(sys.snapshot(p))),
+            DynDsm::CausalPartial(sys) => ReplicaSnapshot::CausalPartial(Box::new(sys.snapshot(p))),
+            DynDsm::PramPartial(sys) => ReplicaSnapshot::PramPartial(Box::new(sys.snapshot(p))),
+            DynDsm::Sequential(sys) => ReplicaSnapshot::Sequential(Box::new(sys.snapshot(p))),
+        }
+    }
+
+    /// Replace process `p`'s state machine with a snapshot previously
+    /// taken from a system of the same protocol. Panics if the
+    /// snapshot's protocol disagrees with this system's (a snapshot is
+    /// not portable across protocols).
+    pub fn restore(&mut self, p: ProcId, snapshot: ReplicaSnapshot) {
+        match (self, snapshot) {
+            (DynDsm::CausalFull(sys), ReplicaSnapshot::CausalFull(n)) => sys.restore(p, *n),
+            (DynDsm::CausalPartial(sys), ReplicaSnapshot::CausalPartial(n)) => sys.restore(p, *n),
+            (DynDsm::PramPartial(sys), ReplicaSnapshot::PramPartial(n)) => sys.restore(p, *n),
+            (DynDsm::Sequential(sys), ReplicaSnapshot::Sequential(n)) => sys.restore(p, *n),
+            (sys, snap) => panic!(
+                "snapshot of {} cannot restore into a {} system",
+                snap.kind(),
+                sys.kind()
+            ),
+        }
+    }
+
+    /// Crash process `p`: persist its snapshot and take its node down
+    /// (see [`DsmSystem::crash`]).
+    pub fn crash(&mut self, p: ProcId) -> Result<(), DsmError> {
+        dispatch!(self, sys => sys.crash(p))
+    }
+
+    /// Restart a crashed process from its persisted snapshot, run its
+    /// catch-up handshake, and settle recovery traffic (see
+    /// [`DsmSystem::restart`]).
+    pub fn restart(&mut self, p: ProcId) -> Result<(), DsmError> {
+        dispatch!(self, sys => sys.restart(p))
+    }
+
+    /// Envelopes currently parked at a crashed process (transit traffic
+    /// awaiting its restart; 0 on direct transports).
+    pub fn parked_messages(&self, p: ProcId) -> usize {
+        dispatch!(self, sys => sys.parked_messages(p))
     }
 }
 

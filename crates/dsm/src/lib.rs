@@ -56,13 +56,13 @@ pub mod runtime;
 pub use api::{DsmError, ProtocolKind};
 pub use clock::{SequenceTracker, VectorClock};
 pub use control::{ControlStats, ControlSummary};
-pub use dynamic::DynDsm;
-pub use protocol::causal_full::{CausalFull, CausalFullNode, CausalMsg};
+pub use dynamic::{DynDsm, ReplicaSnapshot};
+pub use protocol::causal_full::{CausalFull, CausalFullMsg, CausalFullNode, CausalMsg};
 pub use protocol::causal_partial::{
     CausalPartial, CausalPartialMsg, CausalPartialNode, ControlRecord, MAX_BATCH,
     RECORD_DELTA_BYTES,
 };
-pub use protocol::pram_partial::{PramMsg, PramNode, PramPartial};
+pub use protocol::pram_partial::{PramMsg, PramNode, PramPartial, PramPartialMsg};
 pub use protocol::sequential::{SeqMsg, Sequential, SequentialNode};
 pub use protocol::{McsNode, ProtocolSpec};
 pub use recorder::Recorder;

@@ -48,8 +48,43 @@ impl WireSize for CausalMsg {
     }
 }
 
+/// Wire messages of the fully replicated causal protocol: the classical
+/// broadcast update, plus the catch-up handshake a node runs after a
+/// crash-restart (re-requesting every update it missed while down; each
+/// peer answers from its persisted log of *own* writes, with the original
+/// timestamps, so causal delivery at the requester is untouched).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CausalFullMsg {
+    /// A broadcast update (the only message of the fault-free protocol).
+    Update(CausalMsg),
+    /// "Resend me everything of yours I have not seen": the restarted
+    /// node's vector clock tells each peer exactly which of its own
+    /// writes are missing.
+    CatchupReq {
+        /// The restarted process.
+        from: usize,
+        /// Its restored vector clock.
+        vc: VectorClock,
+    },
+}
+
+impl WireSize for CausalFullMsg {
+    fn data_bytes(&self) -> usize {
+        match self {
+            CausalFullMsg::Update(m) => m.data_bytes(),
+            CausalFullMsg::CatchupReq { .. } => 0,
+        }
+    }
+    fn control_bytes(&self) -> usize {
+        match self {
+            CausalFullMsg::Update(m) => m.control_bytes(),
+            CausalFullMsg::CatchupReq { vc, .. } => vc.wire_bytes() + 8,
+        }
+    }
+}
+
 /// The fully replicated causal MCS process.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CausalFullNode {
     me: ProcId,
     n: usize,
@@ -58,6 +93,9 @@ pub struct CausalFullNode {
     pending: Vec<CausalMsg>,
     control: ControlStats,
     delivered: u64,
+    /// Persisted log of this node's own writes, in program order — the
+    /// material catch-up responses are served from.
+    log: Vec<CausalMsg>,
 }
 
 impl CausalFullNode {
@@ -71,6 +109,7 @@ impl CausalFullNode {
             pending: Vec::new(),
             control: ControlStats::new(),
             delivered: 0,
+            log: Vec::new(),
         }
     }
 
@@ -89,6 +128,15 @@ impl CausalFullNode {
         self.pending.len()
     }
 
+    /// Whether `msg` is already covered by the local clock: the writer's
+    /// `msg.vc[writer]`-th write has been applied here, so this copy is a
+    /// duplicate (a retransmission, a parked late delivery, or a catch-up
+    /// response overlapping one). Applying it again would be wrong;
+    /// discarding it is always safe.
+    fn already_seen(&self, msg: &CausalMsg) -> bool {
+        msg.vc.get(msg.writer) <= self.vc.get(msg.writer)
+    }
+
     fn apply(&mut self, msg: &CausalMsg) {
         self.store.insert(msg.var, Value::Int(msg.value));
         self.vc.merge(&msg.vc);
@@ -105,6 +153,12 @@ impl CausalFullNode {
                 Some(i) => {
                     let msg = self.pending.remove(i);
                     self.apply(&msg);
+                    // Applying a message may turn other pending copies of
+                    // the same write (duplicates) permanently stale —
+                    // purge them so they cannot pile up.
+                    let vc = self.vc.clone();
+                    self.pending
+                        .retain(|m| m.vc.get(m.writer) > vc.get(m.writer));
                 }
                 None => break,
             }
@@ -112,22 +166,49 @@ impl CausalFullNode {
     }
 }
 
-impl Node<CausalMsg> for CausalFullNode {
-    fn on_message(&mut self, _ctx: &mut NodeContext<CausalMsg>, _from: NodeId, msg: CausalMsg) {
-        self.control.charge_received(msg.var, msg.control_size());
-        self.pending.push(msg);
-        self.deliver_ready();
+impl Node<CausalFullMsg> for CausalFullNode {
+    fn on_message(
+        &mut self,
+        ctx: &mut NodeContext<CausalFullMsg>,
+        _from: NodeId,
+        msg: CausalFullMsg,
+    ) {
+        match msg {
+            CausalFullMsg::Update(msg) => {
+                if self.already_seen(&msg) {
+                    // Idempotence guard: a duplicate of an applied write.
+                    return;
+                }
+                self.control.charge_received(msg.var, msg.control_size());
+                self.pending.push(msg);
+                self.deliver_ready();
+            }
+            CausalFullMsg::CatchupReq { from, vc } => {
+                // Resend every own write the requester's clock is missing,
+                // with its original timestamp.
+                let missing: Vec<CausalMsg> = self
+                    .log
+                    .iter()
+                    .filter(|m| m.vc.get(self.me.index()) > vc.get(self.me.index()))
+                    .cloned()
+                    .collect();
+                for m in missing {
+                    self.control.charge_sent(m.var, m.control_size());
+                    ctx.send(NodeId(from), CausalFullMsg::Update(m));
+                }
+            }
+        }
     }
 }
 
 impl McsNode for CausalFullNode {
-    type Msg = CausalMsg;
+    type Msg = CausalFullMsg;
 
     fn local_read(&self, var: VarId) -> Value {
         self.store.get(&var).copied().unwrap_or(Value::Bottom)
     }
 
-    fn local_write(&mut self, ctx: &mut NodeContext<CausalMsg>, var: VarId, value: i64) {
+    fn local_write(&mut self, ctx: &mut NodeContext<CausalFullMsg>, var: VarId, value: i64) {
         self.vc.increment(self.me.index());
         self.store.insert(var, Value::Int(value));
         self.control.track(var);
@@ -137,6 +218,7 @@ impl McsNode for CausalFullNode {
             value,
             vc: self.vc.clone(),
         };
+        self.log.push(msg.clone());
         let bytes = msg.control_size();
         // One logical record per destination (the control accounting the
         // paper reasons about), handed to the transport as one
@@ -149,7 +231,7 @@ impl McsNode for CausalFullNode {
         for _ in &targets {
             self.control.charge_sent(var, bytes);
         }
-        ctx.send_multi(targets, msg);
+        ctx.send_multi(targets, CausalFullMsg::Update(msg));
     }
 
     fn replicates(&self, _var: VarId) -> bool {
@@ -159,6 +241,20 @@ impl McsNode for CausalFullNode {
     fn control(&self) -> &ControlStats {
         &self.control
     }
+
+    fn on_restart(&mut self, ctx: &mut NodeContext<CausalFullMsg>) {
+        // Everything delivered while down was lost; the restored clock
+        // tells each peer exactly which of its writes to resend.
+        let req = CausalFullMsg::CatchupReq {
+            from: self.me.index(),
+            vc: self.vc.clone(),
+        };
+        let targets: Vec<NodeId> = (0..self.n)
+            .filter(|&i| i != self.me.index())
+            .map(NodeId)
+            .collect();
+        ctx.send_multi(targets, req);
+    }
 }
 
 /// Marker type selecting the fully replicated causal protocol.
@@ -166,7 +262,7 @@ impl McsNode for CausalFullNode {
 pub struct CausalFull;
 
 impl ProtocolSpec for CausalFull {
-    type Msg = CausalMsg;
+    type Msg = CausalFullMsg;
     type Node = CausalFullNode;
     const KIND: ProtocolKind = ProtocolKind::CausalFull;
 
@@ -210,37 +306,114 @@ mod tests {
         assert_eq!(node.delivered_count(), 0);
     }
 
+    fn write_msg(writer: usize, n: usize, writes: u64, var: VarId, value: i64) -> CausalMsg {
+        let mut vc = VectorClock::new(n);
+        for _ in 0..writes {
+            vc.increment(writer);
+        }
+        CausalMsg {
+            writer,
+            var,
+            value,
+            vc,
+        }
+    }
+
     #[test]
     fn out_of_order_messages_wait_for_dependencies() {
         let mut node = CausalFullNode::new(ProcId(2), 3);
         // Writer 0's second write (depends on its first, unseen here).
-        let mut vc2 = VectorClock::new(3);
-        vc2.increment(0);
-        vc2.increment(0);
-        let m2 = CausalMsg {
-            writer: 0,
-            var: VarId(0),
-            value: 2,
-            vc: vc2,
-        };
+        let m2 = write_msg(0, 3, 2, VarId(0), 2);
         // Deliver the dependent message first: it must be buffered.
         let mut ctx_unused = NodeContext::new(NodeId(2), simnet::SimTime::ZERO);
-        node.on_message(&mut ctx_unused, NodeId(0), m2);
+        node.on_message(&mut ctx_unused, NodeId(0), CausalFullMsg::Update(m2));
         assert_eq!(node.pending_count(), 1);
         assert_eq!(node.local_read(VarId(0)), Value::Bottom);
         // Now the first write arrives; both become deliverable in order.
-        let mut vc1 = VectorClock::new(3);
-        vc1.increment(0);
-        let m1 = CausalMsg {
-            writer: 0,
-            var: VarId(0),
-            value: 1,
-            vc: vc1,
-        };
-        node.on_message(&mut ctx_unused, NodeId(0), m1);
+        let m1 = write_msg(0, 3, 1, VarId(0), 1);
+        node.on_message(&mut ctx_unused, NodeId(0), CausalFullMsg::Update(m1));
         assert_eq!(node.pending_count(), 0);
         assert_eq!(node.delivered_count(), 2);
         assert_eq!(node.local_read(VarId(0)), Value::Int(2));
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_idempotent() {
+        let mut node = CausalFullNode::new(ProcId(1), 2);
+        let mut ctx = NodeContext::new(NodeId(1), simnet::SimTime::ZERO);
+        let m1 = write_msg(0, 2, 1, VarId(0), 1);
+        let m2 = write_msg(0, 2, 2, VarId(0), 2);
+        node.on_message(&mut ctx, NodeId(0), CausalFullMsg::Update(m1.clone()));
+        node.on_message(&mut ctx, NodeId(0), CausalFullMsg::Update(m2.clone()));
+        let settled = node.clone();
+        // Redeliver both, in both orders: nothing changes.
+        node.on_message(&mut ctx, NodeId(0), CausalFullMsg::Update(m2));
+        node.on_message(&mut ctx, NodeId(0), CausalFullMsg::Update(m1));
+        assert_eq!(node, settled);
+        assert_eq!(node.delivered_count(), 2);
+        assert_eq!(node.local_read(VarId(0)), Value::Int(2));
+    }
+
+    #[test]
+    fn stale_pending_duplicates_are_purged_on_apply() {
+        let mut node = CausalFullNode::new(ProcId(1), 2);
+        let mut ctx = NodeContext::new(NodeId(1), simnet::SimTime::ZERO);
+        let m2 = write_msg(0, 2, 2, VarId(0), 2);
+        // Two copies of write 2 arrive before write 1: both go pending.
+        node.on_message(&mut ctx, NodeId(0), CausalFullMsg::Update(m2.clone()));
+        node.on_message(&mut ctx, NodeId(0), CausalFullMsg::Update(m2));
+        assert_eq!(node.pending_count(), 2);
+        // Write 1 arrives: one copy of write 2 applies, the other is
+        // purged rather than lingering forever.
+        let m1 = write_msg(0, 2, 1, VarId(0), 1);
+        node.on_message(&mut ctx, NodeId(0), CausalFullMsg::Update(m1));
+        assert_eq!(node.pending_count(), 0);
+        assert_eq!(node.delivered_count(), 2);
+    }
+
+    #[test]
+    fn catchup_resends_exactly_the_missing_own_writes() {
+        // Writer p0 logs three writes.
+        let dist = Distribution::full(3, 2);
+        let mut nodes = CausalFull::build_nodes(&dist, simnet::DeliveryMode::UNICAST);
+        let mut ctx = NodeContext::new(NodeId(0), simnet::SimTime::ZERO);
+        for v in 1..=3 {
+            nodes[0].local_write(&mut ctx, VarId(0), v);
+        }
+        // p2 restarts knowing only p0's first write.
+        let mut restored = VectorClock::new(3);
+        restored.increment(0);
+        let mut resp_ctx = NodeContext::new(NodeId(0), simnet::SimTime::ZERO);
+        nodes[0].on_message(
+            &mut resp_ctx,
+            NodeId(2),
+            CausalFullMsg::CatchupReq {
+                from: 2,
+                vc: restored,
+            },
+        );
+        // Writes 2 and 3 are resent to p2, in order, with original clocks.
+        let resent: Vec<i64> = resp_ctx
+            .outgoing()
+            .iter()
+            .map(|o| match o {
+                simnet::Outgoing::One(NodeId(2), CausalFullMsg::Update(m)) => m.value,
+                other => panic!("unexpected response {other:?}"),
+            })
+            .collect();
+        assert_eq!(resent, vec![2, 3]);
+    }
+
+    #[test]
+    fn on_restart_broadcasts_a_catchup_request() {
+        let mut node = CausalFullNode::new(ProcId(1), 4);
+        let mut ctx = NodeContext::new(NodeId(1), simnet::SimTime::ZERO);
+        node.on_restart(&mut ctx);
+        assert_eq!(ctx.queued_messages(), 3);
+        assert!(ctx.outgoing().iter().all(|o| matches!(
+            o,
+            simnet::Outgoing::Many(_, CausalFullMsg::CatchupReq { from: 1, .. })
+        )));
     }
 
     #[test]
@@ -250,6 +423,10 @@ mod tests {
         let mut ctx = NodeContext::new(NodeId(0), simnet::SimTime::ZERO);
         nodes[0].local_write(&mut ctx, VarId(1), 7);
         assert_eq!(ctx.queued_messages(), 3);
+        assert!(matches!(
+            ctx.outgoing()[0],
+            simnet::Outgoing::Many(_, CausalFullMsg::Update(_))
+        ));
         assert_eq!(nodes[0].local_read(VarId(1)), Value::Int(7));
         assert_eq!(nodes[0].clock().get(0), 1);
         assert_eq!(

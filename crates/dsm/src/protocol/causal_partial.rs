@@ -112,6 +112,17 @@ pub enum CausalPartialMsg {
         /// The buffered records, in the order they were produced.
         records: Vec<ControlRecord>,
     },
+    /// A restarted node's catch-up request: "resend me everything of
+    /// yours I have not seen". Each peer answers from its persisted log
+    /// of own writes with the original timestamps — an [`Self::Update`]
+    /// when the requester replicates the variable, a [`Self::Control`]
+    /// record otherwise, exactly mirroring the fault-free wire.
+    CatchupReq {
+        /// The restarted process.
+        from: usize,
+        /// Its restored vector clock.
+        vc: VectorClock,
+    },
 }
 
 impl CausalPartialMsg {
@@ -129,6 +140,9 @@ impl CausalPartialMsg {
             CausalPartialMsg::ControlBatch { records } => {
                 records.first().expect(Self::EMPTY_BATCH).var
             }
+            CausalPartialMsg::CatchupReq { .. } => {
+                unreachable!("catch-up requests concern the stream, not one variable")
+            }
         }
     }
 
@@ -145,6 +159,7 @@ impl CausalPartialMsg {
             CausalPartialMsg::ControlBatch { records } => {
                 records.first().expect(Self::EMPTY_BATCH).writer
             }
+            CausalPartialMsg::CatchupReq { from, .. } => *from,
         }
     }
 
@@ -159,6 +174,7 @@ impl CausalPartialMsg {
             CausalPartialMsg::ControlBatch { records } => {
                 &records.first().expect(Self::EMPTY_BATCH).vc
             }
+            CausalPartialMsg::CatchupReq { vc, .. } => vc,
         }
     }
 }
@@ -167,7 +183,9 @@ impl WireSize for CausalPartialMsg {
     fn data_bytes(&self) -> usize {
         match self {
             CausalPartialMsg::Update { .. } => 8,
-            CausalPartialMsg::Control { .. } | CausalPartialMsg::ControlBatch { .. } => 0,
+            CausalPartialMsg::Control { .. }
+            | CausalPartialMsg::ControlBatch { .. }
+            | CausalPartialMsg::CatchupReq { .. } => 0,
         }
     }
     fn control_bytes(&self) -> usize {
@@ -179,12 +197,13 @@ impl WireSize for CausalPartialMsg {
             CausalPartialMsg::ControlBatch { records } => records.first().map_or(0, |first| {
                 first.full_bytes() + RECORD_DELTA_BYTES * (records.len() - 1)
             }),
+            CausalPartialMsg::CatchupReq { vc, .. } => vc.wire_bytes() + 8,
         }
     }
 }
 
 /// The partially replicated causal MCS process.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CausalPartialNode {
     me: ProcId,
     dist: Distribution,
@@ -201,6 +220,10 @@ pub struct CausalPartialNode {
     buffers: Vec<Vec<ControlRecord>>,
     /// Whether a flush timer is currently pending.
     flush_armed: bool,
+    /// Persisted log of this node's own writes (variable, value, clock at
+    /// the write), in program order — the material catch-up responses are
+    /// served from.
+    log: Vec<(VarId, i64, VectorClock)>,
 }
 
 impl CausalPartialNode {
@@ -219,6 +242,7 @@ impl CausalPartialNode {
             batching: delivery.batching,
             buffers: vec![Vec::new(); dist.process_count()],
             flush_armed: false,
+            log: Vec::new(),
         }
     }
 
@@ -259,10 +283,18 @@ impl CausalPartialNode {
                 self.vc.merge(vc);
                 self.delivered_control += 1;
             }
-            CausalPartialMsg::ControlBatch { .. } => {
-                unreachable!("batches are decomposed into records on receipt")
+            CausalPartialMsg::ControlBatch { .. } | CausalPartialMsg::CatchupReq { .. } => {
+                unreachable!("batches are decomposed on receipt and requests answered on receipt")
             }
         }
+    }
+
+    /// Whether the writer's `vc[writer]`-th write is already reflected in
+    /// the local clock — i.e. this message or record is a duplicate (a
+    /// replay, a parked late delivery, or a catch-up overlap). Applying it
+    /// again would be wrong; discarding it is always safe.
+    fn already_seen(&self, writer: usize, vc: &VectorClock) -> bool {
+        vc.get(writer) <= self.vc.get(writer)
     }
 
     fn deliver_ready(&mut self) {
@@ -275,6 +307,12 @@ impl CausalPartialNode {
                 Some(i) => {
                     let msg = self.pending.remove(i);
                     self.apply(&msg);
+                    // Applying a message may turn other pending copies of
+                    // the same write permanently stale — purge them so
+                    // duplicates cannot pile up.
+                    let vc = self.vc.clone();
+                    self.pending
+                        .retain(|m| m.vc().get(m.writer()) > vc.get(m.writer()));
                 }
                 None => break,
             }
@@ -282,8 +320,12 @@ impl CausalPartialNode {
     }
 
     /// Enqueue one control record for causal delivery, charging `bytes` of
-    /// received control information to its variable.
+    /// received control information to its variable. Stale records
+    /// (duplicates of already-applied writes) are discarded uncharged.
     fn receive_record(&mut self, record: ControlRecord, bytes: usize) {
+        if self.already_seen(record.writer, &record.vc) {
+            return;
+        }
         self.control.charge_received(record.var, bytes);
         self.pending.push(CausalPartialMsg::Control {
             writer: record.writer,
@@ -313,7 +355,7 @@ impl CausalPartialNode {
 impl Node<CausalPartialMsg> for CausalPartialNode {
     fn on_message(
         &mut self,
-        _ctx: &mut NodeContext<CausalPartialMsg>,
+        ctx: &mut NodeContext<CausalPartialMsg>,
         _from: NodeId,
         msg: CausalPartialMsg,
     ) {
@@ -325,6 +367,12 @@ impl Node<CausalPartialMsg> for CausalPartialNode {
                 vc,
                 piggyback,
             } => {
+                if self.already_seen(writer, &vc) {
+                    // Idempotence guard: a duplicate of an applied write.
+                    // Its piggybacked records (the writer's own, buffered
+                    // strictly earlier in its stream) are stale too.
+                    return;
+                }
                 self.control.charge_received(var, vc.wire_bytes() + 8);
                 // Piggybacked records precede their carrier in the
                 // writer's stream; enqueue them first so per-writer order
@@ -357,6 +405,49 @@ impl Node<CausalPartialMsg> for CausalPartialNode {
                     self.receive_record(record, bytes);
                 }
             }
+            CausalPartialMsg::CatchupReq { from, vc } => {
+                // Resend every own write the requester's clock is missing,
+                // with the original timestamp: a full update if the
+                // requester replicates the variable, a control record
+                // otherwise — mirroring the fault-free wire exactly.
+                let me = self.me.index();
+                let missing: Vec<(VarId, i64, VectorClock)> = self
+                    .log
+                    .iter()
+                    .filter(|(_, _, wvc)| wvc.get(me) > vc.get(me))
+                    .cloned()
+                    .collect();
+                for (var, value, wvc) in missing {
+                    if self.dist.replicates(ProcId(from), var) {
+                        self.control.charge_sent(var, wvc.wire_bytes() + 8);
+                        ctx.send(
+                            NodeId(from),
+                            CausalPartialMsg::Update {
+                                writer: me,
+                                var,
+                                value,
+                                vc: wvc,
+                                piggyback: Vec::new(),
+                            },
+                        );
+                    } else {
+                        let record = ControlRecord {
+                            writer: me,
+                            var,
+                            vc: wvc,
+                        };
+                        self.control.charge_sent(var, record.full_bytes());
+                        ctx.send(
+                            NodeId(from),
+                            CausalPartialMsg::Control {
+                                writer: me,
+                                var,
+                                vc: record.vc,
+                            },
+                        );
+                    }
+                }
+            }
         }
         self.deliver_ready();
     }
@@ -383,6 +474,7 @@ impl McsNode for CausalPartialNode {
         self.vc.increment(self.me.index());
         self.store.insert(var, Value::Int(value));
         self.control.track(var);
+        self.log.push((var, value, self.vc.clone()));
         let replicas = self.dist.replicas_of(var);
         let update_bytes = self.vc.wire_bytes() + 8;
         let record = ControlRecord {
@@ -487,6 +579,27 @@ impl McsNode for CausalPartialNode {
 
     fn control(&self) -> &ControlStats {
         &self.control
+    }
+
+    fn on_restart(&mut self, ctx: &mut NodeContext<CausalPartialMsg>) {
+        // The crash killed any armed flush timer, but the buffered
+        // records are persisted state: flush every obligation now so no
+        // destination waits forever for records only this node holds.
+        self.flush_armed = false;
+        for d in 0..self.buffers.len() {
+            self.flush_dest(ctx, d);
+        }
+        // Then re-request everything missed while down — peers answer
+        // with updates or control records carrying original timestamps.
+        let req = CausalPartialMsg::CatchupReq {
+            from: self.me.index(),
+            vc: self.vc.clone(),
+        };
+        let targets: Vec<NodeId> = (0..self.dist.process_count())
+            .filter(|&p| p != self.me.index())
+            .map(NodeId)
+            .collect();
+        ctx.send_multi(targets, req);
     }
 }
 

@@ -47,6 +47,15 @@ pub trait McsNode: Node<<Self as McsNode>::Msg> {
 
     /// The node's control-information accounting.
     fn control(&self) -> &ControlStats;
+
+    /// Called once when the node restarts from a persisted snapshot after
+    /// a crash. Messages delivered while the node was down are lost, so
+    /// this is where a protocol runs its catch-up handshake: re-request
+    /// whatever ordering information it missed (and flush any persisted
+    /// obligations — e.g. buffered control records — whose flush timers
+    /// died with the crash). The default is a no-op: a protocol with no
+    /// recovery obligations restarts silently.
+    fn on_restart(&mut self, _ctx: &mut NodeContext<Self::Msg>) {}
 }
 
 /// A protocol family: how to instantiate one node per process for a given
@@ -54,8 +63,10 @@ pub trait McsNode: Node<<Self as McsNode>::Msg> {
 pub trait ProtocolSpec {
     /// Message type.
     type Msg: WireSize + fmt::Debug + Clone;
-    /// Node type.
-    type Node: McsNode<Msg = Self::Msg>;
+    /// Node type. `Clone` is the persistence model of the fault layer: a
+    /// crash snapshot is a clone of the node state (replica values, clocks,
+    /// pending records), and a restart restores it verbatim.
+    type Node: McsNode<Msg = Self::Msg> + Clone;
 
     /// Which protocol this is.
     const KIND: ProtocolKind;

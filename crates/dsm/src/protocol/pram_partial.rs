@@ -48,8 +48,44 @@ impl WireSize for PramMsg {
     }
 }
 
+/// Wire messages of the PRAM protocol: the classical sequence-numbered
+/// update, plus the catch-up handshake a node runs after a crash-restart.
+/// The requester's restored [`SequenceTracker`] tells each peer exactly
+/// which of its own writes are missing; responses stay inside the
+/// variables the requester replicates, so even recovery metadata never
+/// leaves `C(x)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PramPartialMsg {
+    /// A sequence-numbered update (the only fault-free message).
+    Update(PramMsg),
+    /// "Resend me your writes from these sequence numbers on", sent to
+    /// every peer sharing at least one variable with the requester.
+    CatchupReq {
+        /// The restarted process.
+        from: usize,
+        /// Its restored per-writer next-expected sequence numbers.
+        expected: Vec<u64>,
+    },
+}
+
+impl WireSize for PramPartialMsg {
+    fn data_bytes(&self) -> usize {
+        match self {
+            PramPartialMsg::Update(m) => m.data_bytes(),
+            PramPartialMsg::CatchupReq { .. } => 0,
+        }
+    }
+    fn control_bytes(&self) -> usize {
+        match self {
+            PramPartialMsg::Update(m) => m.control_bytes(),
+            // One sequence number per writer plus the requester id.
+            PramPartialMsg::CatchupReq { expected, .. } => expected.len() * 8 + 8,
+        }
+    }
+}
+
 /// The PRAM MCS process.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PramNode {
     me: ProcId,
     dist: Distribution,
@@ -57,6 +93,18 @@ pub struct PramNode {
     seq: u64,
     seen: SequenceTracker,
     control: ControlStats,
+    /// Persisted log of this node's own writes, in program order — the
+    /// material catch-up responses are served from.
+    log: Vec<PramMsg>,
+    /// Highest sequence number applied per (writer, variable) — the
+    /// idempotence/ordering guard. PRAM's per-writer numbering is
+    /// gap-tolerant (a node only sees the subsequence touching variables
+    /// it replicates), so a *global* per-writer watermark cannot tell a
+    /// duplicate from a missed write re-sent by catch-up once a newer
+    /// in-flight update has overtaken the response; per-(writer, var)
+    /// monotonicity is exactly the PRAM obligation and makes replays of
+    /// applied writes no-ops without ever losing a recovered one.
+    applied: BTreeMap<(usize, VarId), u64>,
 }
 
 impl PramNode {
@@ -69,6 +117,8 @@ impl PramNode {
             seq: 0,
             seen: SequenceTracker::new(dist.process_count()),
             control: ControlStats::new(),
+            log: Vec::new(),
+            applied: BTreeMap::new(),
         }
     }
 
@@ -83,28 +133,65 @@ impl PramNode {
     }
 }
 
-impl Node<PramMsg> for PramNode {
-    fn on_message(&mut self, _ctx: &mut NodeContext<PramMsg>, _from: NodeId, msg: PramMsg) {
-        debug_assert!(
-            self.dist.replicates(self.me, msg.var),
-            "PRAM partial replication never sends updates to non-replicas"
-        );
-        self.control
-            .charge_received(msg.var, PramMsg::CONTROL_BYTES);
-        let fifo_ok = self.seen.observe(msg.writer, msg.seq);
-        debug_assert!(fifo_ok, "FIFO channels deliver a writer's updates in order");
-        self.store.insert(msg.var, Value::Int(msg.value));
+impl Node<PramPartialMsg> for PramNode {
+    fn on_message(
+        &mut self,
+        ctx: &mut NodeContext<PramPartialMsg>,
+        _from: NodeId,
+        msg: PramPartialMsg,
+    ) {
+        match msg {
+            PramPartialMsg::Update(msg) => {
+                debug_assert!(
+                    self.dist.replicates(self.me, msg.var),
+                    "PRAM partial replication never sends updates to non-replicas"
+                );
+                let slot = (msg.writer, msg.var);
+                if msg.seq <= self.applied.get(&slot).copied().unwrap_or(0) {
+                    // Idempotence/ordering guard: this writer's write to
+                    // this variable is already reflected here (a replay,
+                    // or a catch-up response overtaken by a newer write).
+                    return;
+                }
+                self.control
+                    .charge_received(msg.var, PramMsg::CONTROL_BYTES);
+                // High watermark per writer, used by catch-up requests.
+                // Fault-free traffic is per-writer FIFO so this only ever
+                // advances; a catch-up response arriving after a newer
+                // in-flight write is the one legitimate regression, and
+                // `observe` simply leaves the watermark in place then.
+                self.seen.observe(msg.writer, msg.seq);
+                self.applied.insert(slot, msg.seq);
+                self.store.insert(msg.var, Value::Int(msg.value));
+            }
+            PramPartialMsg::CatchupReq { from, expected } => {
+                // Resend the requester's missing subsequence of our own
+                // writes (only the variables it replicates), in order.
+                let me = self.me.index();
+                let next = expected.get(me).copied().unwrap_or(1);
+                let missing: Vec<PramMsg> = self
+                    .log
+                    .iter()
+                    .filter(|m| m.seq >= next && self.dist.replicates(ProcId(from), m.var))
+                    .cloned()
+                    .collect();
+                for m in missing {
+                    self.control.charge_sent(m.var, PramMsg::CONTROL_BYTES);
+                    ctx.send(NodeId(from), PramPartialMsg::Update(m));
+                }
+            }
+        }
     }
 }
 
 impl McsNode for PramNode {
-    type Msg = PramMsg;
+    type Msg = PramPartialMsg;
 
     fn local_read(&self, var: VarId) -> Value {
         self.store.get(&var).copied().unwrap_or(Value::Bottom)
     }
 
-    fn local_write(&mut self, ctx: &mut NodeContext<PramMsg>, var: VarId, value: i64) {
+    fn local_write(&mut self, ctx: &mut NodeContext<PramPartialMsg>, var: VarId, value: i64) {
         self.seq += 1;
         self.store.insert(var, Value::Int(value));
         self.control.track(var);
@@ -114,6 +201,7 @@ impl McsNode for PramNode {
             var,
             value,
         };
+        self.log.push(msg.clone());
         // One multi-destination send to the replica set: the metadata
         // never leaves C(x), and a multicast wire shares tree edges the
         // replicas' paths have in common.
@@ -127,7 +215,7 @@ impl McsNode for PramNode {
         for _ in &targets {
             self.control.charge_sent(var, PramMsg::CONTROL_BYTES);
         }
-        ctx.send_multi(targets, msg);
+        ctx.send_multi(targets, PramPartialMsg::Update(msg));
     }
 
     fn replicates(&self, var: VarId) -> bool {
@@ -137,6 +225,28 @@ impl McsNode for PramNode {
     fn control(&self) -> &ControlStats {
         &self.control
     }
+
+    fn on_restart(&mut self, ctx: &mut NodeContext<PramPartialMsg>) {
+        // Ask every peer we share a variable with to resend the writes we
+        // missed; peers we share nothing with cannot have sent us
+        // anything (metadata never leaves C(x)).
+        let me = self.me.index();
+        let expected: Vec<u64> = (0..self.dist.process_count())
+            .map(|w| self.seen.expected(w))
+            .collect();
+        let targets: Vec<NodeId> = (0..self.dist.process_count())
+            .filter(|&p| {
+                p != me
+                    && self
+                        .dist
+                        .vars_of(ProcId(p))
+                        .iter()
+                        .any(|&x| self.dist.replicates(self.me, x))
+            })
+            .map(NodeId)
+            .collect();
+        ctx.send_multi(targets, PramPartialMsg::CatchupReq { from: me, expected });
+    }
 }
 
 /// Marker type selecting the PRAM partial-replication protocol.
@@ -144,7 +254,7 @@ impl McsNode for PramNode {
 pub struct PramPartial;
 
 impl ProtocolSpec for PramPartial {
-    type Msg = PramMsg;
+    type Msg = PramPartialMsg;
     type Node = PramNode;
     const KIND: ProtocolKind = ProtocolKind::PramPartial;
 

@@ -44,11 +44,24 @@ pub enum SeqMsg {
         /// The written value.
         value: i64,
     },
+    /// A restarted replica's catch-up request: "resend me the ordered
+    /// stream from this sequence number on". The sequencer answers from
+    /// its persisted log, so the replica converges to the total order it
+    /// missed while down.
+    CatchupReq {
+        /// The restarted process.
+        from: usize,
+        /// The next sequence number it has not applied.
+        next_apply: u64,
+    },
 }
 
 impl WireSize for SeqMsg {
     fn data_bytes(&self) -> usize {
-        8
+        match self {
+            SeqMsg::Request { .. } | SeqMsg::Ordered { .. } => 8,
+            SeqMsg::CatchupReq { .. } => 0,
+        }
     }
     fn control_bytes(&self) -> usize {
         match self {
@@ -56,12 +69,14 @@ impl WireSize for SeqMsg {
             SeqMsg::Request { .. } => 8,
             // sequence number + writer id + variable id
             SeqMsg::Ordered { .. } => 16,
+            // requester id + sequence number
+            SeqMsg::CatchupReq { .. } => 16,
         }
     }
 }
 
 /// A node of the sequencer protocol. Node 0 doubles as the sequencer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SequentialNode {
     me: ProcId,
     n: usize,
@@ -74,6 +89,9 @@ pub struct SequentialNode {
     pending: BTreeMap<u64, (usize, VarId, i64)>,
     control: ControlStats,
     applied: u64,
+    /// Sequencer state: the persisted log of every ordered write, indexed
+    /// by `seq - 1` — the material catch-up responses are served from.
+    log: Vec<(usize, VarId, i64)>,
 }
 
 impl SequentialNode {
@@ -88,6 +106,7 @@ impl SequentialNode {
             pending: BTreeMap::new(),
             control: ControlStats::new(),
             applied: 0,
+            log: Vec::new(),
         }
     }
 
@@ -111,6 +130,7 @@ impl SequentialNode {
         debug_assert!(self.is_sequencer());
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.log.push((writer, var, value));
         let ordered = SeqMsg::Ordered {
             seq,
             writer,
@@ -132,6 +152,9 @@ impl SequentialNode {
         self.enqueue_ordered(seq, writer, var, value);
     }
 
+    /// Callers guarantee `seq >= next_apply`: the sequencer only passes
+    /// fresh sequence numbers, and `on_message` discards stale `Ordered`
+    /// duplicates (the idempotence guard) before calling here.
     fn enqueue_ordered(&mut self, seq: u64, writer: usize, var: VarId, value: i64) {
         self.pending.insert(seq, (writer, var, value));
         while let Some(&(_, var, value)) = self.pending.get(&self.next_apply) {
@@ -156,8 +179,31 @@ impl Node<SeqMsg> for SequentialNode {
                 var,
                 value,
             } => {
+                if seq < self.next_apply {
+                    // Duplicate of an applied write: discard uncharged.
+                    return;
+                }
                 self.control.charge_received(var, 16);
                 self.enqueue_ordered(seq, writer, var, value);
+            }
+            SeqMsg::CatchupReq { from, next_apply } => {
+                debug_assert!(self.is_sequencer(), "catch-up requests go to the sequencer");
+                // Replay the ordered stream the replica missed, from its
+                // persisted position on, in order.
+                let start = next_apply.max(1) as usize;
+                let replay: Vec<(u64, (usize, VarId, i64))> = (start..=self.log.len())
+                    .map(|s| (s as u64, self.log[s - 1]))
+                    .collect();
+                for (seq, (writer, var, value)) in replay {
+                    let ordered = SeqMsg::Ordered {
+                        seq,
+                        writer,
+                        var,
+                        value,
+                    };
+                    self.control.charge_sent(var, ordered.control_bytes());
+                    ctx.send(NodeId(from), ordered);
+                }
             }
         }
     }
@@ -194,6 +240,26 @@ impl McsNode for SequentialNode {
 
     fn control(&self) -> &ControlStats {
         &self.control
+    }
+
+    fn on_restart(&mut self, ctx: &mut NodeContext<SeqMsg>) {
+        // A replica asks the sequencer to replay the ordered stream from
+        // its persisted position. The sequencer itself restarts silently:
+        // its log *is* the authoritative state, and requests lost while it
+        // was down are lost writes (the schedules this repo sweeps never
+        // crash the sequencer).
+        if !self.is_sequencer() {
+            // The request is not charged to any variable's control stats
+            // (it concerns the stream, not one variable); the network
+            // accounting still pays its wire bytes.
+            ctx.send(
+                NodeId(0),
+                SeqMsg::CatchupReq {
+                    from: self.me.index(),
+                    next_apply: self.next_apply,
+                },
+            );
+        }
     }
 }
 

@@ -30,6 +30,9 @@ pub struct DsmSystem<P: ProtocolSpec> {
     dist: Distribution,
     delivery: DeliveryMode,
     recorder: Recorder,
+    /// Per-process persisted snapshot, present while that process is
+    /// crashed (`None` = live).
+    crashed: Vec<Option<P::Node>>,
 }
 
 impl<P: ProtocolSpec> DsmSystem<P> {
@@ -48,9 +51,20 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     /// any strongly connected topology works for every protocol.
     ///
     /// Panics if the topology's node count disagrees with the
-    /// distribution, or if routing is required but the topology is not
-    /// strongly connected.
+    /// distribution, if routing is required but the topology is not
+    /// strongly connected, or if the fault plan schedules crash windows:
+    /// a scheduled window would take a node down without ever running
+    /// its snapshot restore or catch-up handshake (those are driven by
+    /// [`DsmSystem::crash`] / [`DsmSystem::restart`]), silently leaving
+    /// the replica behind — so the DSM runtime rejects such plans
+    /// loudly. Link faults (drops/duplicates) are fine: they live below
+    /// the protocols and need no recovery.
     pub fn with_config(dist: Distribution, config: SimConfig) -> Self {
+        assert!(
+            config.faults.crashes.is_empty(),
+            "scheduled FaultPlan crash windows bypass DSM recovery; drive crashes with \
+             DsmSystem::crash/restart (or a scenario CrashSchedule) instead"
+        );
         let delivery = config.delivery;
         let nodes = P::build_nodes(&dist, delivery);
         let topology = match &config.topology {
@@ -66,11 +80,13 @@ impl<P: ProtocolSpec> DsmSystem<P> {
         };
         let net = Transport::new(topology, config, nodes).unwrap_or_else(|e| panic!("{e}"));
         let recorder = Recorder::new(dist.process_count());
+        let crashed = (0..dist.process_count()).map(|_| None).collect();
         DsmSystem {
             net,
             dist,
             delivery,
             recorder,
+            crashed,
         }
     }
 
@@ -126,10 +142,82 @@ impl<P: ProtocolSpec> DsmSystem<P> {
         if p.index() >= self.dist.process_count() {
             return Err(DsmError::UnknownProcess { proc: p });
         }
+        if self.crashed[p.index()].is_some() {
+            return Err(DsmError::Crashed { proc: p });
+        }
         if !P::KIND.is_fully_replicated() && !self.dist.replicates(p, var) {
             return Err(DsmError::NotReplicated { proc: p, var });
         }
         Ok(())
+    }
+
+    /// Whether process `p` is currently crashed.
+    pub fn is_crashed(&self, p: ProcId) -> bool {
+        self.crashed
+            .get(p.index())
+            .is_some_and(|snap| snap.is_some())
+    }
+
+    /// A persisted snapshot of process `p`'s replica state (replica
+    /// values, clocks, pending control records, unflushed buffers, write
+    /// logs) — the image a restart would restore. The snapshot model is
+    /// synchronous persistence: everything a node applied is on stable
+    /// storage, so the only thing a crash loses is the messages delivered
+    /// while the node was down.
+    pub fn snapshot(&self, p: ProcId) -> P::Node {
+        self.net.node(NodeId(p.index())).clone()
+    }
+
+    /// Replace process `p`'s state machine with `snapshot` (the restore
+    /// half of the persistence round trip; normally driven by
+    /// [`DsmSystem::restart`]).
+    pub fn restore(&mut self, p: ProcId, snapshot: P::Node) {
+        *self.net.node_mut(NodeId(p.index())) = snapshot;
+    }
+
+    /// Crash process `p`: persist its snapshot and take its node down.
+    /// While down, protocol messages delivered to it are lost (and
+    /// counted); on a routed topology, transit traffic relayed through it
+    /// is parked and redelivered at restart. Operations issued by a
+    /// crashed process fail with [`DsmError::Crashed`].
+    pub fn crash(&mut self, p: ProcId) -> Result<(), DsmError> {
+        if p.index() >= self.dist.process_count() {
+            return Err(DsmError::UnknownProcess { proc: p });
+        }
+        if self.crashed[p.index()].is_some() {
+            return Err(DsmError::Crashed { proc: p });
+        }
+        self.crashed[p.index()] = Some(self.snapshot(p));
+        self.net.set_down(NodeId(p.index()));
+        Ok(())
+    }
+
+    /// Restart a crashed process from its persisted snapshot: bring the
+    /// node back up (releasing parked transit traffic), restore the
+    /// snapshot, run the protocol's catch-up handshake
+    /// ([`McsNode::on_restart`]), and drive the network to quiescence so
+    /// recovery completes before the process resumes service (the PRAM
+    /// protocol's gap-tolerant sequence numbers require catch-up traffic
+    /// not to race with new writes).
+    pub fn restart(&mut self, p: ProcId) -> Result<(), DsmError> {
+        if p.index() >= self.dist.process_count() {
+            return Err(DsmError::UnknownProcess { proc: p });
+        }
+        let snapshot = self.crashed[p.index()]
+            .take()
+            .ok_or(DsmError::Crashed { proc: p })?;
+        self.net.set_up(NodeId(p.index()));
+        self.restore(p, snapshot);
+        self.net
+            .with_node(NodeId(p.index()), |node, ctx| node.on_restart(ctx));
+        self.net.run_until_quiescent();
+        Ok(())
+    }
+
+    /// Envelopes currently parked at a crashed process (transit traffic
+    /// awaiting its restart; 0 on direct transports).
+    pub fn parked_messages(&self, p: ProcId) -> usize {
+        self.net.parked_count(NodeId(p.index()))
     }
 
     /// Issue `w_p(var)value`.
@@ -425,6 +513,191 @@ mod tests {
             ..SimConfig::default()
         };
         let _sys: DsmSystem<PramPartial> = DsmSystem::with_config(partial_dist(), config);
+    }
+
+    #[test]
+    fn crash_restart_recovers_missed_updates_for_every_protocol() {
+        // p3 crashes, misses a burst of writes, restarts, and must catch
+        // up to exactly the state of a run without the crash.
+        fn run<P: ProtocolSpec>(crash: bool) -> Vec<Value> {
+            let dist = Distribution::full(4, 3);
+            let mut sys: DsmSystem<P> = DsmSystem::new(dist);
+            sys.write(ProcId(0), VarId(0), 1).unwrap();
+            sys.write(ProcId(3), VarId(2), 2).unwrap();
+            sys.settle();
+            if crash {
+                sys.crash(ProcId(3)).unwrap();
+                assert!(sys.is_crashed(ProcId(3)));
+                assert_eq!(
+                    sys.write(ProcId(3), VarId(0), 99),
+                    Err(DsmError::Crashed { proc: ProcId(3) })
+                );
+            }
+            // Writes p3 misses while down.
+            sys.write(ProcId(0), VarId(0), 10).unwrap();
+            sys.write(ProcId(1), VarId(1), 11).unwrap();
+            sys.settle();
+            sys.write(ProcId(2), VarId(2), 12).unwrap();
+            sys.settle();
+            if crash {
+                sys.restart(ProcId(3)).unwrap();
+                assert!(!sys.is_crashed(ProcId(3)));
+            }
+            sys.settle();
+            (0..3).map(|x| sys.peek(ProcId(3), VarId(x))).collect()
+        }
+        assert_eq!(
+            run::<CausalFull>(true),
+            run::<CausalFull>(false),
+            "causal-full"
+        );
+        assert_eq!(
+            run::<Sequential>(true),
+            run::<Sequential>(false),
+            "sequential"
+        );
+        // Full distribution makes the partial protocols behave like full
+        // replication here; partial layouts are covered by the apps-level
+        // differential proptests.
+        assert_eq!(
+            run::<CausalPartial>(true),
+            run::<CausalPartial>(false),
+            "causal-partial"
+        );
+        assert_eq!(
+            run::<PramPartial>(true),
+            run::<PramPartial>(false),
+            "pram-partial"
+        );
+    }
+
+    #[test]
+    fn crash_restart_recovers_on_partial_distributions_too() {
+        fn run<P: ProtocolSpec>(crash: bool) -> Vec<Value> {
+            let mut sys: DsmSystem<P> = DsmSystem::new(partial_dist());
+            sys.write(ProcId(2), VarId(1), 1).unwrap();
+            sys.settle();
+            if crash {
+                sys.crash(ProcId(1)).unwrap();
+            }
+            sys.write(ProcId(0), VarId(0), 7).unwrap();
+            sys.write(ProcId(2), VarId(1), 8).unwrap();
+            sys.settle();
+            if crash {
+                sys.restart(ProcId(1)).unwrap();
+            }
+            sys.settle();
+            // p1 replicates x0 and x1.
+            vec![sys.peek(ProcId(1), VarId(0)), sys.peek(ProcId(1), VarId(1))]
+        }
+        assert_eq!(
+            run::<PramPartial>(true),
+            run::<PramPartial>(false),
+            "pram-partial"
+        );
+        assert_eq!(
+            run::<CausalPartial>(true),
+            run::<CausalPartial>(false),
+            "causal-partial"
+        );
+        assert_eq!(
+            run::<PramPartial>(false),
+            vec![Value::Int(7), Value::Int(8)]
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_is_lossless() {
+        let mut sys: DsmSystem<CausalPartial> = DsmSystem::new(partial_dist());
+        sys.write(ProcId(0), VarId(0), 5).unwrap();
+        sys.settle();
+        let snap = sys.snapshot(ProcId(1));
+        sys.restore(ProcId(1), snap.clone());
+        assert_eq!(sys.snapshot(ProcId(1)), snap);
+        assert_eq!(sys.peek(ProcId(1), VarId(0)), Value::Int(5));
+    }
+
+    #[test]
+    fn crash_recovery_costs_show_up_in_the_accounting() {
+        let dist = Distribution::full(4, 2);
+        let mut sys: DsmSystem<CausalFull> = DsmSystem::new(dist);
+        sys.crash(ProcId(2)).unwrap();
+        sys.write(ProcId(0), VarId(0), 1).unwrap();
+        sys.settle();
+        // The update addressed to the crashed p2 was lost…
+        assert_eq!(sys.network_stats().total_crash_losses(), 1);
+        assert_eq!(sys.peek(ProcId(2), VarId(0)), Value::Bottom);
+        let before = sys.network_stats().total_control_bytes();
+        sys.restart(ProcId(2)).unwrap();
+        // …and the catch-up handshake paid control bytes to re-fetch it.
+        assert!(sys.network_stats().total_control_bytes() > before);
+        assert_eq!(sys.peek(ProcId(2), VarId(0)), Value::Int(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "bypass DSM recovery")]
+    fn scheduled_crash_windows_are_rejected_by_the_runtime() {
+        use simnet::{CrashWindow, FaultPlan, SimDuration};
+        let config = SimConfig {
+            faults: FaultPlan {
+                crashes: vec![CrashWindow {
+                    node: NodeId(1),
+                    at: SimTime::ZERO,
+                    restart_after: Some(SimDuration::from_micros(10)),
+                }],
+                ..FaultPlan::default()
+            },
+            ..SimConfig::default()
+        };
+        let _sys: DsmSystem<PramPartial> = DsmSystem::with_config(partial_dist(), config);
+    }
+
+    #[test]
+    fn crash_and_restart_validate_their_preconditions() {
+        let mut sys: DsmSystem<PramPartial> = DsmSystem::new(partial_dist());
+        assert_eq!(
+            sys.restart(ProcId(0)),
+            Err(DsmError::Crashed { proc: ProcId(0) })
+        );
+        sys.crash(ProcId(0)).unwrap();
+        assert_eq!(
+            sys.crash(ProcId(0)),
+            Err(DsmError::Crashed { proc: ProcId(0) })
+        );
+        assert_eq!(
+            sys.crash(ProcId(9)),
+            Err(DsmError::UnknownProcess { proc: ProcId(9) })
+        );
+        assert_eq!(
+            sys.read(ProcId(0), VarId(0)),
+            Err(DsmError::Crashed { proc: ProcId(0) })
+        );
+        sys.restart(ProcId(0)).unwrap();
+        assert!(sys.read(ProcId(0), VarId(0)).is_ok());
+    }
+
+    #[test]
+    fn crashed_relay_parks_transit_traffic_until_restart() {
+        // On a line 0—1—2—3, traffic between p0 and p3 relays through p1
+        // and p2. Crash p2: p0's update to p3 parks there instead of
+        // being dropped on the floor, and arrives after the restart.
+        let config = SimConfig {
+            topology: Some(Topology::line(4)),
+            ..SimConfig::default()
+        };
+        let mut dist = Distribution::new(4, 1);
+        dist.assign(ProcId(0), VarId(0));
+        dist.assign(ProcId(3), VarId(0));
+        let mut sys: DsmSystem<PramPartial> = DsmSystem::with_config(dist, config);
+        sys.crash(ProcId(2)).unwrap();
+        sys.write(ProcId(0), VarId(0), 42).unwrap();
+        sys.settle();
+        assert_eq!(sys.peek(ProcId(3), VarId(0)), Value::Bottom);
+        assert_eq!(sys.parked_messages(ProcId(2)), 1);
+        sys.restart(ProcId(2)).unwrap();
+        assert_eq!(sys.parked_messages(ProcId(2)), 0);
+        sys.settle();
+        assert_eq!(sys.peek(ProcId(3), VarId(0)), Value::Int(42));
     }
 
     #[test]

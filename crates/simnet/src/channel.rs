@@ -6,7 +6,17 @@
 //! message is delivered exactly once, and never before any message sent
 //! earlier on the same channel, even if the latency model would reorder
 //! them (delivery times are monotonically clamped).
+//!
+//! Under a non-trivial [`FaultPlan`](crate::fault::FaultPlan) the channel
+//! additionally models a lossy wire beneath the reliable abstraction:
+//! dropped transmissions are retransmitted (extra delay + extra counted
+//! attempts) and duplicated transmissions schedule a second copy the
+//! receiver's link layer will discard. The fault randomness comes from a
+//! dedicated per-link RNG, so a trivial plan leaves the latency sequence
+//! — and therefore the whole simulation — bit-identical to the reliable
+//! model.
 
+use crate::fault::{FaultPlan, MAX_CONSECUTIVE_DROPS};
 use crate::message::NodeId;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
@@ -76,6 +86,33 @@ impl LatencyModel {
     }
 }
 
+/// The outcome of scheduling one transmission on a (possibly faulty)
+/// channel: when the message finally gets through, how many attempts were
+/// dropped and retransmitted on the way, and whether a duplicate copy
+/// will arrive as well.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transmission {
+    /// Virtual time at which the message is delivered (after any
+    /// retransmissions; monotone per channel, so FIFO holds under drops).
+    pub delivery: SimTime,
+    /// Number of dropped-and-retransmitted attempts before the one that
+    /// got through (0 on a reliable channel).
+    pub drops: u32,
+    /// Delivery time of a duplicate copy, if the fault schedule produced
+    /// one. The receiver's link layer discards it on arrival.
+    pub duplicate_at: Option<SimTime>,
+}
+
+/// Per-link fault state: the rates from the [`FaultPlan`] plus the
+/// dedicated RNG all fault randomness is drawn from.
+#[derive(Clone, Debug)]
+struct LinkFaults {
+    drop_rate: f64,
+    duplicate_rate: f64,
+    retransmit_delay: SimDuration,
+    rng: SmallRng,
+}
+
 /// State of a reliable FIFO channel from one node to another.
 ///
 /// The channel does not itself store in-flight messages (the simulator's
@@ -89,6 +126,7 @@ pub struct Channel {
     pub to: NodeId,
     latency: LatencyModel,
     rng: SmallRng,
+    faults: Option<LinkFaults>,
     /// Delivery time of the most recently scheduled message, used to clamp
     /// later messages so FIFO order is preserved.
     last_delivery: SimTime,
@@ -96,37 +134,94 @@ pub struct Channel {
     sent: u64,
 }
 
+fn link_mix(seed: u64, from: NodeId, to: NodeId) -> u64 {
+    seed ^ (from.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (to.index() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+}
+
 impl Channel {
     /// Create a channel with the given latency model. The RNG is seeded from
     /// `(seed, from, to)` so that distinct channels draw independent but
     /// reproducible latency sequences.
     pub fn new(from: NodeId, to: NodeId, latency: LatencyModel, seed: u64) -> Self {
-        let mix = seed
-            ^ (from.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ (to.index() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
         Channel {
             from,
             to,
             latency,
-            rng: SmallRng::seed_from_u64(mix),
+            rng: SmallRng::seed_from_u64(link_mix(seed, from, to)),
+            faults: None,
             last_delivery: SimTime::ZERO,
             sent: 0,
         }
+    }
+
+    /// Create a channel whose transmissions follow `plan`'s drop/duplicate
+    /// schedule. The fault RNG is seeded from `(plan.seed, from, to)` —
+    /// independent of the latency RNG, so a trivial plan draws exactly the
+    /// sequence [`Channel::new`] would.
+    pub fn with_faults(
+        from: NodeId,
+        to: NodeId,
+        latency: LatencyModel,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> Self {
+        let mut channel = Channel::new(from, to, latency, seed);
+        if plan.has_link_faults() {
+            channel.faults = Some(LinkFaults {
+                drop_rate: plan.drop_rate.clamp(0.0, 1.0),
+                duplicate_rate: plan.duplicate_rate.clamp(0.0, 1.0),
+                retransmit_delay: plan.retransmit_delay,
+                rng: SmallRng::seed_from_u64(link_mix(
+                    plan.seed.wrapping_mul(0x5851_F42D_4C95_7F2D),
+                    from,
+                    to,
+                )),
+            });
+        }
+        channel
     }
 
     /// Schedule a message of `bytes` payload bytes sent at `now`; returns
     /// the virtual time at which it will be delivered. Successive calls
     /// return non-decreasing times (FIFO guarantee).
     pub fn schedule(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        self.transmit(now, bytes).delivery
+    }
+
+    /// Schedule a message of `bytes` payload bytes sent at `now`, applying
+    /// the channel's fault schedule: each drop retransmits after the plan's
+    /// delay plus a fresh latency sample, and a duplicate (if drawn) is
+    /// delivered one extra latency sample after the real copy. The final
+    /// delivery time is monotonically clamped, so FIFO per channel holds
+    /// under any schedule.
+    pub fn transmit(&mut self, now: SimTime, bytes: usize) -> Transmission {
         let distance = self.from.index().abs_diff(self.to.index());
-        let lat = self.latency.sample(&mut self.rng, bytes, distance);
-        let mut delivery = now + lat;
+        let mut delivery = now + self.latency.sample(&mut self.rng, bytes, distance);
+        let mut drops = 0u32;
+        let mut duplicate_at = None;
+        if let Some(f) = &mut self.faults {
+            while f.drop_rate > 0.0 && drops < MAX_CONSECUTIVE_DROPS && f.rng.gen_bool(f.drop_rate)
+            {
+                drops += 1;
+                delivery = delivery
+                    + f.retransmit_delay
+                    + self.latency.sample(&mut f.rng, bytes, distance);
+            }
+            if f.duplicate_rate > 0.0 && f.rng.gen_bool(f.duplicate_rate) {
+                duplicate_at = Some(delivery + self.latency.sample(&mut f.rng, bytes, distance));
+            }
+        }
         if delivery < self.last_delivery {
             delivery = self.last_delivery;
         }
         self.last_delivery = delivery;
         self.sent += 1;
-        delivery
+        Transmission {
+            delivery,
+            drops,
+            duplicate_at: duplicate_at.map(|d| d.max(delivery)),
+        }
     }
 
     /// Messages scheduled on this channel so far.
@@ -246,5 +341,104 @@ mod tests {
             LatencyModel::default(),
             LatencyModel::Constant(SimDuration::from_micros(10))
         );
+    }
+
+    #[test]
+    fn trivial_fault_plan_matches_the_reliable_channel_exactly() {
+        let model = LatencyModel::Uniform {
+            min: SimDuration::from_nanos(10),
+            max: SimDuration::from_micros(10),
+        };
+        let mut plain = Channel::new(NodeId(1), NodeId(3), model.clone(), 7);
+        let mut faulted =
+            Channel::with_faults(NodeId(1), NodeId(3), model, 7, &FaultPlan::default());
+        for i in 0..50 {
+            let t = faulted.transmit(SimTime::from_micros(i), 64);
+            assert_eq!(t.delivery, plain.schedule(SimTime::from_micros(i), 64));
+            assert_eq!(t.drops, 0);
+            assert_eq!(t.duplicate_at, None);
+        }
+    }
+
+    #[test]
+    fn drops_delay_delivery_and_are_counted() {
+        let plan = FaultPlan::lossy(0.5, 3);
+        let mut c = Channel::with_faults(
+            NodeId(0),
+            NodeId(1),
+            LatencyModel::Constant(SimDuration::from_micros(10)),
+            1,
+            &plan,
+        );
+        let mut total_drops = 0u32;
+        let mut last = SimTime::ZERO;
+        for i in 0..200 {
+            let t = c.transmit(SimTime::from_micros(i * 5), 16);
+            assert!(t.delivery >= last, "FIFO violated under drops");
+            if t.drops > 0 {
+                // Every retransmission pays the fixed delay plus a fresh
+                // latency sample on top of the base delivery.
+                assert!(t.delivery >= SimTime::from_micros(i * 5 + 10 + 35));
+            }
+            last = t.delivery;
+            total_drops += t.drops;
+        }
+        assert!(total_drops > 50, "rate 0.5 must drop often: {total_drops}");
+    }
+
+    #[test]
+    fn duplicates_arrive_after_the_real_copy() {
+        let plan = FaultPlan::duplicating(0.5, 9);
+        let mut c = Channel::with_faults(
+            NodeId(0),
+            NodeId(1),
+            LatencyModel::Constant(SimDuration::from_micros(10)),
+            1,
+            &plan,
+        );
+        let mut dups = 0;
+        for i in 0..100 {
+            let t = c.transmit(SimTime::from_micros(i * 30), 16);
+            if let Some(d) = t.duplicate_at {
+                assert!(d >= t.delivery);
+                dups += 1;
+            }
+            assert_eq!(t.drops, 0);
+        }
+        assert!(dups > 20, "rate 0.5 must duplicate often: {dups}");
+    }
+
+    #[test]
+    fn fault_schedules_are_reproducible_per_seed() {
+        let run = |plan_seed: u64| {
+            let plan = FaultPlan {
+                drop_rate: 0.3,
+                duplicate_rate: 0.3,
+                seed: plan_seed,
+                ..FaultPlan::default()
+            };
+            let mut c =
+                Channel::with_faults(NodeId(2), NodeId(5), LatencyModel::default(), 7, &plan);
+            (0..50)
+                .map(|i| c.transmit(SimTime::from_micros(i * 20), 64))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn consecutive_drops_are_capped() {
+        // Rate 1.0 would loop forever without the cap.
+        let plan = FaultPlan::lossy(1.0, 1);
+        let mut c = Channel::with_faults(
+            NodeId(0),
+            NodeId(1),
+            LatencyModel::Constant(SimDuration::from_micros(1)),
+            1,
+            &plan,
+        );
+        let t = c.transmit(SimTime::ZERO, 8);
+        assert_eq!(t.drops, MAX_CONSECUTIVE_DROPS);
     }
 }

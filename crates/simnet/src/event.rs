@@ -30,6 +30,16 @@ pub enum EventKind<P> {
         /// Protocol-chosen tag identifying which timer fired.
         tag: u64,
     },
+    /// A duplicate copy of an already-delivered message, produced by the
+    /// fault schedule. The receiver's link layer discards it on arrival
+    /// (sequence-number deduplication), so it never reaches the node —
+    /// but it paid wire bytes and is counted.
+    Duplicate {
+        /// Sender of the original message.
+        from: NodeId,
+        /// Receiver whose link layer discards the copy.
+        to: NodeId,
+    },
 }
 
 /// A scheduled event.

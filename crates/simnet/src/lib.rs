@@ -39,6 +39,7 @@
 
 pub mod channel;
 pub mod event;
+pub mod fault;
 pub mod message;
 pub mod network;
 pub mod node;
@@ -49,8 +50,9 @@ pub mod time;
 pub mod trace;
 pub mod transport;
 
-pub use channel::{Channel, LatencyModel};
+pub use channel::{Channel, LatencyModel, Transmission};
 pub use event::{Event, EventKind, EventQueue};
+pub use fault::{CrashWindow, DownAction, FaultError, FaultPlan};
 pub use message::{Envelope, NodeId, WireSize};
 pub use network::Topology;
 pub use node::{Node, NodeContext, Outgoing};

@@ -2,6 +2,7 @@
 //! [`NodeContext`] handle through which a node sends messages and requests
 //! timers during a callback.
 
+use crate::fault::DownAction;
 use crate::message::NodeId;
 use crate::time::{SimDuration, SimTime};
 
@@ -161,6 +162,16 @@ pub trait Node<P> {
 
     /// Called when a timer set via [`NodeContext::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut NodeContext<P>, _tag: u64) {}
+
+    /// What the simulator should do with `payload` when it is delivered
+    /// while this node is crashed. The default loses the message — a dead
+    /// process cannot receive, and recovering the information is the
+    /// protocol's catch-up obligation on restart. Relays override this to
+    /// park transit traffic ([`DownAction::Park`]) so third-party
+    /// envelopes survive the outage.
+    fn while_down(&self, _payload: &P) -> DownAction {
+        DownAction::Lose
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@
 //! once per tree edge it crosses, which is exactly the wire saving the
 //! efficiency tables measure.
 
+use crate::fault::DownAction;
 use crate::message::{NodeId, WireSize};
 use crate::network::Topology;
 use crate::node::{Node, NodeContext, Outgoing};
@@ -486,6 +487,25 @@ where
         let mut inner_ctx = NodeContext::new(self.me, ctx.now());
         self.inner.on_timer(&mut inner_ctx, tag);
         route_outbox(&self.router, self.me, self.multicast, inner_ctx, ctx);
+    }
+
+    /// While this relay's host is crashed, envelopes addressed to the
+    /// host itself are lost (the protocol process is dead; its catch-up
+    /// handshake recovers the information on restart) — but **transit**
+    /// traffic belongs to other node pairs and is parked for redelivery
+    /// at restart instead. A multicast envelope that serves any other
+    /// destination is transit too (its local copy then arrives late, and
+    /// the protocols' idempotence guards absorb the overlap with
+    /// catch-up). Parking at a node that never restarts surfaces a typed
+    /// [`FaultError`](crate::fault::FaultError) — the fix for the old
+    /// silent assumption that every received packet is deliverable.
+    fn while_down(&self, packet: &Packet<P>) -> DownAction {
+        match packet {
+            Packet::One(env) if env.dst == self.me => DownAction::Lose,
+            Packet::One(_) => DownAction::Park,
+            Packet::Many(m) if m.dsts.iter().all(|&d| d == self.me) => DownAction::Lose,
+            Packet::Many(_) => DownAction::Park,
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 
 use crate::channel::{Channel, LatencyModel};
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{DownAction, FaultError, FaultPlan};
 use crate::message::{NodeId, WireSize};
 use crate::network::Topology;
 use crate::node::{Node, NodeContext, Outgoing};
@@ -18,33 +19,49 @@ use crate::trace::{EventTrace, TraceEntry};
 use crate::transport::{DeliveryMode, RoutingMode};
 use std::fmt;
 
-/// A send was addressed to a node pair the topology does not link.
+/// Why the simulator could not carry a message.
 ///
-/// The raw [`Simulator`] never relays: it surfaces this typed error (or
-/// panics with its message, in the infallible entry points). The routing
-/// layer ([`crate::route`]) is the only place that converts a missing
-/// link into a routing decision — anything built on
-/// [`Transport`](crate::transport::Transport) never sees this error on a
-/// connected topology.
+/// The raw [`Simulator`] never relays: a send over a missing link
+/// surfaces [`SendError::NoLink`] (or panics with its message, in the
+/// infallible entry points). The routing layer ([`crate::route`]) is the
+/// only place that converts a missing link into a routing decision —
+/// anything built on [`Transport`](crate::transport::Transport) never
+/// sees that variant on a connected topology. [`SendError::Fault`] is
+/// the fault layer's loud failure: a message had to be parked at a node
+/// that is crashed with no scheduled restart (see
+/// [`crate::fault::FaultError`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct SendError {
-    /// The node that attempted the send.
-    pub from: NodeId,
-    /// The unreachable destination.
-    pub to: NodeId,
+pub enum SendError {
+    /// A send was addressed to a node pair the topology does not link.
+    NoLink {
+        /// The node that attempted the send.
+        from: NodeId,
+        /// The unreachable destination.
+        to: NodeId,
+    },
+    /// A message required a node that is permanently crashed.
+    Fault(FaultError),
 }
 
 impl fmt::Display for SendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "node {} attempted to send to {} but the topology has no such link",
-            self.from, self.to
-        )
+        match self {
+            SendError::NoLink { from, to } => write!(
+                f,
+                "node {from} attempted to send to {to} but the topology has no such link"
+            ),
+            SendError::Fault(e) => e.fmt(f),
+        }
     }
 }
 
 impl std::error::Error for SendError {}
+
+impl From<FaultError> for SendError {
+    fn from(e: FaultError) -> Self {
+        SendError::Fault(e)
+    }
+}
 
 /// Configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -73,6 +90,11 @@ pub struct SimConfig {
     /// only changes the wire when sends are routed; a raw [`Simulator`]
     /// and the direct transport always fan out per destination.
     pub delivery: DeliveryMode,
+    /// The fault schedule: seeded per-link drop/duplicate rates enforced
+    /// by every channel, and per-node crash windows enforced in the
+    /// delivery path. The default plan is trivial and reproduces the
+    /// reliable-channel model bit for bit.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -85,6 +107,7 @@ impl Default for SimConfig {
             topology: None,
             routing: RoutingMode::Auto,
             delivery: DeliveryMode::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -136,6 +159,13 @@ pub struct Simulator<P, N> {
     trace: EventTrace,
     events_processed: u64,
     started: bool,
+    /// Nodes taken down at runtime via [`Simulator::set_down`] (the
+    /// scripted crash path; scheduled outages live in
+    /// `config.faults.crashes`).
+    manual_down: Vec<bool>,
+    /// Envelopes parked at runtime-crashed nodes, redelivered in order by
+    /// [`Simulator::set_up`].
+    parked: Vec<Vec<(NodeId, u64, P)>>,
 }
 
 impl<P, N> Simulator<P, N>
@@ -179,6 +209,8 @@ where
             trace,
             events_processed: 0,
             started: false,
+            manual_down: vec![false; n],
+            parked: (0..n).map(|_| Vec::new()).collect(),
         }
     }
 
@@ -195,6 +227,53 @@ where
     /// Immutable access to a node's state machine.
     pub fn node(&self, id: NodeId) -> &N {
         &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node's state machine. Used by the crash
+    /// recovery path to restore a restarted node from its persisted
+    /// snapshot; sends are not possible through this accessor (use
+    /// [`Simulator::with_node`] for that).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Whether `node` is down at virtual time `at` — either taken down at
+    /// runtime ([`Simulator::set_down`]) or inside a scheduled crash
+    /// window of the fault plan.
+    pub fn is_down(&self, node: NodeId, at: SimTime) -> bool {
+        self.manual_down[node.index()] || self.config.faults.window_covering(node, at).is_some()
+    }
+
+    /// Take `node` down at the current virtual time (the scripted crash
+    /// path, driven by the DSM runtime). Deliveries to a down node follow
+    /// its [`Node::while_down`] policy: lost (and counted) or parked for
+    /// redelivery at restart.
+    pub fn set_down(&mut self, node: NodeId) {
+        self.manual_down[node.index()] = true;
+    }
+
+    /// Bring a runtime-crashed node back up, redelivering every parked
+    /// envelope at the current virtual time in its original arrival
+    /// order (the event queue's insertion-order tie-break preserves it).
+    pub fn set_up(&mut self, node: NodeId) {
+        self.manual_down[node.index()] = false;
+        let parked = std::mem::take(&mut self.parked[node.index()]);
+        for (from, seq, payload) in parked {
+            self.queue.push(
+                self.now,
+                EventKind::Deliver {
+                    from,
+                    to: node,
+                    seq,
+                    payload,
+                },
+            );
+        }
+    }
+
+    /// Envelopes currently parked at a runtime-crashed node.
+    pub fn parked_count(&self, node: NodeId) -> usize {
+        self.parked[node.index()].len()
     }
 
     /// Number of hosted nodes.
@@ -302,9 +381,12 @@ where
             EventKind::Deliver {
                 from,
                 to,
-                seq: _,
+                seq,
                 payload,
             } => {
+                if self.is_down(to, self.now) {
+                    return self.handle_down_delivery(from, to, seq, payload);
+                }
                 self.stats
                     .record_delivery(to, payload.data_bytes(), payload.control_bytes());
                 if self.trace.is_enabled() {
@@ -320,6 +402,10 @@ where
                 self.flush_context(to, ctx)?;
             }
             EventKind::Timer { node, tag } => {
+                if self.is_down(node, self.now) {
+                    // A crashed node's timers are volatile state: lost.
+                    return Ok(true);
+                }
                 if self.trace.is_enabled() {
                     self.trace.record(TraceEntry::TimerFired {
                         at: self.now,
@@ -330,6 +416,55 @@ where
                 let mut ctx = NodeContext::new(node, self.now);
                 self.nodes[node.index()].on_timer(&mut ctx, tag);
                 self.flush_context(node, ctx)?;
+            }
+            EventKind::Duplicate { from: _, to: _ } => {
+                // Discarded by the receiver's link layer (sequence-number
+                // dedup); its wire cost was charged at send time.
+            }
+        }
+        Ok(true)
+    }
+
+    /// Apply the destination node's [`Node::while_down`] policy to a
+    /// delivery that arrived while the node was crashed.
+    fn handle_down_delivery(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        seq: u64,
+        payload: P,
+    ) -> Result<bool, SendError> {
+        match self.nodes[to.index()].while_down(&payload) {
+            DownAction::Lose => {
+                self.stats.record_crash_loss(to);
+            }
+            DownAction::Park => {
+                if self.manual_down[to.index()] {
+                    // Runtime crash: restart time unknown; hold the
+                    // envelope until set_up redelivers it.
+                    self.parked[to.index()].push((from, seq, payload));
+                } else {
+                    // Scheduled crash window: redeliver at the restart
+                    // boundary, or fail loudly if there is none — parked
+                    // transit traffic is never dropped on the floor.
+                    let restart = self
+                        .config
+                        .faults
+                        .window_covering(to, self.now)
+                        .and_then(|w| w.restart_at());
+                    match restart {
+                        Some(at) => self.queue.push(
+                            at,
+                            EventKind::Deliver {
+                                from,
+                                to,
+                                seq,
+                                payload,
+                            },
+                        ),
+                        None => return Err(SendError::Fault(FaultError { node: to })),
+                    }
+                }
             }
         }
         Ok(true)
@@ -410,17 +545,30 @@ where
 
     fn send_message(&mut self, from: NodeId, to: NodeId, payload: P) -> Result<(), SendError> {
         if !self.topology.connected(from, to) {
-            return Err(SendError { from, to });
+            return Err(SendError::NoLink { from, to });
         }
         let bytes = payload.total_bytes();
         let slot = from.index() * self.topology.node_count() + to.index();
         let config = &self.config;
-        let channel = self.channels[slot]
-            .get_or_insert_with(|| Channel::new(from, to, config.latency.clone(), config.seed));
-        let delivery = channel.schedule(self.now, bytes);
+        let channel = self.channels[slot].get_or_insert_with(|| {
+            Channel::with_faults(
+                from,
+                to,
+                config.latency.clone(),
+                config.seed,
+                &config.faults,
+            )
+        });
+        let transmission = channel.transmit(self.now, bytes);
         let seq = channel.sent_count();
+        let (data, control) = (payload.data_bytes(), payload.control_bytes());
+        self.stats.record_send(from, to, data, control);
         self.stats
-            .record_send(from, to, payload.data_bytes(), payload.control_bytes());
+            .record_retransmits(from, to, transmission.drops, data, control);
+        if let Some(at) = transmission.duplicate_at {
+            self.stats.record_duplicate(from, to, data, control);
+            self.queue.push(at, EventKind::Duplicate { from, to });
+        }
         if self.trace.is_enabled() {
             self.trace.record(TraceEntry::Sent {
                 at: self.now,
@@ -431,7 +579,7 @@ where
             });
         }
         self.queue.push(
-            delivery,
+            transmission.delivery,
             EventKind::Deliver {
                 from,
                 to,
@@ -576,7 +724,7 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            SendError {
+            SendError::NoLink {
                 from: NodeId(0),
                 to: NodeId(2)
             }
@@ -683,5 +831,222 @@ mod tests {
         let (nodes, stats, _trace) = sim.into_parts();
         assert_eq!(nodes.len(), 3);
         assert_eq!(stats.total_messages(), 3);
+    }
+
+    use crate::fault::{CrashWindow, FaultPlan};
+
+    fn faulted_ring(n: usize, laps: u64, faults: FaultPlan) -> Simulator<RawPayload, RingRelay> {
+        let config = SimConfig {
+            faults,
+            ..SimConfig::default()
+        };
+        let nodes = (0..n)
+            .map(|id| RingRelay {
+                id,
+                n,
+                hops_seen: 0,
+                remaining: if id == 0 { laps } else { 0 },
+            })
+            .collect();
+        Simulator::new(Topology::ring(n), config, nodes)
+    }
+
+    #[test]
+    fn lossy_plan_delivers_everything_late_and_counts_retransmits() {
+        let mut reliable = ring_sim(5, 4);
+        reliable.run_until_quiescent();
+        let mut lossy = faulted_ring(5, 4, FaultPlan::lossy(0.4, 3));
+        lossy.run_until_quiescent();
+        // Same logical traffic: every hop still delivered exactly once…
+        assert_eq!(
+            lossy.stats().total_messages(),
+            reliable.stats().total_messages()
+        );
+        for i in 0..5 {
+            assert_eq!(lossy.node(NodeId(i)).hops_seen, 4, "node {i}");
+        }
+        // …but drops forced retransmissions, which cost extra bytes and
+        // extra virtual time.
+        assert!(lossy.stats().total_drops() > 0);
+        assert!(lossy.stats().total_data_bytes() > reliable.stats().total_data_bytes());
+        assert!(lossy.now() > reliable.now());
+        assert_eq!(lossy.stats().total_duplicates(), 0);
+    }
+
+    #[test]
+    fn duplicating_plan_is_invisible_to_the_nodes() {
+        let mut dup = faulted_ring(5, 4, FaultPlan::duplicating(0.5, 3));
+        dup.run_until_quiescent();
+        // The link layer discarded every duplicate: node-visible traffic
+        // is exactly the reliable run's.
+        for i in 0..5 {
+            assert_eq!(dup.node(NodeId(i)).hops_seen, 4, "node {i}");
+        }
+        assert!(dup.stats().total_duplicates() > 0);
+        // Duplicates paid wire bytes without raising the message count.
+        assert_eq!(dup.stats().total_messages(), 20);
+        assert!(dup.stats().total_data_bytes() > 20 * 8);
+    }
+
+    #[test]
+    fn identical_fault_seeds_give_identical_runs() {
+        let run = |seed: u64| {
+            let mut sim = faulted_ring(
+                6,
+                5,
+                FaultPlan {
+                    drop_rate: 0.3,
+                    duplicate_rate: 0.3,
+                    seed,
+                    ..FaultPlan::default()
+                },
+            );
+            sim.run_until_quiescent();
+            (
+                sim.now(),
+                sim.stats().total_drops(),
+                sim.stats().total_duplicates(),
+            )
+        };
+        assert_eq!(run(21), run(21));
+        assert_ne!(run(21), run(22));
+    }
+
+    #[test]
+    fn scheduled_crash_window_loses_deliveries() {
+        // Node 2 is down for the second lap's pass; the token it loses
+        // breaks the ring (RingRelay has no recovery), so the run goes
+        // quiescent early with the loss counted.
+        let plan = FaultPlan {
+            crashes: vec![CrashWindow {
+                node: NodeId(2),
+                at: SimTime::from_micros(15),
+                restart_after: Some(SimDuration::from_micros(100)),
+            }],
+            ..FaultPlan::default()
+        };
+        let mut sim = faulted_ring(5, 3, plan);
+        sim.run_until_quiescent();
+        assert_eq!(sim.stats().total_crash_losses(), 1);
+        // The token reached n1 at 10µs, then died at n2 (down at 20µs).
+        assert_eq!(sim.node(NodeId(1)).hops_seen, 1);
+        assert_eq!(sim.node(NodeId(2)).hops_seen, 0);
+        assert_eq!(sim.node(NodeId(3)).hops_seen, 0);
+    }
+
+    #[test]
+    fn manual_down_parks_nothing_by_default_and_counts_losses() {
+        let mut sim = ring_sim(4, 0);
+        sim.set_down(NodeId(1));
+        assert!(sim.is_down(NodeId(1), SimTime::ZERO));
+        sim.with_node(NodeId(0), |_n, ctx| {
+            ctx.send(NodeId(1), RawPayload::new(8, 0));
+        });
+        sim.run_until_quiescent();
+        // Default while_down policy loses protocol deliveries.
+        assert_eq!(sim.node(NodeId(1)).hops_seen, 0);
+        assert_eq!(sim.stats().total_crash_losses(), 1);
+        assert_eq!(sim.parked_count(NodeId(1)), 0);
+        sim.set_up(NodeId(1));
+        assert!(!sim.is_down(NodeId(1), sim.now()));
+        // The lost message stays lost; the node works again.
+        sim.with_node(NodeId(0), |_n, ctx| {
+            ctx.send(NodeId(1), RawPayload::new(8, 0));
+        });
+        sim.run_until_quiescent();
+        assert_eq!(sim.node(NodeId(1)).hops_seen, 1);
+    }
+
+    /// A node whose `while_down` policy parks everything (stands in for
+    /// the relay's transit-traffic policy).
+    #[derive(Debug, Default)]
+    struct Parker {
+        got: u64,
+    }
+
+    impl Node<RawPayload> for Parker {
+        fn on_message(&mut self, _: &mut NodeContext<RawPayload>, _: NodeId, _: RawPayload) {
+            self.got += 1;
+        }
+        fn while_down(&self, _payload: &RawPayload) -> crate::fault::DownAction {
+            crate::fault::DownAction::Park
+        }
+    }
+
+    #[test]
+    fn parked_envelopes_are_redelivered_in_order_at_set_up() {
+        let mut sim = Simulator::new(
+            Topology::full_mesh(3),
+            SimConfig::default(),
+            vec![Parker::default(), Parker::default(), Parker::default()],
+        );
+        sim.set_down(NodeId(2));
+        sim.with_node(NodeId(0), |_n, ctx| {
+            ctx.send(NodeId(2), RawPayload::new(1, 0));
+            ctx.send(NodeId(2), RawPayload::new(2, 0));
+        });
+        sim.run_until_quiescent();
+        assert_eq!(sim.node(NodeId(2)).got, 0);
+        assert_eq!(sim.parked_count(NodeId(2)), 2);
+        sim.set_up(NodeId(2));
+        assert_eq!(sim.parked_count(NodeId(2)), 0);
+        sim.run_until_quiescent();
+        assert_eq!(sim.node(NodeId(2)).got, 2);
+    }
+
+    #[test]
+    fn parking_at_a_permanently_crashed_node_is_a_typed_fault() {
+        let plan = FaultPlan {
+            crashes: vec![CrashWindow {
+                node: NodeId(1),
+                at: SimTime::ZERO,
+                restart_after: None,
+            }],
+            ..FaultPlan::default()
+        };
+        let config = SimConfig {
+            faults: plan,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(
+            Topology::full_mesh(2),
+            config,
+            vec![Parker::default(), Parker::default()],
+        );
+        sim.with_node(NodeId(0), |_n, ctx| {
+            ctx.send(NodeId(1), RawPayload::new(1, 0));
+        });
+        let err = sim.try_run_until_quiescent().unwrap_err();
+        assert_eq!(err, SendError::Fault(FaultError { node: NodeId(1) }));
+        assert!(err.to_string().contains("no scheduled restart"));
+    }
+
+    #[test]
+    fn scheduled_crash_with_restart_redelivers_parked_traffic() {
+        let plan = FaultPlan {
+            crashes: vec![CrashWindow {
+                node: NodeId(1),
+                at: SimTime::ZERO,
+                restart_after: Some(SimDuration::from_micros(50)),
+            }],
+            ..FaultPlan::default()
+        };
+        let config = SimConfig {
+            faults: plan,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(
+            Topology::full_mesh(2),
+            config,
+            vec![Parker::default(), Parker::default()],
+        );
+        sim.with_node(NodeId(0), |_n, ctx| {
+            ctx.send(NodeId(1), RawPayload::new(1, 0));
+        });
+        sim.run_until_quiescent();
+        // Delivered at the restart boundary, not lost.
+        assert_eq!(sim.node(NodeId(1)).got, 1);
+        assert_eq!(sim.now(), SimTime::from_micros(50));
+        assert_eq!(sim.stats().total_crash_losses(), 0);
     }
 }

@@ -13,6 +13,12 @@ pub struct LinkStats {
     pub data_bytes: u64,
     /// Protocol control bytes sent.
     pub control_bytes: u64,
+    /// Transmissions dropped by the fault schedule and retransmitted
+    /// (each one re-pays the payload bytes, charged above).
+    pub drops: u64,
+    /// Duplicate copies delivered by the fault schedule and discarded by
+    /// the receiver's link layer (each pays the payload bytes once more).
+    pub duplicates: u64,
 }
 
 impl LinkStats {
@@ -37,6 +43,8 @@ pub struct NodeStats {
     pub received_data_bytes: u64,
     /// Control bytes received by this node.
     pub received_control_bytes: u64,
+    /// Deliveries lost because this node was crashed when they arrived.
+    pub lost_to_crash: u64,
 }
 
 /// Aggregated statistics for a whole simulation run.
@@ -115,6 +123,51 @@ impl NetworkStats {
         recv.received_control_bytes += control as u64;
     }
 
+    /// Record `count` dropped-and-retransmitted attempts of a message of
+    /// `data`/`control` bytes on `from → to`. Each retransmission pays the
+    /// payload bytes again; the logical message count is unchanged.
+    pub fn record_retransmits(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        count: u32,
+        data: usize,
+        control: usize,
+    ) {
+        if count == 0 {
+            return;
+        }
+        self.ensure(from.index().max(to.index()));
+        let slot = self.link_slot(from.index(), to.index());
+        let link = &mut self.links[slot];
+        link.drops += count as u64;
+        link.data_bytes += count as u64 * data as u64;
+        link.control_bytes += count as u64 * control as u64;
+        let sender = &mut self.nodes[from.index()];
+        sender.sent_data_bytes += count as u64 * data as u64;
+        sender.sent_control_bytes += count as u64 * control as u64;
+    }
+
+    /// Record a duplicate copy of a message of `data`/`control` bytes on
+    /// `from → to` (delivered and discarded by the receiver's link layer).
+    pub fn record_duplicate(&mut self, from: NodeId, to: NodeId, data: usize, control: usize) {
+        self.ensure(from.index().max(to.index()));
+        let slot = self.link_slot(from.index(), to.index());
+        let link = &mut self.links[slot];
+        link.duplicates += 1;
+        link.data_bytes += data as u64;
+        link.control_bytes += control as u64;
+        let sender = &mut self.nodes[from.index()];
+        sender.sent_data_bytes += data as u64;
+        sender.sent_control_bytes += control as u64;
+    }
+
+    /// Record a delivery lost because `to` was crashed when it arrived.
+    pub fn record_crash_loss(&mut self, to: NodeId) {
+        self.ensure(to.index());
+        self.nodes[to.index()].lost_to_crash += 1;
+    }
+
     /// Stats for one directed link (zeroes if it never carried traffic).
     pub fn link(&self, from: NodeId, to: NodeId) -> LinkStats {
         if from.index() >= self.n || to.index() >= self.n {
@@ -146,6 +199,27 @@ impl NetworkStats {
     /// Total bytes (data + control) sent in the run.
     pub fn total_bytes(&self) -> u64 {
         self.total_data_bytes() + self.total_control_bytes()
+    }
+
+    /// Total transmissions dropped by the fault schedule (each one was
+    /// retransmitted, so this is also the retransmission count).
+    pub fn total_drops(&self) -> u64 {
+        self.links.iter().map(|l| l.drops).sum()
+    }
+
+    /// Total retransmissions the fault schedule forced (one per drop).
+    pub fn total_retransmits(&self) -> u64 {
+        self.total_drops()
+    }
+
+    /// Total duplicate copies delivered and discarded by link layers.
+    pub fn total_duplicates(&self) -> u64 {
+        self.links.iter().map(|l| l.duplicates).sum()
+    }
+
+    /// Total deliveries lost because their destination was crashed.
+    pub fn total_crash_losses(&self) -> u64 {
+        self.nodes.iter().map(|n| n.lost_to_crash).sum()
     }
 
     /// Fraction of all sent bytes that are control bytes, in `[0, 1]`.
@@ -188,6 +262,8 @@ impl NetworkStats {
             e.messages += v.messages;
             e.data_bytes += v.data_bytes;
             e.control_bytes += v.control_bytes;
+            e.drops += v.drops;
+            e.duplicates += v.duplicates;
         }
         for (node, v) in other.nodes() {
             let e = &mut self.nodes[node.index()];
@@ -197,6 +273,7 @@ impl NetworkStats {
             e.sent_control_bytes += v.sent_control_bytes;
             e.received_data_bytes += v.received_data_bytes;
             e.received_control_bytes += v.received_control_bytes;
+            e.lost_to_crash += v.lost_to_crash;
         }
     }
 }

@@ -197,6 +197,43 @@ where
         }
     }
 
+    /// Mutable access to a protocol node's state machine (used by the
+    /// crash-recovery path to restore a restarted node from its
+    /// persisted snapshot; no sends are possible through this accessor).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        match self {
+            Transport::Direct(sim) => sim.node_mut(id),
+            Transport::Routed(sim) => sim.node_mut(id).inner_mut(),
+        }
+    }
+
+    /// Take node `id` down at the current virtual time. While down, its
+    /// deliveries follow its `while_down` policy: protocol traffic is
+    /// lost (and counted), transit traffic on a routed transport is
+    /// parked for redelivery at restart.
+    pub fn set_down(&mut self, id: NodeId) {
+        match self {
+            Transport::Direct(sim) => sim.set_down(id),
+            Transport::Routed(sim) => sim.set_down(id),
+        }
+    }
+
+    /// Bring node `id` back up, redelivering any parked envelopes.
+    pub fn set_up(&mut self, id: NodeId) {
+        match self {
+            Transport::Direct(sim) => sim.set_up(id),
+            Transport::Routed(sim) => sim.set_up(id),
+        }
+    }
+
+    /// Envelopes currently parked at a runtime-crashed node.
+    pub fn parked_count(&self, id: NodeId) -> usize {
+        match self {
+            Transport::Direct(sim) => sim.parked_count(id),
+            Transport::Routed(sim) => sim.parked_count(id),
+        }
+    }
+
     /// Number of hosted protocol nodes.
     pub fn node_count(&self) -> usize {
         match self {
