@@ -121,6 +121,18 @@ pub enum DsmError {
         /// The crashed (or not-crashed, for an invalid restart) process.
         proc: ProcId,
     },
+    /// The simulated network could not carry a message the operation
+    /// produced (for example a direct send between non-neighbours on a
+    /// sparse topology with routing disabled).
+    Network(simnet::SendError),
+    /// The deployment configuration was rejected at construction: a
+    /// topology/distribution size mismatch, a disconnected topology under
+    /// routing, or a fault plan whose scheduled crash windows would
+    /// bypass DSM recovery.
+    InvalidConfig {
+        /// Human-readable reason the configuration was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DsmError {
@@ -136,11 +148,19 @@ impl fmt::Display for DsmError {
                     "process {proc} crash/restart state does not allow this operation"
                 )
             }
+            DsmError::Network(e) => e.fmt(f),
+            DsmError::InvalidConfig { reason } => f.write_str(reason),
         }
     }
 }
 
 impl std::error::Error for DsmError {}
+
+impl From<simnet::SendError> for DsmError {
+    fn from(e: simnet::SendError) -> Self {
+        DsmError::Network(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

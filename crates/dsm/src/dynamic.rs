@@ -101,14 +101,31 @@ impl DynDsm {
 
     /// Build a system for `kind` with an explicit simulation configuration.
     pub fn with_config(kind: ProtocolKind, dist: Distribution, config: SimConfig) -> Self {
-        match kind {
-            ProtocolKind::CausalFull => DynDsm::CausalFull(DsmSystem::with_config(dist, config)),
-            ProtocolKind::CausalPartial => {
-                DynDsm::CausalPartial(DsmSystem::with_config(dist, config))
+        Self::try_with_config(kind, dist, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`DynDsm::with_config`]: configuration
+    /// rejections surface as [`DsmError::InvalidConfig`](crate::DsmError)
+    /// instead of panics.
+    pub fn try_with_config(
+        kind: ProtocolKind,
+        dist: Distribution,
+        config: SimConfig,
+    ) -> Result<Self, crate::DsmError> {
+        Ok(match kind {
+            ProtocolKind::CausalFull => {
+                DynDsm::CausalFull(DsmSystem::try_with_config(dist, config)?)
             }
-            ProtocolKind::PramPartial => DynDsm::PramPartial(DsmSystem::with_config(dist, config)),
-            ProtocolKind::Sequential => DynDsm::Sequential(DsmSystem::with_config(dist, config)),
-        }
+            ProtocolKind::CausalPartial => {
+                DynDsm::CausalPartial(DsmSystem::try_with_config(dist, config)?)
+            }
+            ProtocolKind::PramPartial => {
+                DynDsm::PramPartial(DsmSystem::try_with_config(dist, config)?)
+            }
+            ProtocolKind::Sequential => {
+                DynDsm::Sequential(DsmSystem::try_with_config(dist, config)?)
+            }
+        })
     }
 
     /// Disable operation recording (useful for large benchmark runs).

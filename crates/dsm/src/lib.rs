@@ -43,7 +43,7 @@
 //! metadata stay inside each variable's replica set (Theorem 2).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod api;
 pub mod clock;

@@ -191,8 +191,12 @@ impl Node<SeqMsg> for SequentialNode {
                 // Replay the ordered stream the replica missed, from its
                 // persisted position on, in order.
                 let start = next_apply.max(1) as usize;
-                let replay: Vec<(u64, (usize, VarId, i64))> = (start..=self.log.len())
-                    .map(|s| (s as u64, self.log[s - 1]))
+                let replay: Vec<(u64, (usize, VarId, i64))> = self
+                    .log
+                    .iter()
+                    .enumerate()
+                    .skip(start - 1)
+                    .map(|(idx, &entry)| (idx as u64 + 1, entry))
                     .collect();
                 for (seq, (writer, var, value)) in replay {
                     let ordered = SeqMsg::Ordered {

@@ -60,34 +60,50 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     /// loudly. Link faults (drops/duplicates) are fine: they live below
     /// the protocols and need no recovery.
     pub fn with_config(dist: Distribution, config: SimConfig) -> Self {
-        assert!(
-            config.faults.crashes.is_empty(),
-            "scheduled FaultPlan crash windows bypass DSM recovery; drive crashes with \
-             DsmSystem::crash/restart (or a scenario CrashSchedule) instead"
-        );
+        Self::try_with_config(dist, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`DsmSystem::with_config`]: every rejection
+    /// [`DsmSystem::with_config`] would panic on is returned as a
+    /// [`DsmError::InvalidConfig`] instead.
+    pub fn try_with_config(dist: Distribution, config: SimConfig) -> Result<Self, DsmError> {
+        if !config.faults.crashes.is_empty() {
+            return Err(DsmError::InvalidConfig {
+                reason: "scheduled FaultPlan crash windows bypass DSM recovery; drive crashes \
+                         with DsmSystem::crash/restart (or a scenario CrashSchedule) instead"
+                    .to_string(),
+            });
+        }
         let delivery = config.delivery;
         let nodes = P::build_nodes(&dist, delivery);
         let topology = match &config.topology {
             Some(t) => {
-                assert_eq!(
-                    t.node_count(),
-                    dist.process_count(),
-                    "topology must have one node per process"
-                );
+                if t.node_count() != dist.process_count() {
+                    return Err(DsmError::InvalidConfig {
+                        reason: format!(
+                            "topology must have one node per process \
+                             ({} nodes for {} processes)",
+                            t.node_count(),
+                            dist.process_count()
+                        ),
+                    });
+                }
                 t.clone()
             }
             None => Topology::full_mesh(dist.process_count()),
         };
-        let net = Transport::new(topology, config, nodes).unwrap_or_else(|e| panic!("{e}"));
+        let net = Transport::new(topology, config, nodes).map_err(|e| DsmError::InvalidConfig {
+            reason: e.to_string(),
+        })?;
         let recorder = Recorder::new(dist.process_count());
         let crashed = (0..dist.process_count()).map(|_| None).collect();
-        DsmSystem {
+        Ok(DsmSystem {
             net,
             dist,
             delivery,
             recorder,
             crashed,
-        }
+        })
     }
 
     /// Disable operation recording (useful for large benchmark runs).
@@ -209,8 +225,8 @@ impl<P: ProtocolSpec> DsmSystem<P> {
         self.net.set_up(NodeId(p.index()));
         self.restore(p, snapshot);
         self.net
-            .with_node(NodeId(p.index()), |node, ctx| node.on_restart(ctx));
-        self.net.run_until_quiescent();
+            .try_with_node(NodeId(p.index()), |node, ctx| node.on_restart(ctx))?;
+        self.net.try_run_until_quiescent()?;
         Ok(())
     }
 
@@ -224,9 +240,9 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     pub fn write(&mut self, p: ProcId, var: VarId, value: i64) -> Result<(), DsmError> {
         self.validate(p, var)?;
         self.recorder.record_write(p, var, value);
-        self.net.with_node(NodeId(p.index()), |node, ctx| {
+        self.net.try_with_node(NodeId(p.index()), |node, ctx| {
             node.local_write(ctx, var, value);
-        });
+        })?;
         Ok(())
     }
 
@@ -235,14 +251,22 @@ impl<P: ProtocolSpec> DsmSystem<P> {
         self.validate(p, var)?;
         let value = self
             .net
-            .with_node(NodeId(p.index()), |node, _ctx| node.local_read(var));
+            .try_with_node(NodeId(p.index()), |node, _ctx| node.local_read(var))?;
         self.recorder.record_read(p, var, value);
         Ok(value)
     }
 
     /// Deliver every in-flight message (run the network to quiescence).
+    ///
+    /// Panics with a [`simnet::SendError`] message on an uncarryable
+    /// send; use [`DsmSystem::try_settle`] to handle it.
     pub fn settle(&mut self) -> RunOutcome {
-        self.net.run_until_quiescent()
+        self.try_settle().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`DsmSystem::settle`].
+    pub fn try_settle(&mut self) -> Result<RunOutcome, DsmError> {
+        Ok(self.net.try_run_until_quiescent()?)
     }
 
     /// Deliver at most one pending message; returns `false` when idle.

@@ -1,0 +1,8 @@
+//! Fixture: lexed as crates/simnet/src/lib.rs — a crate root carrying
+//! both hygiene attributes must stay silent.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod sim;
+pub mod transport;

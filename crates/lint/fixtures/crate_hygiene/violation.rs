@@ -1,0 +1,6 @@
+//! Fixture: lexed as crates/simnet/src/lib.rs — a crate root without
+//! `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` must fire
+//! `crate-hygiene`.
+
+pub mod sim;
+pub mod transport;

@@ -1,0 +1,8 @@
+// Fixture: lexed as simnet code — importing only the layer below
+// (histories) and std must stay silent.
+use histories::History;
+use std::collections::BTreeMap;
+
+pub fn reach_down(h: &History) -> usize {
+    h.len()
+}

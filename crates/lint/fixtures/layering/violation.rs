@@ -1,0 +1,7 @@
+// Fixture: lexed as simnet code — a reverse import of the dsm layer must
+// fire `layering`.
+use dsm::DsmSystem;
+
+pub fn reach_up() {
+    let _ = apps::scenario_count();
+}

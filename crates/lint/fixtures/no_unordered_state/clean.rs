@@ -1,0 +1,17 @@
+// Fixture: ordered collections in lib code, hashing confined to tests —
+// must stay silent.
+use std::collections::BTreeMap;
+
+pub struct Replicas {
+    by_var: BTreeMap<u32, Vec<u32>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn tests_may_hash() {
+        let _ = HashSet::<u32>::new();
+    }
+}

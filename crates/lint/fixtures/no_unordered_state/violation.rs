@@ -1,0 +1,7 @@
+// Fixture: unordered collections in lib code must fire
+// `no-unordered-state`.
+use std::collections::HashMap;
+
+pub struct Replicas {
+    by_var: HashMap<u32, Vec<u32>>,
+}

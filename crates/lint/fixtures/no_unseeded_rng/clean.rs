@@ -1,0 +1,7 @@
+// Fixture: explicitly seeded RNG must stay silent.
+use rand::{rngs::SmallRng, SeedableRng};
+
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.next_u64()
+}

@@ -1,0 +1,7 @@
+// Fixture: OS-entropy RNG construction must fire `no-unseeded-rng`.
+use rand::thread_rng;
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

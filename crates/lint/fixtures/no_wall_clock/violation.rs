@@ -1,0 +1,7 @@
+// Fixture: lib code reading the wall clock must fire `no-wall-clock`.
+use std::time::Instant;
+
+pub fn elapsed_wall_ms() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_millis()
+}

@@ -1,0 +1,15 @@
+// Fixture: lexed as a dsm/src/protocol/ module — a wire enum with its
+// byte accounting in the same module must stay silent.
+pub enum GoodMsg {
+    Write { var: u32, value: u64 },
+    Ack { var: u32 },
+}
+
+impl WireSize for GoodMsg {
+    fn wire_size(&self) -> u64 {
+        match self {
+            GoodMsg::Write { .. } => 12,
+            GoodMsg::Ack { .. } => 4,
+        }
+    }
+}

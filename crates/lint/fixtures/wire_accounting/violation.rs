@@ -1,0 +1,6 @@
+// Fixture: lexed as a dsm/src/protocol/ module — a wire enum without a
+// same-module WireSize impl must fire `wire-accounting`.
+pub enum OrphanMsg {
+    Write { var: u32, value: u64 },
+    Ack { var: u32 },
+}

@@ -1,0 +1,171 @@
+//! The checked-in allowlist: the only way to silence a lint diagnostic.
+//!
+//! Format, one entry per line:
+//!
+//! ```text
+//! rule-name | repo/relative/path.rs | substring of offending line | justification
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. Every entry must carry a
+//! non-empty justification, and every entry must suppress at least one
+//! live diagnostic — stale entries are themselves errors, so the file can
+//! only shrink as violations are fixed.
+
+use crate::diag::Diagnostic;
+
+/// One parsed allowlist entry.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Rule name the entry applies to.
+    pub rule: String,
+    /// Repo-relative path the entry applies to.
+    pub path: String,
+    /// Substring that must appear in the offending source line.
+    pub needle: String,
+    /// Written reason this violation is acceptable.
+    pub justification: String,
+    /// 1-based line in the allowlist file (for error reporting).
+    pub file_line: u32,
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// All entries in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Allowlist {
+    /// Parse allowlist text. Returns the list plus any format errors
+    /// (missing fields, empty justification).
+    pub fn parse(text: &str) -> (Allowlist, Vec<String>) {
+        let mut entries = Vec::new();
+        let mut errors = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.splitn(4, " | ").collect();
+            if parts.len() != 4 {
+                errors.push(format!(
+                    "allowlist line {line_no}: expected `rule | path | needle | justification`, got {} field(s)",
+                    parts.len()
+                ));
+                continue;
+            }
+            let justification = parts[3].trim();
+            if justification.is_empty() {
+                errors.push(format!(
+                    "allowlist line {line_no}: entry for {} has an empty justification",
+                    parts[1].trim()
+                ));
+                continue;
+            }
+            entries.push(Entry {
+                rule: parts[0].trim().to_string(),
+                path: parts[1].trim().to_string(),
+                needle: parts[2].trim().to_string(),
+                justification: justification.to_string(),
+                file_line: line_no,
+            });
+        }
+        (Allowlist { entries }, errors)
+    }
+
+    /// Split `diags` into (unsuppressed, suppressed) and report stale
+    /// entries that matched nothing as errors.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, Vec<Diagnostic>, Vec<String>) {
+        let mut used = vec![false; self.entries.len()];
+        let mut unsuppressed = Vec::new();
+        let mut suppressed = Vec::new();
+        for d in diags {
+            let hit = self.entries.iter().enumerate().find(|(_, e)| {
+                e.rule == d.rule && e.path == d.path && d.line_text.contains(&e.needle)
+            });
+            match hit {
+                Some((i, _)) => {
+                    used[i] = true;
+                    suppressed.push(d);
+                }
+                None => unsuppressed.push(d),
+            }
+        }
+        let stale: Vec<String> = self
+            .entries
+            .iter()
+            .zip(&used)
+            .filter(|(_, &u)| !u)
+            .map(|(e, _)| {
+                format!(
+                    "allowlist line {}: stale entry ({} | {} | {}) suppresses nothing — remove it",
+                    e.file_line, e.rule, e.path, e.needle
+                )
+            })
+            .collect();
+        (unsuppressed, suppressed, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, path: &str, line_text: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            message: "m".to_string(),
+            line_text: line_text.to_string(),
+        }
+    }
+
+    #[test]
+    fn entries_suppress_matching_diags_only() {
+        let (al, errs) = Allowlist::parse(
+            "# comment\nno-panic-in-delivery | crates/simnet/src/route.rs | next_hop | dense table\n",
+        );
+        assert!(errs.is_empty());
+        let diags = vec![
+            diag(
+                "no-panic-in-delivery",
+                "crates/simnet/src/route.rs",
+                "self.next_hop[i]",
+            ),
+            diag(
+                "no-panic-in-delivery",
+                "crates/simnet/src/sim.rs",
+                "self.next_hop[i]",
+            ),
+        ];
+        let (un, sup, stale) = al.apply(diags);
+        assert_eq!(un.len(), 1);
+        assert_eq!(sup.len(), 1);
+        assert!(stale.is_empty());
+        assert_eq!(un[0].path, "crates/simnet/src/sim.rs");
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let (al, _) = Allowlist::parse("no-wall-clock | crates/x.rs | Instant | legacy\n");
+        let (_, _, stale) = al.apply(Vec::new());
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].contains("stale"));
+    }
+
+    #[test]
+    fn empty_justification_is_an_error() {
+        let (al, errs) = Allowlist::parse("no-wall-clock | crates/x.rs | Instant |  \n");
+        assert!(al.entries.is_empty());
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("justification"));
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        let (_, errs) = Allowlist::parse("just some text\n");
+        assert_eq!(errs.len(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! Diagnostics: the unit of lint output.
+
+use std::fmt;
+
+/// One rule violation at a specific source location.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// The rule that fired (`no-wall-clock`, …).
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation of the violation.
+    pub message: String,
+    /// The offending source line verbatim (used for allowlist needle
+    /// matching and shown in output).
+    pub line_text: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )?;
+        write!(f, "    | {}", self.line_text.trim())
+    }
+}

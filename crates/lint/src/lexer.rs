@@ -1,0 +1,398 @@
+//! A minimal string/comment-aware Rust lexer.
+//!
+//! The rule engine does not need a full parser: every workspace invariant
+//! is expressible over a token stream, provided the stream never confuses
+//! identifiers with the same spelling inside comments, doc comments,
+//! string literals, or char literals. That is exactly what this lexer
+//! guarantees: comments vanish, literals collapse into opaque tokens, and
+//! only real code identifiers and punctuation survive with their line
+//! numbers attached.
+//!
+//! Handled beyond the obvious: nested block comments, raw strings with
+//! arbitrary `#` fences, byte/raw-byte strings, raw identifiers
+//! (`r#type`), and the lifetime-versus-char-literal ambiguity after `'`.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// A single punctuation character (`[`, `:`, `!`, …).
+    Punct(char),
+    /// A string literal of any flavour (collapsed; content discarded).
+    Str,
+    /// A char or byte-char literal (collapsed).
+    CharLit,
+    /// A numeric literal (collapsed).
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// The token kind.
+    pub kind: TokKind,
+    /// The token text (empty for collapsed literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into a token stream, discarding comments and literal
+/// contents. Never fails: unterminated constructs simply run to the end
+/// of input (good enough for a linter — the compiler rejects such files
+/// long before this tool sees them in CI).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Consume a quoted run starting at the opening `"` (index `i`), with
+    // backslash escapes, returning the index just past the closing quote.
+    let skip_escaped_string = |chars: &[char], mut i: usize, line: &mut u32| -> usize {
+        i += 1; // opening quote
+        while i < n {
+            match chars[i] {
+                '\\' => i += 2,
+                '\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                '"' => return i + 1,
+                _ => i += 1,
+            }
+        }
+        i
+    };
+
+    // Consume a raw-string body starting at the first `#`-or-quote after
+    // `r` / `br`, returning the index just past the closing fence.
+    let skip_raw_string = |chars: &[char], mut i: usize, line: &mut u32| -> usize {
+        let mut hashes = 0usize;
+        while i < n && chars[i] == '#' {
+            hashes += 1;
+            i += 1;
+        }
+        if i < n && chars[i] == '"' {
+            i += 1;
+            while i < n {
+                if chars[i] == '\n' {
+                    *line += 1;
+                    i += 1;
+                } else if chars[i] == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0usize;
+                    while j < n && seen < hashes && chars[j] == '#' {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        return j;
+                    }
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        i
+    };
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments (incl. doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comments, which Rust nests.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // r"…", r#"…"#, r#ident.
+        if c == 'r' && i + 1 < n && (chars[i + 1] == '"' || chars[i + 1] == '#') {
+            if chars[i + 1] == '#' && i + 2 < n && is_ident_start(chars[i + 2]) {
+                // Raw identifier: lex the ident proper, keep its name.
+                let start = i + 2;
+                let mut j = start;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            i = skip_raw_string(&chars, i + 1, &mut line);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+            });
+            continue;
+        }
+        // b"…", b'…', br"…".
+        if c == 'b'
+            && i + 1 < n
+            && (chars[i + 1] == '"' || chars[i + 1] == '\'' || chars[i + 1] == 'r')
+        {
+            if chars[i + 1] == '"' {
+                i = skip_escaped_string(&chars, i + 1, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+                continue;
+            }
+            if chars[i + 1] == '\'' {
+                // Byte char: b'x' or b'\n'.
+                let mut j = i + 2;
+                if j < n && chars[j] == '\\' {
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+                if j < n && chars[j] == '\'' {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::CharLit,
+                    text: String::new(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            if i + 2 < n && (chars[i + 2] == '"' || chars[i + 2] == '#') {
+                i = skip_raw_string(&chars, i + 2, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+                continue;
+            }
+            // Plain identifier starting with `b`.
+        }
+        if c == '"' {
+            i = skip_escaped_string(&chars, i, &mut line);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+            });
+            continue;
+        }
+        // `'` opens either a char literal or a lifetime.
+        if c == '\'' {
+            if i + 1 < n && chars[i + 1] == '\\' {
+                // Escaped char literal: '\n', '\'', '\u{…}'.
+                let mut j = i + 2;
+                while j < n && chars[j] != '\'' {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::CharLit,
+                    text: String::new(),
+                    line,
+                });
+                i = j + 1;
+                continue;
+            }
+            if i + 1 < n && is_ident_start(chars[i + 1]) {
+                let start = i + 1;
+                let mut j = start;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                if j < n && chars[j] == '\'' && j == start + 1 {
+                    // 'a' — a one-character char literal.
+                    toks.push(Tok {
+                        kind: TokKind::CharLit,
+                        text: String::new(),
+                        line,
+                    });
+                    i = j + 1;
+                } else {
+                    // 'ident not closed by a quote — a lifetime.
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: chars[start..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            // Char literal of a punctuation character: '(' , '['.
+            let mut j = i + 1;
+            if j < n {
+                j += 1;
+            }
+            if j < n && chars[j] == '\'' {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::CharLit,
+                text: String::new(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n
+                && (is_ident_continue(chars[j])
+                    || (chars[j] == '.' && j + 1 < n && chars[j + 1].is_ascii_digit()))
+            {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: String::new(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            text: String::new(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_invisible() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant in /* a nested */ block */
+            let x = "thread_rng inside a string";
+            let y = r#"unwrap in a raw string"#;
+            let z = real_ident;
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        for banned in ["HashMap", "Instant", "thread_rng", "unwrap"] {
+            assert!(!ids.contains(&banned.to_string()), "{banned} leaked");
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::CharLit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_name() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_derail() {
+        let toks = lex(r"let q = '\''; let after = 1;");
+        let ids: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"after"));
+    }
+}

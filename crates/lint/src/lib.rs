@@ -1,0 +1,30 @@
+//! First-party invariant lint engine.
+//!
+//! This crate statically analyzes the workspace's five simulation crates
+//! (plus itself) and enforces the invariants every oracle in the repo
+//! rests on: virtual-time-only timing, seeded randomness, deterministic
+//! iteration order, one-way crate layering, panic-free delivery hot
+//! paths, and complete wire-byte accounting.
+//!
+//! It is deliberately dependency-free — a hand-written string/comment-
+//! aware lexer ([`lexer`]) feeds a small rule catalog ([`rules`]) over
+//! the token streams, and a checked-in allowlist ([`allowlist`]) is the
+//! only escape hatch, with mandatory written justifications and stale-
+//! entry detection. `cargo run -p lint` is the CI gate; see
+//! `ARCHITECTURE.md` § "Determinism & invariants" for the policy.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod allowlist;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use allowlist::Allowlist;
+pub use diag::Diagnostic;
+pub use rules::{catalog, Rule};
+pub use source::{FileKind, SourceFile};
+pub use workspace::{run_fixture_harness, run_workspace, workspace_root, Outcome};

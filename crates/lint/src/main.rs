@@ -1,0 +1,96 @@
+//! CLI for the invariant lint engine.
+//!
+//! Modes:
+//! - *(no args)* — lint the whole workspace against the committed
+//!   allowlist; exit 1 on any unsuppressed violation, allowlist format
+//!   error, or stale allowlist entry.
+//! - `--self-test` — run every rule against its violation/clean fixture
+//!   pair; exit 1 if a violation fixture fails to fire or a clean
+//!   fixture fires.
+//! - `--rule NAME FILE` — run one rule over one file (fixture context).
+//! - `--list` — print the rule catalog.
+
+use std::process::ExitCode;
+
+use lint::workspace::{run_fixture_harness, run_single_rule, run_workspace, workspace_root};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => lint_workspace(),
+        Some("--self-test") => self_test(),
+        Some("--list") => list_rules(),
+        Some("--rule") if args.len() == 3 => single_rule(&args[1], &args[2]),
+        _ => {
+            eprintln!("usage: lint [--self-test | --list | --rule NAME FILE]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint_workspace() -> ExitCode {
+    let root = workspace_root();
+    let outcome = run_workspace(&root);
+    for d in &outcome.diagnostics {
+        println!("{d}");
+    }
+    for e in &outcome.errors {
+        println!("error: {e}");
+    }
+    println!(
+        "lint: {} file(s) scanned, {} violation(s), {} suppressed by allowlist, {} error(s)",
+        outcome.files_scanned,
+        outcome.diagnostics.len(),
+        outcome.suppressed.len(),
+        outcome.errors.len()
+    );
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn self_test() -> ExitCode {
+    let failures = run_fixture_harness(&workspace_root());
+    for f in &failures {
+        println!("self-test failure: {f}");
+    }
+    println!(
+        "lint self-test: {} rule fixture pair(s), {} failure(s)",
+        lint::catalog().len(),
+        failures.len()
+    );
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn list_rules() -> ExitCode {
+    for rule in lint::catalog() {
+        println!("{:<22} {}", rule.name(), rule.description());
+    }
+    ExitCode::SUCCESS
+}
+
+fn single_rule(name: &str, file: &str) -> ExitCode {
+    match run_single_rule(name, std::path::Path::new(file)) {
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("{} violation(s)", diags.len());
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! `crate-hygiene`: crate roots must pin their safety/doc posture.
+//!
+//! Every first-party crate root carries `#![forbid(unsafe_code)]` — the
+//! whole workspace is safe Rust and should stay provably so — and the
+//! core model crates (`histories`, `simnet`, `dsm`, `lint`) additionally
+//! carry `#![deny(missing_docs)]` so public API docs cannot silently
+//! rot. This rule machine-checks the attributes so a refactor that drops
+//! them fails CI instead of passing unnoticed.
+
+use super::{diag_at, Rule};
+use crate::diag::Diagnostic;
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct CrateHygiene;
+
+/// Crates whose roots must also deny `missing_docs`.
+const DOCS_DENIED: [&str; 4] = ["histories", "simnet", "dsm", "lint"];
+
+/// Whether the token stream contains `lint_name ( arg_name` — the body of
+/// an inner attribute like `#![forbid(unsafe_code)]`.
+fn has_attr(file: &SourceFile, lint_name: &str, arg_name: &str) -> bool {
+    let toks = &file.toks;
+    (0..toks.len()).any(|i| {
+        toks[i].is_ident(lint_name)
+            && i + 2 < toks.len()
+            && toks[i + 1].is_punct('(')
+            && toks[i + 2].is_ident(arg_name)
+    })
+}
+
+impl Rule for CrateHygiene {
+    fn name(&self) -> &'static str {
+        "crate-hygiene"
+    }
+
+    fn description(&self) -> &'static str {
+        "crate roots must forbid(unsafe_code); core crates must deny(missing_docs)"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        // Only crate roots are in scope.
+        let expected = format!("crates/{}/src/lib.rs", file.crate_name);
+        if file.rel_path != expected {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        if !has_attr(file, "forbid", "unsafe_code") {
+            out.push(diag_at(
+                self.name(),
+                file,
+                0,
+                format!(
+                    "crate root of `{}` is missing `#![forbid(unsafe_code)]`",
+                    file.crate_name
+                ),
+            ));
+        }
+        if DOCS_DENIED.contains(&file.crate_name.as_str())
+            && !has_attr(file, "deny", "missing_docs")
+        {
+            out.push(diag_at(
+                self.name(),
+                file,
+                0,
+                format!(
+                    "crate root of `{}` is missing `#![deny(missing_docs)]`",
+                    file.crate_name
+                ),
+            ));
+        }
+        out
+    }
+
+    fn fixture_context(&self) -> (&'static str, &'static str, FileKind) {
+        ("simnet", "crates/simnet/src/lib.rs", FileKind::Lib)
+    }
+}

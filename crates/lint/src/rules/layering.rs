@@ -1,0 +1,86 @@
+//! `layering`: the crate dependency direction is one-way.
+//!
+//! The workspace layers as `histories ← simnet ← dsm ← apps ← bench`:
+//! each crate may reference only crates strictly below it. A reverse
+//! import (say, `simnet` reaching into `dsm`) would couple the transport
+//! to protocol details and break the substitution arguments the
+//! differential tests rely on. The `lint` crate sits outside the tower
+//! and references nothing first-party, so it can never skew what it
+//! measures.
+
+use super::{diag_at, Rule};
+use crate::diag::Diagnostic;
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct Layering;
+
+/// First-party crates each crate is allowed to reference.
+fn allowed_deps(crate_name: &str) -> &'static [&'static str] {
+    match crate_name {
+        "histories" => &[],
+        "simnet" => &["histories"],
+        "dsm" => &["histories", "simnet"],
+        "apps" => &["histories", "simnet", "dsm"],
+        "bench" => &["histories", "simnet", "dsm", "apps"],
+        "lint" => &[],
+        _ => &[],
+    }
+}
+
+const FIRST_PARTY: [&str; 6] = ["histories", "simnet", "dsm", "apps", "bench", "lint"];
+
+impl Rule for Layering {
+    fn name(&self) -> &'static str {
+        "layering"
+    }
+
+    fn description(&self) -> &'static str {
+        "enforce the histories ← simnet ← dsm ← apps ← bench dependency direction"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let allowed = allowed_deps(&file.crate_name);
+        let mut out = Vec::new();
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != crate::lexer::TokKind::Ident {
+                continue;
+            }
+            let name = t.text.as_str();
+            if !FIRST_PARTY.contains(&name) || name == file.crate_name {
+                continue;
+            }
+            // A crate reference is the crate name followed by `::`, or
+            // named directly by `use`/`extern crate`.
+            let followed_by_path =
+                i + 2 < toks.len() && toks[i + 1].is_punct(':') && toks[i + 2].is_punct(':');
+            let named_by_use = i >= 1
+                && (toks[i - 1].is_ident("use")
+                    || (i >= 2 && toks[i - 2].is_ident("extern") && toks[i - 1].is_ident("crate")));
+            if (followed_by_path || named_by_use) && !allowed.contains(&name) {
+                out.push(diag_at(
+                    self.name(),
+                    file,
+                    i,
+                    format!(
+                        "crate `{}` must not reference `{}`; allowed first-party deps: {}",
+                        file.crate_name,
+                        name,
+                        if allowed.is_empty() {
+                            "none".to_string()
+                        } else {
+                            allowed.join(", ")
+                        }
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    fn fixture_context(&self) -> (&'static str, &'static str, FileKind) {
+        ("simnet", "crates/simnet/src/fixture.rs", FileKind::Lib)
+    }
+}

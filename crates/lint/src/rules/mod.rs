@@ -1,0 +1,72 @@
+//! The rule catalog.
+//!
+//! Each rule is a small struct implementing [`Rule`]: it inspects one
+//! lexed [`SourceFile`] at a time and emits [`Diagnostic`]s. Rules are
+//! deliberately stateless per file — cross-file invariants (layering,
+//! wire accounting) are still expressible because each file carries its
+//! crate name and repo-relative path.
+
+use crate::diag::Diagnostic;
+use crate::source::{FileKind, SourceFile};
+
+mod crate_hygiene;
+mod layering;
+mod no_panic_in_delivery;
+mod no_unordered_state;
+mod no_unseeded_rng;
+mod no_wall_clock;
+mod wire_accounting;
+
+pub use crate_hygiene::CrateHygiene;
+pub use layering::Layering;
+pub use no_panic_in_delivery::NoPanicInDelivery;
+pub use no_unordered_state::NoUnorderedState;
+pub use no_unseeded_rng::NoUnseededRng;
+pub use no_wall_clock::NoWallClock;
+pub use wire_accounting::WireAccounting;
+
+/// A workspace invariant checked over lexed source files.
+pub trait Rule {
+    /// Stable kebab-case rule name (used in output and the allowlist).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `--list`.
+    fn description(&self) -> &'static str;
+
+    /// Check one file; return every violation found.
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic>;
+
+    /// The `(crate_name, rel_path, kind)` under which this rule's
+    /// fixtures are lexed, chosen so the rule actually applies to them.
+    fn fixture_context(&self) -> (&'static str, &'static str, FileKind);
+}
+
+/// All rules, in the order they run and report.
+pub fn catalog() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoWallClock),
+        Box::new(NoUnseededRng),
+        Box::new(NoUnorderedState),
+        Box::new(Layering),
+        Box::new(NoPanicInDelivery),
+        Box::new(WireAccounting),
+        Box::new(CrateHygiene),
+    ]
+}
+
+/// Shared helper: emit a diagnostic for token index `i` in `file`.
+pub(crate) fn diag_at(
+    rule: &'static str,
+    file: &SourceFile,
+    tok_idx: usize,
+    message: String,
+) -> Diagnostic {
+    let line = file.toks.get(tok_idx).map(|t| t.line).unwrap_or(1);
+    Diagnostic {
+        rule,
+        path: file.rel_path.clone(),
+        line,
+        message,
+        line_text: file.line_text(line).to_string(),
+    }
+}

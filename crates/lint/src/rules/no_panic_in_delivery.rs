@@ -1,0 +1,149 @@
+//! `no-panic-in-delivery`: message-delivery hot paths must not panic.
+//!
+//! A panic inside the delivery path tears down the whole simulation —
+//! including every *other* node — which is exactly the failure mode the
+//! fault layer exists to model gracefully. The functions listed in
+//! [`scope_fns`] form the delivery spine: the simulator's event pump,
+//! the channel sampler, the overlay relay, and every protocol's
+//! `on_message`/`on_restart` handler. Within their bodies this rule
+//! bans `.unwrap()` / `.expect()`, panicking macros, and slice
+//! indexing (`debug_assert!` stays legal: it documents invariants and
+//! compiles out of release builds). Survivors live in the allowlist
+//! with a written justification.
+
+use super::{diag_at, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct NoPanicInDelivery;
+
+/// The delivery-spine functions checked per file; `None` means the file
+/// is out of scope for this rule.
+fn scope_fns(rel_path: &str) -> Option<&'static [&'static str]> {
+    match rel_path {
+        "crates/simnet/src/channel.rs" => Some(&["schedule", "transmit", "sample"]),
+        "crates/simnet/src/sim.rs" => Some(&[
+            "try_start",
+            "try_with_node",
+            "try_step",
+            "handle_down_delivery",
+            "flush_context",
+            "send_message",
+            "set_down",
+            "set_up",
+            "is_down",
+        ]),
+        "crates/simnet/src/transport.rs" => {
+            Some(&["try_with_node", "try_step", "try_run_until_quiescent"])
+        }
+        "crates/simnet/src/route.rs" => Some(&[
+            "on_start",
+            "on_message",
+            "on_timer",
+            "while_down",
+            "route_outbox",
+            "group_by_hop",
+            "next_hop",
+            "hop_count",
+            "tree_parent",
+            "tree_next_hop",
+        ]),
+        _ => {
+            if rel_path.starts_with("crates/dsm/src/protocol/")
+                && rel_path != "crates/dsm/src/protocol/mod.rs"
+            {
+                Some(&["on_message", "on_restart"])
+            } else {
+                None
+            }
+        }
+    }
+}
+
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+impl Rule for NoPanicInDelivery {
+    fn name(&self) -> &'static str {
+        "no-panic-in-delivery"
+    }
+
+    fn description(&self) -> &'static str {
+        "ban unwrap/expect/panic!/slice-indexing in delivery hot paths"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let Some(names) = scope_fns(&file.rel_path) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (fn_name, start, end) in file.fn_body_spans(names) {
+            for i in start..=end.min(file.toks.len().saturating_sub(1)) {
+                let t = &file.toks[i];
+                match t.kind {
+                    TokKind::Ident => {
+                        let prev_is_dot = i >= 1 && file.toks[i - 1].is_punct('.');
+                        let next_is_bang =
+                            i + 1 < file.toks.len() && file.toks[i + 1].is_punct('!');
+                        if prev_is_dot && (t.text == "unwrap" || t.text == "expect") {
+                            out.push(diag_at(
+                                self.name(),
+                                file,
+                                i,
+                                format!(
+                                    "`.{}()` in delivery hot path `{}`; return a typed error instead",
+                                    t.text, fn_name
+                                ),
+                            ));
+                        } else if next_is_bang && PANIC_MACROS.contains(&t.text.as_str()) {
+                            out.push(diag_at(
+                                self.name(),
+                                file,
+                                i,
+                                format!(
+                                    "`{}!` in delivery hot path `{}`; use debug_assert! or a typed error",
+                                    t.text, fn_name
+                                ),
+                            ));
+                        }
+                    }
+                    TokKind::Punct('[') => {
+                        // Slice indexing: `[` directly after an expression
+                        // (identifier, call, or another index). Array
+                        // literals/types follow punctuation and don't match.
+                        let indexes_expr = i >= 1
+                            && matches!(
+                                file.toks[i - 1].kind,
+                                TokKind::Ident | TokKind::Punct(')') | TokKind::Punct(']')
+                            );
+                        if indexes_expr {
+                            out.push(diag_at(
+                                self.name(),
+                                file,
+                                i,
+                                format!(
+                                    "slice indexing in delivery hot path `{fn_name}`; use .get()/.get_mut() and handle the miss"
+                                ),
+                            ));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+
+    fn fixture_context(&self) -> (&'static str, &'static str, FileKind) {
+        ("simnet", "crates/simnet/src/sim.rs", FileKind::Lib)
+    }
+}

@@ -1,0 +1,53 @@
+//! `no-unordered-state`: first-party lib code keeps deterministic
+//! iteration order.
+//!
+//! `HashMap`/`HashSet` iterate in randomized order (SipHash keys are
+//! seeded per-process), which silently reorders JSON sweep output,
+//! trace lines, and message batches. Library code must use `BTreeMap`/
+//! `BTreeSet`/`Vec` so every traversal is a deterministic function of
+//! the data. Tests may hash freely.
+
+use super::{diag_at, Rule};
+use crate::diag::Diagnostic;
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct NoUnorderedState;
+
+impl Rule for NoUnorderedState {
+    fn name(&self) -> &'static str {
+        "no-unordered-state"
+    }
+
+    fn description(&self) -> &'static str {
+        "ban HashMap/HashSet in first-party lib code; BTreeMap/BTreeSet/Vec only"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, t) in file.toks.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                out.push(diag_at(
+                    self.name(),
+                    file,
+                    i,
+                    format!(
+                        "unordered collection `{}`; use BTreeMap/BTreeSet/Vec so iteration order is deterministic",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    fn fixture_context(&self) -> (&'static str, &'static str, FileKind) {
+        ("dsm", "crates/dsm/src/fixture.rs", FileKind::Lib)
+    }
+}

@@ -1,0 +1,63 @@
+//! `no-wall-clock`: library code must run on virtual time only.
+//!
+//! `std::time::Instant` / `SystemTime` reads leak host-machine timing
+//! into what must be a fully deterministic simulation; all timing flows
+//! through `simnet::SimTime`. Test modules and criterion benches are
+//! exempt (criterion itself measures wall time — that is its job), but
+//! first-party lib and bin code is not.
+
+use super::{diag_at, Rule};
+use crate::diag::Diagnostic;
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct NoWallClock;
+
+impl Rule for NoWallClock {
+    fn name(&self) -> &'static str {
+        "no-wall-clock"
+    }
+
+    fn description(&self) -> &'static str {
+        "ban std::time::Instant/SystemTime in lib code; virtual SimTime only"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, t) in file.toks.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            if t.is_ident("Instant") || t.is_ident("SystemTime") {
+                out.push(diag_at(
+                    self.name(),
+                    file,
+                    i,
+                    format!(
+                        "wall-clock type `{}` in {} code; simulation timing must use virtual SimTime",
+                        t.text,
+                        kind_word(file.kind)
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    fn fixture_context(&self) -> (&'static str, &'static str, FileKind) {
+        ("simnet", "crates/simnet/src/fixture.rs", FileKind::Lib)
+    }
+}
+
+fn kind_word(kind: FileKind) -> &'static str {
+    match kind {
+        FileKind::Lib => "library",
+        FileKind::Bin => "binary",
+        FileKind::Test => "test",
+        FileKind::Bench => "bench",
+        FileKind::Example => "example",
+    }
+}

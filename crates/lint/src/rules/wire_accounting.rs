@@ -1,0 +1,77 @@
+//! `wire-accounting`: every protocol wire type charges bytes.
+//!
+//! The paper's efficiency claims are measured in control bytes on the
+//! wire, so a `*Msg` type in `dsm/src/protocol/` without a `WireSize`
+//! impl would ship messages with a silent zero byte charge and skew
+//! every efficiency table. This rule requires the impl to live in the
+//! same module as the type, keeping the byte accounting next to the
+//! fields it counts.
+
+use super::{diag_at, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct WireAccounting;
+
+impl Rule for WireAccounting {
+    fn name(&self) -> &'static str {
+        "wire-accounting"
+    }
+
+    fn description(&self) -> &'static str {
+        "every *Msg type in dsm/src/protocol/ needs a same-module WireSize impl"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        if !file.rel_path.starts_with("crates/dsm/src/protocol/")
+            || file.rel_path == "crates/dsm/src/protocol/mod.rs"
+        {
+            return Vec::new();
+        }
+        let toks = &file.toks;
+        // Collect declared `enum`/`struct` names ending in `Msg` and the
+        // names covered by a `impl … WireSize for <Name>` in this file.
+        let mut declared: Vec<(String, usize)> = Vec::new();
+        let mut covered: Vec<String> = Vec::new();
+        for i in 0..toks.len() {
+            if file.in_test[i] {
+                continue;
+            }
+            let t = &toks[i];
+            if (t.is_ident("enum") || t.is_ident("struct"))
+                && i + 1 < toks.len()
+                && toks[i + 1].kind == TokKind::Ident
+                && toks[i + 1].text.ends_with("Msg")
+            {
+                declared.push((toks[i + 1].text.clone(), i + 1));
+            }
+            if t.is_ident("WireSize")
+                && i + 2 < toks.len()
+                && toks[i + 1].is_ident("for")
+                && toks[i + 2].kind == TokKind::Ident
+            {
+                covered.push(toks[i + 2].text.clone());
+            }
+        }
+        declared
+            .into_iter()
+            .filter(|(name, _)| !covered.contains(name))
+            .map(|(name, idx)| {
+                diag_at(
+                    self.name(),
+                    file,
+                    idx,
+                    format!(
+                        "wire type `{name}` has no `WireSize` impl in this module; it would ship with a zero byte charge"
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    fn fixture_context(&self) -> (&'static str, &'static str, FileKind) {
+        ("dsm", "crates/dsm/src/protocol/fixture.rs", FileKind::Lib)
+    }
+}

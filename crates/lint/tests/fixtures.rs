@@ -1,0 +1,80 @@
+//! Per-rule fixture coverage: every rule must fire on its seeded
+//! violation snippet and stay silent on its clean twin.
+
+use std::fs;
+
+use lint::{catalog, SourceFile};
+
+fn fixture_dir(rule_name: &str) -> std::path::PathBuf {
+    lint::workspace_root()
+        .join("crates/lint/fixtures")
+        .join(rule_name.replace('-', "_"))
+}
+
+#[test]
+fn every_rule_fires_on_its_violation_fixture() {
+    for rule in catalog() {
+        let path = fixture_dir(rule.name()).join("violation.rs");
+        let text = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("[{}] read {}: {e}", rule.name(), path.display()));
+        let (crate_name, rel_path, kind) = rule.fixture_context();
+        let file = SourceFile::new(crate_name, rel_path, kind, &text);
+        let diags = rule.check(&file);
+        assert!(
+            !diags.is_empty(),
+            "[{}] violation fixture produced no diagnostics",
+            rule.name()
+        );
+        for d in &diags {
+            assert_eq!(d.rule, rule.name());
+            assert!(d.line >= 1, "[{}] diagnostic with line 0", rule.name());
+            assert!(
+                !d.message.is_empty(),
+                "[{}] diagnostic with empty message",
+                rule.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_rule_stays_silent_on_its_clean_fixture() {
+    for rule in catalog() {
+        let path = fixture_dir(rule.name()).join("clean.rs");
+        let text = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("[{}] read {}: {e}", rule.name(), path.display()));
+        let (crate_name, rel_path, kind) = rule.fixture_context();
+        let file = SourceFile::new(crate_name, rel_path, kind, &text);
+        let diags = rule.check(&file);
+        assert!(
+            diags.is_empty(),
+            "[{}] clean fixture fired: {:?}",
+            rule.name(),
+            diags
+        );
+    }
+}
+
+#[test]
+fn fixture_harness_agrees_with_the_direct_checks() {
+    let failures = lint::run_fixture_harness(&lint::workspace_root());
+    assert!(
+        failures.is_empty(),
+        "fixture harness failures: {failures:?}"
+    );
+}
+
+#[test]
+fn rule_names_are_unique_and_kebab_case() {
+    let rules = catalog();
+    let mut names: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+    for n in &names {
+        assert!(
+            n.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+            "rule name `{n}` is not kebab-case"
+        );
+    }
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), rules.len(), "duplicate rule names");
+}

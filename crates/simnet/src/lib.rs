@@ -35,7 +35,7 @@
 //! number), where sequence numbers are assigned in send order.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod channel;
 pub mod event;

@@ -309,6 +309,7 @@ pub struct Relay<N> {
     /// [`Routed`] envelopes (`false`).
     multicast: bool,
     forwarded: u64,
+    misrouted: u64,
 }
 
 impl<N> Relay<N> {
@@ -323,6 +324,7 @@ impl<N> Relay<N> {
             router,
             multicast,
             forwarded: 0,
+            misrouted: 0,
         }
     }
 
@@ -351,6 +353,16 @@ impl<N> Relay<N> {
         self.forwarded
     }
 
+    /// Number of multicast destinations dropped because this node is not
+    /// on the envelope's broadcast-tree path to them. Always zero when
+    /// envelopes follow the tree the source split them on; a nonzero
+    /// count means an envelope was corrupted or injected out-of-band,
+    /// and the delivery path drops the stray destination (counting it
+    /// here) instead of tearing the whole simulation down.
+    pub fn misrouted(&self) -> u64 {
+        self.misrouted
+    }
+
     /// Consume the relay, returning the wrapped node.
     pub fn into_inner(self) -> N {
         self.inner
@@ -363,15 +375,23 @@ impl<N> Relay<N> {
 /// [`Router::next_hop`], which at the tree root *is* the broadcast-tree
 /// child) and by transit relays (keyed by [`Router::tree_next_hop`]), so
 /// the two stages can never disagree on how a destination set splits.
+/// Destinations whose hop is unknown (`hop` returns `None`) are dropped
+/// and tallied in the second return value rather than grouped — on the
+/// transit path that means a misrouted destination costs one counter
+/// bump, not a simulation-wide panic.
 fn group_by_hop(
     targets: impl IntoIterator<Item = NodeId>,
-    mut hop: impl FnMut(NodeId) -> NodeId,
-) -> BTreeMap<NodeId, Vec<NodeId>> {
+    mut hop: impl FnMut(NodeId) -> Option<NodeId>,
+) -> (BTreeMap<NodeId, Vec<NodeId>>, u64) {
     let mut groups: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+    let mut lost = 0u64;
     for t in targets {
-        groups.entry(hop(t)).or_default().push(t);
+        match hop(t) {
+            Some(h) => groups.entry(h).or_default().push(t),
+            None => lost += 1,
+        }
     }
-    groups
+    (groups, lost)
 }
 
 /// Drain an inner context into an outer routed context: unicast sends are
@@ -408,7 +428,9 @@ pub(crate) fn route_outbox<P: Clone>(
             Outgoing::Many(targets, payload) => {
                 // One envelope per broadcast-tree child of the source,
                 // carrying the subset of targets inside that subtree.
-                let groups = group_by_hop(targets, |to| router.next_hop(me, to));
+                // `next_hop` is total, so no destination can be lost here.
+                let (groups, _none_lost) =
+                    group_by_hop(targets, |to| Some(router.next_hop(me, to)));
                 for (first_hop, dsts) in groups {
                     outer.send(
                         first_hop,
@@ -458,11 +480,15 @@ where
                 // this node in `src`'s broadcast tree; one copy per child
                 // keeps the payload on each tree edge at most once.
                 let deliver_here = dsts.contains(&self.me);
-                let groups = group_by_hop(dsts.into_iter().filter(|&d| d != self.me), |d| {
-                    self.router
-                        .tree_next_hop(src, self.me, d)
-                        .expect("multicast envelope reached a node outside its broadcast-tree path")
-                });
+                // A destination this node cannot reach inside `src`'s
+                // broadcast tree means the envelope strayed off its
+                // splitting path; drop that destination and count it
+                // rather than panicking mid-delivery.
+                let (groups, lost) =
+                    group_by_hop(dsts.into_iter().filter(|&d| d != self.me), |d| {
+                        self.router.tree_next_hop(src, self.me, d)
+                    });
+                self.misrouted += lost;
                 for (next, dsts) in groups {
                     self.forwarded += 1;
                     ctx.send(
@@ -513,6 +539,7 @@ where
 mod tests {
     use super::*;
     use crate::message::RawPayload;
+    use crate::time::SimTime;
 
     #[test]
     fn full_mesh_routes_are_all_direct() {
@@ -759,5 +786,48 @@ mod tests {
         assert_eq!(r.node_count(), 1);
         assert_eq!(r.hop_count(NodeId(0), NodeId(0)), 0);
         assert!(r.path(NodeId(0), NodeId(0)).is_empty());
+    }
+
+    /// A no-op protocol node that records what reached it.
+    #[derive(Debug, Default)]
+    struct Sink {
+        received: Vec<NodeId>,
+    }
+
+    impl Node<RawPayload> for Sink {
+        fn on_message(&mut self, _ctx: &mut NodeContext<RawPayload>, from: NodeId, _p: RawPayload) {
+            self.received.push(from);
+        }
+    }
+
+    /// A multicast envelope delivered to a node that is not on its
+    /// broadcast-tree path (possible only if the envelope was corrupted
+    /// or injected out-of-band) must drop the stray destinations and
+    /// count them — never panic mid-delivery.
+    #[test]
+    fn misrouted_multicast_is_counted_not_fatal() {
+        let topo = Topology::ring(4);
+        let router = Arc::new(Router::new(&topo).unwrap());
+        // On ring(4), node 0's broadcast tree reaches 3 via the direct
+        // edge 0→3, so node 2 is not an ancestor of 3 in that tree.
+        assert_eq!(router.tree_next_hop(NodeId(0), NodeId(2), NodeId(3)), None);
+        let mut relay = Relay::new(Sink::default(), NodeId(2), router, true);
+        let mut ctx = NodeContext::new(NodeId(2), SimTime::ZERO);
+        relay.on_message(
+            &mut ctx,
+            NodeId(1),
+            Packet::Many(Multicast {
+                src: NodeId(0),
+                dsts: vec![NodeId(2), NodeId(3)],
+                payload: RawPayload::new(8, 4),
+            }),
+        );
+        // The local copy was delivered, the unreachable destination was
+        // dropped and tallied, and nothing was forwarded.
+        assert_eq!(relay.inner().received, vec![NodeId(0)]);
+        assert_eq!(relay.misrouted(), 1);
+        assert_eq!(relay.forwarded(), 0);
+        let (outbox, _) = ctx.into_parts();
+        assert!(outbox.is_empty());
     }
 }

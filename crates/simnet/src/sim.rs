@@ -41,6 +41,14 @@ pub enum SendError {
     },
     /// A message required a node that is permanently crashed.
     Fault(FaultError),
+    /// An operation named a node id the simulator does not host. The
+    /// public constructors make this unreachable for ids obtained from
+    /// the topology; it exists so the delivery hot path can report a
+    /// corrupted id instead of panicking mid-simulation.
+    UnknownNode {
+        /// The out-of-range node id.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for SendError {
@@ -51,6 +59,12 @@ impl fmt::Display for SendError {
                 "node {from} attempted to send to {to} but the topology has no such link"
             ),
             SendError::Fault(e) => e.fmt(f),
+            SendError::UnknownNode { node } => {
+                write!(
+                    f,
+                    "operation addressed node {node}, which this simulator does not host"
+                )
+            }
         }
     }
 }
@@ -241,7 +255,8 @@ where
     /// runtime ([`Simulator::set_down`]) or inside a scheduled crash
     /// window of the fault plan.
     pub fn is_down(&self, node: NodeId, at: SimTime) -> bool {
-        self.manual_down[node.index()] || self.config.faults.window_covering(node, at).is_some()
+        self.manual_down.get(node.index()).copied().unwrap_or(false)
+            || self.config.faults.window_covering(node, at).is_some()
     }
 
     /// Take `node` down at the current virtual time (the scripted crash
@@ -249,15 +264,23 @@ where
     /// its [`Node::while_down`] policy: lost (and counted) or parked for
     /// redelivery at restart.
     pub fn set_down(&mut self, node: NodeId) {
-        self.manual_down[node.index()] = true;
+        if let Some(flag) = self.manual_down.get_mut(node.index()) {
+            *flag = true;
+        }
     }
 
     /// Bring a runtime-crashed node back up, redelivering every parked
     /// envelope at the current virtual time in its original arrival
     /// order (the event queue's insertion-order tie-break preserves it).
     pub fn set_up(&mut self, node: NodeId) {
-        self.manual_down[node.index()] = false;
-        let parked = std::mem::take(&mut self.parked[node.index()]);
+        if let Some(flag) = self.manual_down.get_mut(node.index()) {
+            *flag = false;
+        }
+        let parked = self
+            .parked
+            .get_mut(node.index())
+            .map(std::mem::take)
+            .unwrap_or_default();
         for (from, seq, payload) in parked {
             self.queue.push(
                 self.now,
@@ -318,7 +341,9 @@ where
         self.started = true;
         for i in 0..self.nodes.len() {
             let mut ctx = NodeContext::new(NodeId(i), self.now);
-            self.nodes[i].on_start(&mut ctx);
+            if let Some(node) = self.nodes.get_mut(i) {
+                node.on_start(&mut ctx);
+            }
             self.flush_context(NodeId(i), ctx)?;
         }
         Ok(())
@@ -352,7 +377,11 @@ where
     ) -> Result<R, SendError> {
         self.try_start()?;
         let mut ctx = NodeContext::new(id, self.now);
-        let r = f(&mut self.nodes[id.index()], &mut ctx);
+        let node = self
+            .nodes
+            .get_mut(id.index())
+            .ok_or(SendError::UnknownNode { node: id })?;
+        let r = f(node, &mut ctx);
         self.flush_context(id, ctx)?;
         Ok(r)
     }
@@ -398,7 +427,11 @@ where
                     });
                 }
                 let mut ctx = NodeContext::new(to, self.now);
-                self.nodes[to.index()].on_message(&mut ctx, from, payload);
+                let node = self
+                    .nodes
+                    .get_mut(to.index())
+                    .ok_or(SendError::UnknownNode { node: to })?;
+                node.on_message(&mut ctx, from, payload);
                 self.flush_context(to, ctx)?;
             }
             EventKind::Timer { node, tag } => {
@@ -414,7 +447,11 @@ where
                     });
                 }
                 let mut ctx = NodeContext::new(node, self.now);
-                self.nodes[node.index()].on_timer(&mut ctx, tag);
+                let state = self
+                    .nodes
+                    .get_mut(node.index())
+                    .ok_or(SendError::UnknownNode { node })?;
+                state.on_timer(&mut ctx, tag);
                 self.flush_context(node, ctx)?;
             }
             EventKind::Duplicate { from: _, to: _ } => {
@@ -434,15 +471,23 @@ where
         seq: u64,
         payload: P,
     ) -> Result<bool, SendError> {
-        match self.nodes[to.index()].while_down(&payload) {
+        let action = self
+            .nodes
+            .get(to.index())
+            .ok_or(SendError::UnknownNode { node: to })?
+            .while_down(&payload);
+        match action {
             DownAction::Lose => {
                 self.stats.record_crash_loss(to);
             }
             DownAction::Park => {
-                if self.manual_down[to.index()] {
+                if self.manual_down.get(to.index()).copied().unwrap_or(false) {
                     // Runtime crash: restart time unknown; hold the
                     // envelope until set_up redelivers it.
-                    self.parked[to.index()].push((from, seq, payload));
+                    self.parked
+                        .get_mut(to.index())
+                        .ok_or(SendError::UnknownNode { node: to })?
+                        .push((from, seq, payload));
                 } else {
                     // Scheduled crash window: redeliver at the restart
                     // boundary, or fail loudly if there is none — parked
@@ -550,7 +595,11 @@ where
         let bytes = payload.total_bytes();
         let slot = from.index() * self.topology.node_count() + to.index();
         let config = &self.config;
-        let channel = self.channels[slot].get_or_insert_with(|| {
+        let channel_slot = self
+            .channels
+            .get_mut(slot)
+            .ok_or(SendError::UnknownNode { node: to })?;
+        let channel = channel_slot.get_or_insert_with(|| {
             Channel::with_faults(
                 from,
                 to,

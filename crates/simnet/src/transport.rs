@@ -286,16 +286,44 @@ where
         }
     }
 
+    /// Total multicast destinations dropped by relays because the
+    /// envelope strayed off its broadcast-tree path (always 0 when
+    /// direct, and 0 in any healthy routed run — see
+    /// [`Relay::misrouted`](crate::route::Relay::misrouted)).
+    pub fn misrouted_messages(&self) -> u64 {
+        match self {
+            Transport::Direct(_) => 0,
+            Transport::Routed(sim) => (0..sim.node_count())
+                .map(|i| sim.node(NodeId(i)).misrouted())
+                .sum(),
+        }
+    }
+
     /// Run `f` against node `id`'s state machine; its sends enter the
     /// network according to the routing mode.
+    ///
+    /// Panics with a [`SendError`](crate::sim::SendError) message on a
+    /// send over a missing link; use [`Transport::try_with_node`] to
+    /// handle that case.
     pub fn with_node<R>(
         &mut self,
         id: NodeId,
         f: impl FnOnce(&mut N, &mut NodeContext<P>) -> R,
     ) -> R {
+        self.try_with_node(id, f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Transport::with_node`]: returns the
+    /// [`SendError`](crate::sim::SendError) of the first buffered send
+    /// that could not be carried.
+    pub fn try_with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut N, &mut NodeContext<P>) -> R,
+    ) -> Result<R, crate::sim::SendError> {
         match self {
-            Transport::Direct(sim) => sim.with_node(id, f),
-            Transport::Routed(sim) => sim.with_node(id, |relay, ctx| {
+            Transport::Direct(sim) => sim.try_with_node(id, f),
+            Transport::Routed(sim) => sim.try_with_node(id, |relay, ctx| {
                 let mut inner_ctx = NodeContext::new(id, ctx.now());
                 let r = f(relay.inner_mut(), &mut inner_ctx);
                 route_outbox(
@@ -311,6 +339,9 @@ where
     }
 
     /// Process the next pending event, if any; `false` when idle.
+    ///
+    /// Panics with a [`SendError`](crate::sim::SendError) message on a
+    /// failed send; use [`Transport::try_step`] to handle it.
     pub fn step(&mut self) -> bool {
         match self {
             Transport::Direct(sim) => sim.step(),
@@ -318,12 +349,32 @@ where
         }
     }
 
+    /// Fallible variant of [`Transport::step`].
+    pub fn try_step(&mut self) -> Result<bool, crate::sim::SendError> {
+        match self {
+            Transport::Direct(sim) => sim.try_step(),
+            Transport::Routed(sim) => sim.try_step(),
+        }
+    }
+
     /// Run until no events remain or the `max_events` budget is
     /// exhausted.
+    ///
+    /// Panics with a [`SendError`](crate::sim::SendError) message on a
+    /// failed send; use [`Transport::try_run_until_quiescent`] to handle
+    /// it.
     pub fn run_until_quiescent(&mut self) -> RunOutcome {
         match self {
             Transport::Direct(sim) => sim.run_until_quiescent(),
             Transport::Routed(sim) => sim.run_until_quiescent(),
+        }
+    }
+
+    /// Fallible variant of [`Transport::run_until_quiescent`].
+    pub fn try_run_until_quiescent(&mut self) -> Result<RunOutcome, crate::sim::SendError> {
+        match self {
+            Transport::Direct(sim) => sim.try_run_until_quiescent(),
+            Transport::Routed(sim) => sim.try_run_until_quiescent(),
         }
     }
 
@@ -396,6 +447,7 @@ mod tests {
         assert_eq!(t.stats().total_messages(), 3);
         assert_eq!(t.stats().total_data_bytes(), 3 * 8);
         assert_eq!(t.forwarded_messages(), 2);
+        assert_eq!(t.misrouted_messages(), 0);
         // Intermediate protocol nodes never saw the payload.
         assert!(t.node(NodeId(1)).got.is_empty());
         assert!(t.node(NodeId(2)).got.is_empty());
