@@ -552,6 +552,9 @@ pub struct RunReport {
     /// Transit envelopes forwarded by intermediate nodes (0 on a direct
     /// full mesh; the overlay's relaying cost on sparse topologies).
     pub forwarded: u64,
+    /// Total simulator events (deliveries + timers) processed — the work
+    /// unit the scaling sweeps report throughput in.
+    pub events: u64,
 }
 
 impl RunReport {
@@ -644,6 +647,7 @@ pub fn run_script_faulted(
         operations: dsm.operation_count(),
         virtual_time: dsm.now(),
         forwarded: dsm.forwarded_messages(),
+        events: dsm.events_processed(),
     }
 }
 

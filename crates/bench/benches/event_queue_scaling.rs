@@ -1,0 +1,70 @@
+//! The event-queue hot path in isolation: push/pop churn versus the
+//! batched same-timestamp drain, at the populations the large scenario
+//! tier holds in flight (64, 256, 1024 queued events). The batched drain
+//! is what `try_run_until_quiescent` rides — this bench pins its cost
+//! relative to the classical one-pop loop on identical event streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simnet::event::{EventKind, EventQueue};
+use simnet::{NodeId, SimTime};
+
+/// A deterministic event stream with heavy timestamp collision: `n`
+/// deliveries spread over 16 distinct timestamps, scheduled in LCG
+/// order so heap inserts are not presorted.
+fn filled_queue(n: u64) -> EventQueue<u64> {
+    let mut queue = EventQueue::new();
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    for i in 0..n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let at = SimTime((state >> 32) % 16);
+        queue.push(
+            at,
+            EventKind::Deliver {
+                from: NodeId(0),
+                to: NodeId(1),
+                seq: i,
+                payload: i,
+            },
+        );
+    }
+    queue
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_scaling");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for &n in &[64u64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut queue = filled_queue(n);
+                let mut drained = 0u64;
+                while let Some(event) = queue.pop() {
+                    drained += event.order;
+                }
+                drained
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched_drain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut queue = filled_queue(n);
+                let mut batch = Vec::new();
+                let mut drained = 0u64;
+                while queue.pop_ready_into(&mut batch) > 0 {
+                    for event in batch.drain(..) {
+                        drained += event.order;
+                    }
+                }
+                drained
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

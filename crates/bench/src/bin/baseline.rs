@@ -19,12 +19,22 @@
 //! shape changed (cells appeared or vanished) — regenerate with `--write`
 //! deliberately in that case and review the diff.
 
-use bench::{compare_to_baseline, scenario_matrix, ScenarioMatrixRow, BASELINE_COORDS};
+use bench::{
+    compare_to_baseline, scenario_matrix, scenario_matrix_large, ScenarioMatrixRow,
+    BASELINE_COORDS, BASELINE_LARGE_TIERS,
+};
 use std::process::ExitCode;
 
+/// The standard matrix plus the large-tier rows (n = 64 and 256). The
+/// large rows are gated on the same deterministic control-byte counts as
+/// the rest — wall-clock never enters the baseline.
 fn sweep() -> Vec<ScenarioMatrixRow> {
     let (n, ops, seed) = BASELINE_COORDS;
-    scenario_matrix(n, ops, seed)
+    let mut rows = scenario_matrix(n, ops, seed);
+    for (large_n, large_ops) in BASELINE_LARGE_TIERS {
+        rows.extend(scenario_matrix_large(large_n, large_ops, seed));
+    }
+    rows
 }
 
 fn render(rows: &[ScenarioMatrixRow]) -> String {

@@ -1,22 +1,32 @@
-//! Regenerate the efficiency experiments (E1–E7) as text tables.
+//! Regenerate the efficiency experiments (E1–E8) as text tables.
 //!
 //! ```text
 //! cargo run --release -p bench --bin efficiency
 //! cargo run --release -p bench --bin efficiency -- --max-procs 32
+//! cargo run --release -p bench --bin efficiency -- --scaling-max 256
 //! ```
+//!
+//! `--max-procs` caps the E1 size loop; `--scaling-max` caps the E8
+//! scaling sweep (default 1024 — CI passes 64 to bound wall-clock).
 
 use bench::{
     bellman_ford_point, delivery_mode_sweep, distribution_families, efficiency_sweep_point,
-    fault_tolerance_sweep, relevance_fraction, routed_vs_mesh_sweep,
+    fault_tolerance_sweep, relevance_fraction, routed_vs_mesh_sweep, scaling_sweep,
 };
 use histories::Distribution;
 
 fn main() {
     let mut max_procs = 16usize;
+    let mut scaling_max = 1024usize;
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--max-procs") {
         if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
             max_procs = v;
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--scaling-max") {
+        if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            scaling_max = v;
         }
     }
 
@@ -186,6 +196,40 @@ fn main() {
             row.control_bytes,
             row.control_ratio_vs_faultfree,
             row.virtual_ratio_vs_faultfree
+        );
+    }
+    println!();
+
+    println!(
+        "E8 — scaling sweep (random(2) distribution, bulk-phase workload, 8 ops/process; \
+         wire columns deterministic, events/s is host wall-clock)"
+    );
+    println!(
+        "{:>6} {:<24} {:<16} {:>10} {:>14} {:>10} {:>10} {:>12}",
+        "procs",
+        "delivery",
+        "protocol",
+        "messages",
+        "control bytes",
+        "ctl/op",
+        "events",
+        "events/s"
+    );
+    let sizes: Vec<usize> = [64usize, 256, 1024]
+        .into_iter()
+        .filter(|&n| n <= scaling_max)
+        .collect();
+    for row in scaling_sweep(&sizes, 8, 7) {
+        println!(
+            "{:>6} {:<24} {:<16} {:>10} {:>14} {:>10.1} {:>10} {:>12.0}",
+            row.processes,
+            row.delivery,
+            row.protocol.name(),
+            row.messages,
+            row.control_bytes,
+            row.control_bytes_per_op,
+            row.events,
+            row.events_per_sec()
         );
     }
     println!();

@@ -19,7 +19,7 @@ use apps::scenario::{
 use apps::workload::WorkloadOp;
 use apps::{run_bellman_ford, Network};
 use dsm::ProtocolKind;
-use histories::{Distribution, VarId};
+use histories::{causal_spot_check, pram_spot_check, Distribution, VarId};
 use serde::{Deserialize, Serialize};
 use simnet::{DeliveryMode, LatencyModel, SimConfig};
 
@@ -689,11 +689,213 @@ pub fn fault_tolerance_sweep(
     rows
 }
 
+/// The delivery modes the large tier and the scaling sweep run: the full
+/// wire-efficiency stack with and without delta clock encoding. At scale
+/// the unswept modes add nothing — the baseline matrix already pins them
+/// at small `n`, and the large tier's question is how the best wire
+/// formats grow.
+pub const LARGE_TIER_DELIVERIES: [DeliveryMode; 2] = [
+    DeliveryMode::MULTICAST_BATCHED,
+    DeliveryMode::MULTICAST_BATCHED_DELTA,
+];
+
+/// The `large` scenario tier: the standard distribution families at
+/// `n = 64..1024` processes, under the two full wire-efficiency stacks
+/// ([`LARGE_TIER_DELIVERIES`]), on the direct mesh with a single settle
+/// at the end. 24 rows per `n` (3 distributions × 2 modes × 4 protocols).
+///
+/// Full-history consistency checking is super-linear in the history, so
+/// the large tier swaps the exhaustive checker for the polynomial spot
+/// checkers ([`histories::pram_spot_check`], [`histories::causal_spot_check`]):
+/// every run still records its history and every row is oracle-checked —
+/// a row only exists if its history passed the spot check for the
+/// protocol's consistency criterion. Panics on a violation (the sweep is
+/// an acceptance gate, not a probe).
+///
+/// Cells execute on the scoped-thread fan-out like [`scenario_matrix`];
+/// rows are in sweep order and bit-identical to a sequential run.
+pub fn scenario_matrix_large(
+    n: usize,
+    ops_per_process: usize,
+    seed: u64,
+) -> Vec<ScenarioMatrixRow> {
+    let mut cells = Vec::new();
+    for family in standard_distributions() {
+        let dist = family.build(n, 2 * n, seed);
+        let ops = std::sync::Arc::new(generate_family_ops(
+            &dist,
+            &WorkloadFamily::Uniform { write_ratio: 0.5 },
+            ops_per_process,
+            SettlePolicy::AtEnd,
+            seed,
+        ));
+        for delivery in LARGE_TIER_DELIVERIES {
+            let config = SimConfig {
+                seed,
+                delivery,
+                ..SimConfig::default()
+            };
+            for kind in ProtocolKind::ALL {
+                cells.push(MatrixCell {
+                    kind,
+                    distribution: family.label(),
+                    workload: "uniform".to_string(),
+                    latency: "default".to_string(),
+                    topology: "mesh".to_string(),
+                    delivery: delivery.label().to_string(),
+                    fault: "none".to_string(),
+                    dist: dist.clone(),
+                    ops: std::sync::Arc::clone(&ops),
+                    config: config.clone(),
+                    crash: None,
+                });
+            }
+        }
+    }
+    parallel_map(cells, |cell| {
+        let out = run_script(cell.kind, &cell.dist, &cell.ops, cell.config, true);
+        match cell.kind {
+            ProtocolKind::CausalFull | ProtocolKind::CausalPartial => {
+                if let Err(v) = causal_spot_check(&out.history) {
+                    panic!(
+                        "large-tier causal spot check failed: {}/{}/{}/{n}: {v:?}",
+                        cell.kind.name(),
+                        cell.distribution,
+                        cell.delivery
+                    );
+                }
+            }
+            ProtocolKind::PramPartial | ProtocolKind::Sequential => {
+                if let Err(v) = pram_spot_check(&out.history) {
+                    panic!(
+                        "large-tier PRAM spot check failed: {}/{}/{}/{n}: {v:?}",
+                        cell.kind.name(),
+                        cell.distribution,
+                        cell.delivery
+                    );
+                }
+            }
+        }
+        ScenarioMatrixRow {
+            protocol: cell.kind.name().to_string(),
+            distribution: cell.distribution,
+            workload: cell.workload,
+            latency: cell.latency,
+            topology: cell.topology,
+            delivery: cell.delivery,
+            fault: cell.fault,
+            processes: n,
+            messages: out.messages(),
+            data_bytes: out.data_bytes(),
+            control_bytes: out.control_bytes(),
+            control_bytes_per_op: out.control_bytes_per_op(),
+            forwarded: out.forwarded,
+            drops: out.drops(),
+            duplicates: out.duplicates(),
+            virtual_nanos: out.virtual_time.as_nanos(),
+        }
+    })
+}
+
+/// One row of the scaling sweep (experiment E8): one protocol, one wire
+/// format, at one system size, with throughput (simulator events per
+/// wall-clock second) and wire cost (control bytes per operation). The
+/// wall-clock fields are the only non-deterministic numbers in this crate
+/// — they are reported, never recorded in the baseline or asserted on.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// Protocol measured.
+    pub protocol: ProtocolKind,
+    /// Delivery-mode label.
+    pub delivery: String,
+    /// Number of processes.
+    pub processes: usize,
+    /// Application operations issued.
+    pub operations: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Control bytes sent.
+    pub control_bytes: u64,
+    /// Control bytes per application operation.
+    pub control_bytes_per_op: f64,
+    /// Simulator events (deliveries + timers) processed.
+    pub events: u64,
+    /// Wall-clock nanoseconds for the whole run (host-dependent).
+    pub wall_nanos: u64,
+}
+
+impl ScalingRow {
+    /// Simulator events processed per wall-clock second (host-dependent).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+}
+
+/// The E8 scaling sweep: every protocol under the two large-tier wire
+/// formats at each system size in `ns`, on the random(2) distribution
+/// with a bulk-phase workload (all writes in flight, one settle at the
+/// end — the regime where batching and delta encoding amortize, and
+/// where the arena wire path is hot). Cells run sequentially so the
+/// wall-clock column measures an uncontended host.
+///
+/// Everything except `wall_nanos` is deterministic; the growth assertion
+/// that matters (causal-partial control bytes per op growing strictly
+/// slower than causal-full) is pinned by a tier-1 test on the
+/// `multicast-batched` rows.
+pub fn scaling_sweep(ns: &[usize], ops_per_process: usize, seed: u64) -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    for &n in ns {
+        let dist = Distribution::random(n, 2 * n, 2, seed);
+        let ops = generate_family_ops(
+            &dist,
+            &WorkloadFamily::Uniform { write_ratio: 0.5 },
+            ops_per_process,
+            SettlePolicy::AtEnd,
+            seed,
+        );
+        for delivery in LARGE_TIER_DELIVERIES {
+            let config = SimConfig {
+                seed,
+                delivery,
+                ..SimConfig::default()
+            };
+            for kind in ProtocolKind::ALL {
+                let start = std::time::Instant::now();
+                let out = run_script(kind, &dist, &ops, config.clone(), false);
+                let wall_nanos = start.elapsed().as_nanos() as u64;
+                rows.push(ScalingRow {
+                    protocol: kind,
+                    delivery: delivery.label().to_string(),
+                    processes: n,
+                    operations: out.operations,
+                    messages: out.messages(),
+                    control_bytes: out.control_bytes(),
+                    control_bytes_per_op: out.control_bytes_per_op(),
+                    events: out.events,
+                    wall_nanos,
+                });
+            }
+        }
+    }
+    rows
+}
+
 /// The coordinates of [`scenario_matrix`] used for the checked-in
 /// `BENCH_baseline.json`: process count, ops per process, seed. Shared by
 /// the `baseline` binary's write and check modes so they always compare
 /// like with like.
 pub const BASELINE_COORDS: (usize, usize, u64) = (8, 6, 11);
+
+/// The large-tier coordinates recorded in `BENCH_baseline.json` alongside
+/// the standard matrix: (process count, ops per process) pairs at the
+/// shared baseline seed. `n = 1024` stays out of the baseline — the
+/// `efficiency` binary's E8 table covers it — so `baseline --check`
+/// remains a sub-minute CI gate.
+pub const BASELINE_LARGE_TIERS: [(usize, usize); 2] = [(64, 2), (256, 2)];
 
 /// One control-byte regression found by [`compare_to_baseline`].
 #[derive(Clone, Debug, PartialEq)]
@@ -852,9 +1054,10 @@ mod tests {
             + cells * (standard_topologies().len() - 1) * per_sparse_cell)
             * ProtocolKind::ALL.len();
         assert_eq!(rows.len(), expected);
-        assert_eq!(expected, 1440);
-        // The fault-free subset is exactly the PR-4 sweep: 864 rows.
-        assert_eq!(rows.iter().filter(|r| r.fault == "none").count(), 864);
+        assert_eq!(expected, 1824);
+        // The fault-free subset is the PR-4 sweep grown by the two delta
+        // wire modes: 1248 rows.
+        assert_eq!(rows.iter().filter(|r| r.fault == "none").count(), 1248);
         assert!(rows.iter().all(|r| r.messages > 0 || r.control_bytes == 0));
         // Within every (distribution, workload, latency, topology,
         // delivery) cell, PRAM partial never spends more control bytes
@@ -994,8 +1197,11 @@ mod tests {
     #[test]
     fn delivery_mode_sweep_quantifies_the_wire_savings() {
         let rows = delivery_mode_sweep(8, 6, 3);
-        // Star and grid × four modes × four protocols.
-        assert_eq!(rows.len(), 2 * 4 * ProtocolKind::ALL.len());
+        // Star and grid × six modes × four protocols.
+        assert_eq!(
+            rows.len(),
+            2 * DeliveryMode::ALL.len() * ProtocolKind::ALL.len()
+        );
         let cell = |topo: &str, mode: &str, kind: ProtocolKind| {
             rows.iter()
                 .find(|r| r.topology == topo && r.delivery == mode && r.protocol == kind)
@@ -1009,7 +1215,13 @@ mod tests {
                 // …and no mode ever pays more than it: multicast sends a
                 // subset of the unicast envelopes, batching delta-encodes
                 // a subset of the unicast record bytes.
-                for mode in ["multicast", "batched", "multicast-batched"] {
+                for mode in [
+                    "multicast",
+                    "batched",
+                    "multicast-batched",
+                    "delta",
+                    "multicast-batched-delta",
+                ] {
                     let row = cell(topo, mode, kind);
                     assert!(
                         row.control_ratio_vs_unicast <= 1.0 + 1e-12,
@@ -1056,6 +1268,116 @@ mod tests {
                 assert!(
                     (cell(topo, "batched", kind).control_ratio_vs_unicast - 1.0).abs() < 1e-12,
                     "{topo}: batching must not change {kind}"
+                );
+            }
+            // Delta clock encoding cuts the vector-clock-carrying
+            // protocols (each write's clock differs from the writer's
+            // previous one in a handful of entries)…
+            for kind in [ProtocolKind::CausalFull, ProtocolKind::CausalPartial] {
+                assert!(
+                    cell(topo, "delta", kind).control_ratio_vs_unicast < 1.0,
+                    "{topo}: delta must cut {kind}'s clock bytes"
+                );
+            }
+            // …stacks with multicast + batching…
+            let all_three = cell(topo, "multicast-batched-delta", ProtocolKind::CausalPartial);
+            assert!(all_three.control_ratio_vs_unicast <= both.control_ratio_vs_unicast);
+            // …and is a no-op for the protocols whose wire metadata is
+            // O(1) per message (sequence numbers, not clocks).
+            for kind in [ProtocolKind::PramPartial, ProtocolKind::Sequential] {
+                assert!(
+                    (cell(topo, "delta", kind).control_ratio_vs_unicast - 1.0).abs() < 1e-12,
+                    "{topo}: delta must not change {kind}"
+                );
+            }
+        }
+    }
+
+    /// The large tier at a small-but-nontrivial size: full row set, every
+    /// row oracle-checked (the sweep panics on a spot-check violation),
+    /// and the delta wire never dearer than the dense one.
+    #[test]
+    fn scenario_matrix_large_is_oracle_checked_and_delta_never_dearer() {
+        let n = 24;
+        let rows = scenario_matrix_large(n, 2, 7);
+        assert_eq!(
+            rows.len(),
+            standard_distributions().len() * LARGE_TIER_DELIVERIES.len() * ProtocolKind::ALL.len()
+        );
+        assert!(rows.iter().all(|r| r.processes == n));
+        assert!(rows
+            .iter()
+            .all(|r| r.topology == "mesh" && r.fault == "none"));
+        // Coordinates are unique and disjoint from the standard matrix
+        // (different process count), so the baseline can hold both.
+        let coords: std::collections::BTreeSet<String> =
+            rows.iter().map(|r| r.coordinate()).collect();
+        assert_eq!(coords.len(), rows.len());
+        // Delta encoding only ever removes clock bytes from the wire.
+        for row in rows.iter().filter(|r| r.delivery == "multicast-batched") {
+            let delta = rows
+                .iter()
+                .find(|r| {
+                    r.protocol == row.protocol
+                        && r.distribution == row.distribution
+                        && r.delivery == "multicast-batched-delta"
+                })
+                .unwrap();
+            assert!(
+                delta.control_bytes <= row.control_bytes,
+                "{}/{}: delta {} > dense {}",
+                row.protocol,
+                row.distribution,
+                delta.control_bytes,
+                row.control_bytes
+            );
+        }
+    }
+
+    /// The E8 headline, pinned at 64 → 256 (the binary extends it to
+    /// 1024): causal-partial's control bytes per op grow strictly slower
+    /// than causal-full's under the batched wire, because batching
+    /// amortizes the full vector clock over the records that accumulate
+    /// per destination while causal-full pays a dense clock on every
+    /// envelope. Asserted on the non-delta rows — delta encoding collapses
+    /// both protocols' clock bytes to near-O(1) per record, which is the
+    /// point of the delta rows but erases the growth gap this test pins.
+    #[test]
+    fn scaling_sweep_growth_orders_the_causal_protocols() {
+        let rows = scaling_sweep(&[64, 256], 8, 11);
+        assert_eq!(
+            rows.len(),
+            2 * LARGE_TIER_DELIVERIES.len() * ProtocolKind::ALL.len()
+        );
+        let cell = |n: usize, mode: &str, kind: ProtocolKind| {
+            rows.iter()
+                .find(|r| r.processes == n && r.delivery == mode && r.protocol == kind)
+                .unwrap()
+        };
+        let growth = |kind: ProtocolKind| {
+            let small = cell(64, "multicast-batched", kind).control_bytes_per_op;
+            let big = cell(256, "multicast-batched", kind).control_bytes_per_op;
+            assert!(small > 0.0);
+            big / small
+        };
+        assert!(
+            growth(ProtocolKind::CausalPartial) < growth(ProtocolKind::CausalFull),
+            "causal-partial must grow strictly slower than causal-full: {} vs {}",
+            growth(ProtocolKind::CausalPartial),
+            growth(ProtocolKind::CausalFull)
+        );
+        // Every cell did real work and the throughput inputs are sane.
+        for row in &rows {
+            assert!(row.operations > 0 && row.events > 0 && row.messages > 0);
+            assert!(row.events_per_sec() >= 0.0);
+        }
+        // Delta rows never spend more wire than their dense counterparts.
+        for n in [64, 256] {
+            for kind in ProtocolKind::ALL {
+                assert!(
+                    cell(n, "multicast-batched-delta", kind).control_bytes
+                        <= cell(n, "multicast-batched", kind).control_bytes,
+                    "{n}/{kind}"
                 );
             }
         }

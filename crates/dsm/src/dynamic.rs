@@ -176,6 +176,11 @@ impl DynDsm {
         dispatch!(self, sys => sys.forwarded_messages())
     }
 
+    /// Total simulator events (deliveries + timers) processed so far.
+    pub fn events_processed(&self) -> u64 {
+        dispatch!(self, sys => sys.events_processed())
+    }
+
     /// Issue `w_p(var)value`.
     pub fn write(&mut self, p: ProcId, var: VarId, value: i64) -> Result<(), DsmError> {
         dispatch!(self, sys => sys.write(p, var, value))

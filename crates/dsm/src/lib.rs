@@ -54,7 +54,7 @@ pub mod recorder;
 pub mod runtime;
 
 pub use api::{DsmError, ProtocolKind};
-pub use clock::{SequenceTracker, VectorClock};
+pub use clock::{DeltaVc, SequenceTracker, VectorClock};
 pub use control::{ControlStats, ControlSummary};
 pub use dynamic::{DynDsm, ReplicaSnapshot};
 pub use protocol::causal_full::{CausalFull, CausalFullMsg, CausalFullNode, CausalMsg};

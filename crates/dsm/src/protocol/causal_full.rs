@@ -12,7 +12,7 @@
 //! application process ever touches the variable.
 
 use crate::api::ProtocolKind;
-use crate::clock::VectorClock;
+use crate::clock::{DeltaVc, VectorClock};
 use crate::control::ControlStats;
 use crate::protocol::{McsNode, ProtocolSpec};
 use histories::{Distribution, ProcId, Value, VarId};
@@ -30,12 +30,30 @@ pub struct CausalMsg {
     pub value: i64,
     /// The writer's vector clock *after* incrementing its own entry.
     pub vc: VectorClock,
+    /// The wire size charged for `vc`: its dense size classically, or its
+    /// [`DeltaVc`] size against the writer's previous broadcast under a
+    /// delta delivery mode. Accounting only — the dense clock above is
+    /// what delivery logic reads, so histories are mode-independent.
+    pub encoded: usize,
 }
 
 impl CausalMsg {
-    /// Control bytes: the vector clock plus writer and variable ids.
+    /// An update charged at the classical dense clock size.
+    pub fn dense(writer: usize, var: VarId, value: i64, vc: VectorClock) -> Self {
+        let encoded = vc.wire_bytes();
+        CausalMsg {
+            writer,
+            var,
+            value,
+            vc,
+            encoded,
+        }
+    }
+
+    /// Control bytes: the (possibly delta-encoded) vector clock plus
+    /// writer and variable ids.
     pub fn control_size(&self) -> usize {
-        self.vc.wire_bytes() + 8
+        self.encoded + 8
     }
 }
 
@@ -96,11 +114,25 @@ pub struct CausalFullNode {
     /// Persisted log of this node's own writes, in program order — the
     /// material catch-up responses are served from.
     log: Vec<CausalMsg>,
+    /// Whether broadcast clocks are charged at their delta-encoded size.
+    delta: bool,
+    /// The clock carried by this node's previous broadcast — the
+    /// reference every destination already holds (writer streams are
+    /// FIFO), so the next broadcast's clock can be charged as a delta
+    /// against it.
+    prev_write_vc: VectorClock,
 }
 
 impl CausalFullNode {
-    /// Build the node for process `me` in a system of `n` processes.
+    /// Build the node for process `me` in a system of `n` processes,
+    /// charging clocks at their classical dense size.
     pub fn new(me: ProcId, n: usize) -> Self {
+        Self::with_delta(me, n, false)
+    }
+
+    /// Like [`CausalFullNode::new`], optionally charging broadcast clocks
+    /// at their [`DeltaVc`] size (`delta = true`).
+    pub fn with_delta(me: ProcId, n: usize, delta: bool) -> Self {
         CausalFullNode {
             me,
             n,
@@ -110,6 +142,8 @@ impl CausalFullNode {
             control: ControlStats::new(),
             delivered: 0,
             log: Vec::new(),
+            delta,
+            prev_write_vc: VectorClock::new(n),
         }
     }
 
@@ -185,12 +219,17 @@ impl Node<CausalFullMsg> for CausalFullNode {
             }
             CausalFullMsg::CatchupReq { from, vc } => {
                 // Resend every own write the requester's clock is missing,
-                // with its original timestamp.
+                // with its original timestamp. Resends are charged dense
+                // even under delta delivery: the requester lost the FIFO
+                // prefix a delta would be decoded against.
                 let missing: Vec<CausalMsg> = self
                     .log
                     .iter()
                     .filter(|m| m.vc.get(self.me.index()) > vc.get(self.me.index()))
-                    .cloned()
+                    .map(|m| CausalMsg {
+                        encoded: m.vc.wire_bytes(),
+                        ..m.clone()
+                    })
                     .collect();
                 for m in missing {
                     self.control.charge_sent(m.var, m.control_size());
@@ -212,11 +251,18 @@ impl McsNode for CausalFullNode {
         self.vc.increment(self.me.index());
         self.store.insert(var, Value::Int(value));
         self.control.track(var);
+        let encoded = if self.delta {
+            DeltaVc::encode(&self.prev_write_vc, &self.vc).wire_bytes()
+        } else {
+            self.vc.wire_bytes()
+        };
+        self.prev_write_vc.clone_from(&self.vc);
         let msg = CausalMsg {
             writer: self.me.index(),
             var,
             value,
             vc: self.vc.clone(),
+            encoded,
         };
         self.log.push(msg.clone());
         let bytes = msg.control_size();
@@ -266,9 +312,11 @@ impl ProtocolSpec for CausalFull {
     type Node = CausalFullNode;
     const KIND: ProtocolKind = ProtocolKind::CausalFull;
 
-    fn build_nodes(dist: &Distribution, _delivery: simnet::DeliveryMode) -> Vec<CausalFullNode> {
+    fn build_nodes(dist: &Distribution, delivery: simnet::DeliveryMode) -> Vec<CausalFullNode> {
         let n = dist.process_count();
-        (0..n).map(|i| CausalFullNode::new(ProcId(i), n)).collect()
+        (0..n)
+            .map(|i| CausalFullNode::with_delta(ProcId(i), n, delivery.delta))
+            .collect()
     }
 }
 
@@ -278,18 +326,8 @@ mod tests {
 
     #[test]
     fn control_bytes_scale_with_system_size() {
-        let small = CausalMsg {
-            writer: 0,
-            var: VarId(0),
-            value: 1,
-            vc: VectorClock::new(3),
-        };
-        let big = CausalMsg {
-            writer: 0,
-            var: VarId(0),
-            value: 1,
-            vc: VectorClock::new(30),
-        };
+        let small = CausalMsg::dense(0, VarId(0), 1, VectorClock::new(3));
+        let big = CausalMsg::dense(0, VarId(0), 1, VectorClock::new(30));
         assert_eq!(small.data_bytes(), 8);
         assert_eq!(small.control_bytes(), 3 * 8 + 8);
         assert_eq!(big.control_bytes(), 30 * 8 + 8);
@@ -311,12 +349,7 @@ mod tests {
         for _ in 0..writes {
             vc.increment(writer);
         }
-        CausalMsg {
-            writer,
-            var,
-            value,
-            vc,
-        }
+        CausalMsg::dense(writer, var, value, vc)
     }
 
     #[test]
@@ -434,5 +467,69 @@ mod tests {
             3 * (4 * 8 + 8) as u64
         );
         assert_eq!(CausalFull::KIND, ProtocolKind::CausalFull);
+    }
+
+    #[test]
+    fn delta_mode_charges_sparse_clocks_without_changing_what_is_sent() {
+        let dist = Distribution::full(16, 2);
+        let run = |delta: bool| {
+            let mode = if delta {
+                simnet::DeliveryMode::DELTA
+            } else {
+                simnet::DeliveryMode::UNICAST
+            };
+            let mut nodes = CausalFull::build_nodes(&dist, mode);
+            let mut ctx = NodeContext::new(NodeId(0), simnet::SimTime::ZERO);
+            for v in 1..=4 {
+                nodes[0].local_write(&mut ctx, VarId(0), v);
+            }
+            let clocks: Vec<VectorClock> = ctx
+                .outgoing()
+                .iter()
+                .map(|o| match o {
+                    simnet::Outgoing::Many(_, CausalFullMsg::Update(m)) => m.vc.clone(),
+                    other => panic!("unexpected send {other:?}"),
+                })
+                .collect();
+            (clocks, nodes[0].control().sent_bytes(VarId(0)))
+        };
+        let (dense_clocks, dense_bytes) = run(false);
+        let (delta_clocks, delta_bytes) = run(true);
+        // Identical clocks travel either way — only the charge differs.
+        assert_eq!(dense_clocks, delta_clocks);
+        // Dense: 15 destinations × 4 writes × (16·8 + 8) bytes.
+        assert_eq!(dense_bytes, 15 * 4 * (16 * 8 + 8));
+        // Delta: each consecutive broadcast changes one entry → 4+12+8.
+        assert_eq!(delta_bytes, 15 * 4 * (4 + 12 + 8));
+    }
+
+    #[test]
+    fn catchup_resends_are_charged_dense_under_delta_mode() {
+        let dist = Distribution::full(3, 2);
+        let mut nodes = CausalFull::build_nodes(&dist, simnet::DeliveryMode::DELTA);
+        let mut ctx = NodeContext::new(NodeId(0), simnet::SimTime::ZERO);
+        for v in 1..=2 {
+            nodes[0].local_write(&mut ctx, VarId(0), v);
+        }
+        let mut resp_ctx = NodeContext::new(NodeId(0), simnet::SimTime::ZERO);
+        nodes[0].on_message(
+            &mut resp_ctx,
+            NodeId(2),
+            CausalFullMsg::CatchupReq {
+                from: 2,
+                vc: VectorClock::new(3),
+            },
+        );
+        // Both writes resend, each charged at the full dense clock size —
+        // the restarted node has no FIFO prefix to decode deltas against.
+        for o in resp_ctx.outgoing() {
+            match o {
+                simnet::Outgoing::One(_, CausalFullMsg::Update(m)) => {
+                    assert_eq!(m.encoded, m.vc.wire_bytes());
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert_eq!(resp_ctx.queued_messages(), 2);
     }
 }

@@ -36,7 +36,7 @@
 //! in the unbatched mode. The differential proptests pin this down.
 
 use crate::api::ProtocolKind;
-use crate::clock::VectorClock;
+use crate::clock::{DeltaVc, VectorClock};
 use crate::control::ControlStats;
 use crate::protocol::{McsNode, ProtocolSpec};
 use histories::{Distribution, ProcId, Value, VarId};
@@ -64,13 +64,30 @@ pub struct ControlRecord {
     pub var: VarId,
     /// The writer's vector clock after the write.
     pub vc: VectorClock,
+    /// The wire size charged for `vc`: dense classically, the
+    /// [`DeltaVc`] size against the writer's previous broadcast under a
+    /// delta delivery mode. Accounting only — delivery logic reads the
+    /// dense clock above, so what is delivered is mode-independent.
+    pub encoded: usize,
 }
 
 impl ControlRecord {
+    /// A record charged at the classical dense clock size.
+    pub fn dense(writer: usize, var: VarId, vc: VectorClock) -> Self {
+        let encoded = vc.wire_bytes();
+        ControlRecord {
+            writer,
+            var,
+            vc,
+            encoded,
+        }
+    }
+
     /// Wire cost of this record as a standalone control message (or as the
-    /// first record of a batch): the full vector clock plus ids.
+    /// first record of a batch): the (possibly delta-encoded) vector
+    /// clock plus ids.
     pub fn full_bytes(&self) -> usize {
-        self.vc.wire_bytes() + 8
+        self.encoded + 8
     }
 }
 
@@ -90,6 +107,9 @@ pub enum CausalPartialMsg {
         value: i64,
         /// The writer's vector clock after the write.
         vc: VectorClock,
+        /// The wire size charged for `vc` (dense, or its [`DeltaVc`] size
+        /// under a delta delivery mode).
+        encoded: usize,
         /// Control records buffered for this destination, riding along at
         /// [`RECORD_DELTA_BYTES`] each.
         piggyback: Vec<ControlRecord>,
@@ -104,6 +124,9 @@ pub enum CausalPartialMsg {
         var: VarId,
         /// The writer's vector clock after the write.
         vc: VectorClock,
+        /// The wire size charged for `vc` (dense, or its [`DeltaVc`] size
+        /// under a delta delivery mode).
+        encoded: usize,
     },
     /// A flushed batch of control records for one destination (batching
     /// mode; never empty). Costs one full record plus a delta per
@@ -190,10 +213,10 @@ impl WireSize for CausalPartialMsg {
     }
     fn control_bytes(&self) -> usize {
         match self {
-            CausalPartialMsg::Update { vc, piggyback, .. } => {
-                vc.wire_bytes() + 8 + RECORD_DELTA_BYTES * piggyback.len()
-            }
-            CausalPartialMsg::Control { vc, .. } => vc.wire_bytes() + 8,
+            CausalPartialMsg::Update {
+                encoded, piggyback, ..
+            } => encoded + 8 + RECORD_DELTA_BYTES * piggyback.len(),
+            CausalPartialMsg::Control { encoded, .. } => encoded + 8,
             CausalPartialMsg::ControlBatch { records } => records.first().map_or(0, |first| {
                 first.full_bytes() + RECORD_DELTA_BYTES * (records.len() - 1)
             }),
@@ -215,6 +238,13 @@ pub struct CausalPartialNode {
     delivered_control: u64,
     /// Whether control records are batched per destination.
     batching: bool,
+    /// Whether broadcast clocks are charged at their delta-encoded size.
+    delta: bool,
+    /// The clock carried by this node's previous write — the reference
+    /// every destination already holds (each destination sees this
+    /// writer's full write stream, as updates or control records), so the
+    /// next write's clock can be charged as a delta against it.
+    prev_write_vc: VectorClock,
     /// Per-destination buffers of not-yet-sent control records (batching
     /// mode only; indexed by destination process id, own slot unused).
     buffers: Vec<Vec<ControlRecord>>,
@@ -240,6 +270,8 @@ impl CausalPartialNode {
             delivered_updates: 0,
             delivered_control: 0,
             batching: delivery.batching,
+            delta: delivery.delta,
+            prev_write_vc: VectorClock::new(dist.process_count()),
             buffers: vec![Vec::new(); dist.process_count()],
             flush_armed: false,
             log: Vec::new(),
@@ -331,6 +363,7 @@ impl CausalPartialNode {
             writer: record.writer,
             var: record.var,
             vc: record.vc,
+            encoded: record.encoded,
         });
     }
 
@@ -365,6 +398,7 @@ impl Node<CausalPartialMsg> for CausalPartialNode {
                 var,
                 value,
                 vc,
+                encoded,
                 piggyback,
             } => {
                 if self.already_seen(writer, &vc) {
@@ -373,7 +407,7 @@ impl Node<CausalPartialMsg> for CausalPartialNode {
                     // strictly earlier in its stream) are stale too.
                     return;
                 }
-                self.control.charge_received(var, vc.wire_bytes() + 8);
+                self.control.charge_received(var, encoded + 8);
                 // Piggybacked records precede their carrier in the
                 // writer's stream; enqueue them first so per-writer order
                 // is preserved even before the causal check runs.
@@ -385,11 +419,22 @@ impl Node<CausalPartialMsg> for CausalPartialNode {
                     var,
                     value,
                     vc,
+                    encoded,
                     piggyback: Vec::new(),
                 });
             }
-            CausalPartialMsg::Control { writer, var, vc } => {
-                let record = ControlRecord { writer, var, vc };
+            CausalPartialMsg::Control {
+                writer,
+                var,
+                vc,
+                encoded,
+            } => {
+                let record = ControlRecord {
+                    writer,
+                    var,
+                    vc,
+                    encoded,
+                };
                 let bytes = record.full_bytes();
                 self.receive_record(record, bytes);
             }
@@ -417,9 +462,13 @@ impl Node<CausalPartialMsg> for CausalPartialNode {
                     .filter(|(_, _, wvc)| wvc.get(me) > vc.get(me))
                     .cloned()
                     .collect();
+                // Resends are charged dense even under delta delivery:
+                // the requester lost the FIFO prefix a delta would be
+                // decoded against.
                 for (var, value, wvc) in missing {
+                    let encoded = wvc.wire_bytes();
                     if self.dist.replicates(ProcId(from), var) {
-                        self.control.charge_sent(var, wvc.wire_bytes() + 8);
+                        self.control.charge_sent(var, encoded + 8);
                         ctx.send(
                             NodeId(from),
                             CausalPartialMsg::Update {
@@ -427,15 +476,12 @@ impl Node<CausalPartialMsg> for CausalPartialNode {
                                 var,
                                 value,
                                 vc: wvc,
+                                encoded,
                                 piggyback: Vec::new(),
                             },
                         );
                     } else {
-                        let record = ControlRecord {
-                            writer: me,
-                            var,
-                            vc: wvc,
-                        };
+                        let record = ControlRecord::dense(me, var, wvc);
                         self.control.charge_sent(var, record.full_bytes());
                         ctx.send(
                             NodeId(from),
@@ -443,6 +489,7 @@ impl Node<CausalPartialMsg> for CausalPartialNode {
                                 writer: me,
                                 var,
                                 vc: record.vc,
+                                encoded: record.encoded,
                             },
                         );
                     }
@@ -476,11 +523,18 @@ impl McsNode for CausalPartialNode {
         self.control.track(var);
         self.log.push((var, value, self.vc.clone()));
         let replicas = self.dist.replicas_of(var);
-        let update_bytes = self.vc.wire_bytes() + 8;
+        let encoded = if self.delta {
+            DeltaVc::encode(&self.prev_write_vc, &self.vc).wire_bytes()
+        } else {
+            self.vc.wire_bytes()
+        };
+        self.prev_write_vc.clone_from(&self.vc);
+        let update_bytes = encoded + 8;
         let record = ControlRecord {
             writer: self.me.index(),
             var,
             vc: self.vc.clone(),
+            encoded,
         };
         let replica_targets: Vec<NodeId> = (0..self.dist.process_count())
             .map(ProcId)
@@ -500,6 +554,7 @@ impl McsNode for CausalPartialNode {
                 var,
                 value,
                 vc: self.vc.clone(),
+                encoded,
                 piggyback: Vec::new(),
             };
             for _ in &replica_targets {
@@ -510,6 +565,7 @@ impl McsNode for CausalPartialNode {
                 writer: self.me.index(),
                 var,
                 vc: self.vc.clone(),
+                encoded,
             };
             for _ in &other_targets {
                 self.control.charge_sent(var, record.full_bytes());
@@ -548,6 +604,7 @@ impl McsNode for CausalPartialNode {
                         var,
                         value,
                         vc: self.vc.clone(),
+                        encoded,
                         piggyback,
                     },
                 );
@@ -560,6 +617,7 @@ impl McsNode for CausalPartialNode {
                 var,
                 value,
                 vc: self.vc.clone(),
+                encoded,
                 piggyback: Vec::new(),
             },
         );
@@ -625,7 +683,13 @@ mod tests {
     use simnet::SimTime;
 
     fn control_msg(writer: usize, var: VarId, vc: VectorClock) -> CausalPartialMsg {
-        CausalPartialMsg::Control { writer, var, vc }
+        let encoded = vc.wire_bytes();
+        CausalPartialMsg::Control {
+            writer,
+            var,
+            vc,
+            encoded,
+        }
     }
 
     #[test]
@@ -635,6 +699,7 @@ mod tests {
             var: VarId(0),
             value: 1,
             vc: VectorClock::new(4),
+            encoded: 4 * 8,
             piggyback: Vec::new(),
         };
         let ctl = control_msg(0, VarId(0), VectorClock::new(4));
@@ -648,11 +713,7 @@ mod tests {
 
     #[test]
     fn batches_and_piggybacks_delta_encode_their_records() {
-        let record = |w: usize| ControlRecord {
-            writer: w,
-            var: VarId(1),
-            vc: VectorClock::new(4),
-        };
+        let record = |w: usize| ControlRecord::dense(w, VarId(1), VectorClock::new(4));
         let single = CausalPartialMsg::ControlBatch {
             records: vec![record(0)],
         };
@@ -674,6 +735,7 @@ mod tests {
             var: VarId(0),
             value: 1,
             vc: VectorClock::new(4),
+            encoded: 4 * 8,
             piggyback: vec![record(0)],
         };
         assert_eq!(upd.control_bytes(), (4 * 8 + 8) + RECORD_DELTA_BYTES);
@@ -789,16 +851,8 @@ mod tests {
             NodeId(0),
             CausalPartialMsg::ControlBatch {
                 records: vec![
-                    ControlRecord {
-                        writer: 0,
-                        var: VarId(0),
-                        vc: vc1,
-                    },
-                    ControlRecord {
-                        writer: 0,
-                        var: VarId(0),
-                        vc: vc2,
-                    },
+                    ControlRecord::dense(0, VarId(0), vc1),
+                    ControlRecord::dense(0, VarId(0), vc2),
                 ],
             },
         );
@@ -846,5 +900,42 @@ mod tests {
         assert_eq!(node.pending_count(), 0);
         assert_eq!(node.delivered_control(), 2);
         assert_eq!(CausalPartial::KIND, ProtocolKind::CausalPartial);
+    }
+
+    #[test]
+    fn delta_mode_charges_sparse_clocks_without_changing_what_is_sent() {
+        // 16 processes; x0 replicated on p0 and p1 only, so every write
+        // fans out one update and 14 control records.
+        let mut dist = Distribution::new(16, 1);
+        dist.assign(ProcId(0), VarId(0));
+        dist.assign(ProcId(1), VarId(0));
+        let run = |delta: bool| {
+            let mode = if delta {
+                DeliveryMode::DELTA
+            } else {
+                DeliveryMode::UNICAST
+            };
+            let mut nodes = CausalPartial::build_nodes(&dist, mode);
+            let mut ctx = NodeContext::new(NodeId(0), SimTime::ZERO);
+            for v in 1..=4 {
+                nodes[0].local_write(&mut ctx, VarId(0), v);
+            }
+            let clocks: Vec<VectorClock> = ctx
+                .outgoing()
+                .iter()
+                .map(|o| match o {
+                    simnet::Outgoing::One(_, m) | simnet::Outgoing::Many(_, m) => m.vc().clone(),
+                })
+                .collect();
+            (clocks, nodes[0].control().sent_bytes(VarId(0)))
+        };
+        let (dense_clocks, dense_bytes) = run(false);
+        let (delta_clocks, delta_bytes) = run(true);
+        // Identical clocks travel either way — only the charge differs.
+        assert_eq!(dense_clocks, delta_clocks);
+        // Dense: 15 destinations × 4 writes × (16·8 + 8) bytes.
+        assert_eq!(dense_bytes, 15 * 4 * (16 * 8 + 8));
+        // Delta: each consecutive write changes one entry → 4 + 12 + 8.
+        assert_eq!(delta_bytes, 15 * 4 * (4 + 12 + 8));
     }
 }

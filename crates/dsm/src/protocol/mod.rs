@@ -77,7 +77,10 @@ pub trait ProtocolSpec {
     /// `delivery` carries the wire-efficiency knobs: protocols that emit
     /// per-destination control records honour `delivery.batching` by
     /// buffering and piggybacking them (the partially replicated causal
-    /// protocol); everyone else ignores it. The `multicast` half of the
+    /// protocol); the vector-clock-carrying protocols honour
+    /// `delivery.delta` by charging each clock at its sparse
+    /// [`crate::clock::DeltaVc`] encoding against the writer's previous
+    /// write; everyone else ignores them. The `multicast` half of the
     /// mode is handled below the protocols, in the transport.
     fn build_nodes(dist: &Distribution, delivery: DeliveryMode) -> Vec<Self::Node>;
 }

@@ -9,6 +9,10 @@
 //! PRAM allows. No process ever receives (or stores) any metadata about a
 //! variable outside its replica set: the control information about `x`
 //! stays inside `C(x)`.
+//!
+//! The `delta` wire mode is a deliberate no-op here: the per-message
+//! metadata is a single sequence number — already O(1) — so there is no
+//! vector clock for a delta encoding to shrink.
 
 use crate::api::ProtocolKind;
 use crate::control::ControlStats;

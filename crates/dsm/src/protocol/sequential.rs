@@ -13,6 +13,10 @@
 //! construction and converge to the total write order; the *message* cost
 //! (a sequencer round trip plus an `n-1`-way broadcast per write) is what
 //! the benchmarks compare against.
+//!
+//! The `delta` wire mode is a deliberate no-op here: ordered writes carry
+//! one global sequence number — O(1) metadata — so there is no vector
+//! clock for a delta encoding to shrink.
 
 use crate::api::ProtocolKind;
 use crate::control::ControlStats;

@@ -154,6 +154,12 @@ impl<P: ProtocolSpec> DsmSystem<P> {
         self.net.forwarded_messages()
     }
 
+    /// Total simulator events (deliveries + timers) processed so far —
+    /// the work unit the scaling sweeps report throughput in.
+    pub fn events_processed(&self) -> u64 {
+        self.net.events_processed()
+    }
+
     fn validate(&self, p: ProcId, var: VarId) -> Result<(), DsmError> {
         if p.index() >= self.dist.process_count() {
             return Err(DsmError::UnknownProcess { proc: p });

@@ -2,7 +2,7 @@
 //! causal-broadcast delivery condition, FIFO sequence tracking, and the
 //! control-information accounting.
 
-use dsm::{ControlStats, ControlSummary, SequenceTracker, VectorClock};
+use dsm::{ControlStats, ControlSummary, DeltaVc, SequenceTracker, VectorClock};
 use histories::{ProcId, VarId};
 use proptest::prelude::*;
 
@@ -126,6 +126,51 @@ proptest! {
             }
             prop_assert_eq!(t.expected(0), highest + 1);
         }
+    }
+
+    /// Delta encoding is lossless and never dearer than the dense wire:
+    /// `decode(prev)` of `encode(prev, next)` reproduces `next` exactly
+    /// (so compare/merge semantics on the decoded clock are identical to
+    /// the original), and the encoded size never exceeds the dense size.
+    #[test]
+    fn delta_vc_round_trips_and_never_exceeds_dense(
+        prev in proptest::collection::vec(0u64..6, 1..24),
+        bumps in proptest::collection::vec((0usize..24, 1u64..5), 0..8),
+        probe in proptest::collection::vec(0u64..6, 1..24),
+    ) {
+        let n = prev.len();
+        let prev = clock(prev);
+        // `next` evolves from `prev` the way a writer's clock does: a few
+        // entries grow, the rest stay put.
+        let mut next = prev.clone();
+        for (i, by) in bumps {
+            for _ in 0..by {
+                next.increment(i % n);
+            }
+        }
+        let delta = DeltaVc::encode(&prev, &next);
+        let decoded = delta.decode(&prev);
+        prop_assert_eq!(&decoded, &next, "decode must reproduce the encoded clock");
+        prop_assert!(
+            delta.wire_bytes() <= next.wire_bytes(),
+            "delta wire size {} exceeds dense {}",
+            delta.wire_bytes(),
+            next.wire_bytes()
+        );
+        // The decoded clock is semantically indistinguishable from the
+        // original: same causal comparison and same merge result against
+        // an arbitrary third clock (padded/truncated to n entries).
+        let mut probe = probe;
+        probe.resize(n, 0);
+        let probe = clock(probe);
+        prop_assert_eq!(decoded.causal_cmp(&probe), next.causal_cmp(&probe));
+        let mut merged_decoded = decoded.clone();
+        merged_decoded.merge(&probe);
+        let mut merged_next = next.clone();
+        merged_next.merge(&probe);
+        prop_assert_eq!(merged_decoded, merged_next);
+        // An identical clock encodes to the empty (4-byte) sparse delta.
+        prop_assert_eq!(DeltaVc::encode(&next, &next).wire_bytes(), 4);
     }
 
     /// Control accounting: totals equal the sum of per-variable charges and

@@ -1,0 +1,18 @@
+// Fixture: lexed as crates/simnet/src/sim.rs — pooled buffers and
+// Rc-shared payloads in the hot fn, plus allocations in a fn outside
+// the delivery spine, must stay silent.
+fn flush_context(&mut self, id: NodeId, ctx: NodeContext<P>) {
+    let (outbox, timers) = ctx.into_parts();
+    for outgoing in outbox {
+        let shared = Payload::Shared(Rc::new(outgoing.payload));
+        for to in outgoing.destinations.iter().copied() {
+            self.send_message(id, to, shared.clone());
+        }
+    }
+    self.timer_pool.release(timers);
+}
+
+fn report(&self) -> Vec<String> {
+    // Not a delivery hot path: allocating a report here is out of scope.
+    vec![format!("{} events", self.events)]
+}

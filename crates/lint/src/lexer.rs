@@ -77,7 +77,15 @@ pub fn lex(src: &str) -> Vec<Tok> {
         i += 1; // opening quote
         while i < n {
             match chars[i] {
-                '\\' => i += 2,
+                // An escape consumes two chars; `\<newline>` (the string
+                // continuation) still ends a source line and must count,
+                // or every diagnostic after it points the wrong line.
+                '\\' => {
+                    if i + 1 < n && chars[i + 1] == '\n' {
+                        *line += 1;
+                    }
+                    i += 2;
+                }
                 '\n' => {
                     *line += 1;
                     i += 1;
@@ -377,6 +385,16 @@ mod tests {
         let toks = lex("a\nb\n\nc");
         let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn string_continuations_still_count_their_newline() {
+        // `\<newline>` inside a string literal splices the line in the
+        // *value* but the source still advances a line — tokens after it
+        // must not drift.
+        let toks = lex("let s = \"a \\\n   b\";\nafter");
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
     }
 
     #[test]

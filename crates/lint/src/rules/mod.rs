@@ -11,6 +11,7 @@ use crate::source::{FileKind, SourceFile};
 
 mod crate_hygiene;
 mod layering;
+mod no_alloc_in_hot_path;
 mod no_panic_in_delivery;
 mod no_unordered_state;
 mod no_unseeded_rng;
@@ -19,6 +20,7 @@ mod wire_accounting;
 
 pub use crate_hygiene::CrateHygiene;
 pub use layering::Layering;
+pub use no_alloc_in_hot_path::NoAllocInHotPath;
 pub use no_panic_in_delivery::NoPanicInDelivery;
 pub use no_unordered_state::NoUnorderedState;
 pub use no_unseeded_rng::NoUnseededRng;
@@ -49,6 +51,7 @@ pub fn catalog() -> Vec<Box<dyn Rule>> {
         Box::new(NoUnorderedState),
         Box::new(Layering),
         Box::new(NoPanicInDelivery),
+        Box::new(NoAllocInHotPath),
         Box::new(WireAccounting),
         Box::new(CrateHygiene),
     ]

@@ -1,0 +1,88 @@
+//! `no-alloc-in-hot-path`: the delivery spine must not allocate per
+//! event.
+//!
+//! The arena wire path exists so that steady-state delivery reuses
+//! pooled buffers (`simnet::pool::BufferPool`) and shared payloads
+//! instead of hitting the allocator once per envelope — at the large
+//! scenario tier (n = 64..1024) per-event allocation is the difference
+//! between a sweep that completes and one that thrashes. Within the same
+//! hot functions `no-panic-in-delivery` guards (the scope lists are
+//! shared), this rule bans the three easy ways to reintroduce a
+//! per-event allocation: `Box::new(..)`, `.to_vec()`, and the `vec![..]`
+//! macro. `Vec::with_capacity` at construction time and pool
+//! acquire/release remain legal. Survivors live in the allowlist with a
+//! written justification.
+
+use super::no_panic_in_delivery::scope_fns;
+use super::{diag_at, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct NoAllocInHotPath;
+
+impl Rule for NoAllocInHotPath {
+    fn name(&self) -> &'static str {
+        "no-alloc-in-hot-path"
+    }
+
+    fn description(&self) -> &'static str {
+        "ban Box::new/.to_vec()/vec![ in delivery hot paths; reuse pooled buffers"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let Some(names) = scope_fns(&file.rel_path) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (fn_name, start, end) in file.fn_body_spans(names) {
+            for i in start..=end.min(file.toks.len().saturating_sub(1)) {
+                let t = &file.toks[i];
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                let prev_is_dot = i >= 1 && file.toks[i - 1].is_punct('.');
+                let next_is_bang = i + 1 < file.toks.len() && file.toks[i + 1].is_punct('!');
+                let is_box_new = t.is_ident("Box")
+                    && i + 3 < file.toks.len()
+                    && file.toks[i + 1].is_punct(':')
+                    && file.toks[i + 2].is_punct(':')
+                    && file.toks[i + 3].is_ident("new");
+                if is_box_new {
+                    out.push(diag_at(
+                        self.name(),
+                        file,
+                        i,
+                        format!(
+                            "`Box::new` allocates per event in hot path `{fn_name}`; reuse a pooled buffer"
+                        ),
+                    ));
+                } else if prev_is_dot && t.text == "to_vec" {
+                    out.push(diag_at(
+                        self.name(),
+                        file,
+                        i,
+                        format!(
+                            "`.to_vec()` copies per event in hot path `{fn_name}`; borrow or take a pooled buffer"
+                        ),
+                    ));
+                } else if next_is_bang && t.text == "vec" {
+                    out.push(diag_at(
+                        self.name(),
+                        file,
+                        i,
+                        format!(
+                            "`vec![..]` allocates per event in hot path `{fn_name}`; acquire from the buffer pool"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    fn fixture_context(&self) -> (&'static str, &'static str, FileKind) {
+        ("simnet", "crates/simnet/src/sim.rs", FileKind::Lib)
+    }
+}

@@ -20,14 +20,18 @@ use crate::source::{FileKind, SourceFile};
 pub struct NoPanicInDelivery;
 
 /// The delivery-spine functions checked per file; `None` means the file
-/// is out of scope for this rule.
-fn scope_fns(rel_path: &str) -> Option<&'static [&'static str]> {
+/// is out of scope for this rule. Shared with `no-alloc-in-hot-path`:
+/// the functions that must not panic are exactly the per-event hot path
+/// that must not allocate either.
+pub(crate) fn scope_fns(rel_path: &str) -> Option<&'static [&'static str]> {
     match rel_path {
         "crates/simnet/src/channel.rs" => Some(&["schedule", "transmit", "sample"]),
         "crates/simnet/src/sim.rs" => Some(&[
             "try_start",
             "try_with_node",
             "try_step",
+            "process_event",
+            "recycled_context",
             "handle_down_delivery",
             "flush_context",
             "send_message",

@@ -43,6 +43,7 @@ pub mod fault;
 pub mod message;
 pub mod network;
 pub mod node;
+pub mod pool;
 pub mod route;
 pub mod sim;
 pub mod stats;
@@ -53,9 +54,10 @@ pub mod transport;
 pub use channel::{Channel, LatencyModel, Transmission};
 pub use event::{Event, EventKind, EventQueue};
 pub use fault::{CrashWindow, DownAction, FaultError, FaultPlan};
-pub use message::{Envelope, NodeId, WireSize};
+pub use message::{Envelope, NodeId, Payload, WireSize};
 pub use network::Topology;
 pub use node::{Node, NodeContext, Outgoing};
+pub use pool::{BufferPool, PoolStats};
 pub use route::{Multicast, Packet, Relay, RouteError, Routed, Router};
 pub use sim::{RunOutcome, SendError, SimConfig, Simulator};
 pub use stats::{LinkStats, NetworkStats, NodeStats};

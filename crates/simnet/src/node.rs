@@ -67,6 +67,25 @@ impl<P> NodeContext<P> {
         }
     }
 
+    /// Like [`NodeContext::new`], but backed by recycled (empty) buffers
+    /// from the simulator's [`BufferPool`](crate::pool::BufferPool)s, so
+    /// the delivery hot path stops allocating two fresh `Vec`s per
+    /// callback.
+    pub(crate) fn with_buffers(
+        me: NodeId,
+        now: SimTime,
+        outbox: Vec<Outgoing<P>>,
+        timers: Vec<(SimDuration, u64)>,
+    ) -> Self {
+        debug_assert!(outbox.is_empty() && timers.is_empty());
+        NodeContext {
+            me,
+            now,
+            outbox,
+            timers,
+        }
+    }
+
     /// The node this context belongs to.
     pub fn me(&self) -> NodeId {
         self.me

@@ -8,16 +8,18 @@
 //! [`Simulator::step`].
 
 use crate::channel::{Channel, LatencyModel};
-use crate::event::{EventKind, EventQueue};
+use crate::event::{Event, EventKind, EventQueue};
 use crate::fault::{DownAction, FaultError, FaultPlan};
-use crate::message::{NodeId, WireSize};
+use crate::message::{NodeId, Payload, WireSize};
 use crate::network::Topology;
 use crate::node::{Node, NodeContext, Outgoing};
+use crate::pool::{BufferPool, PoolStats};
 use crate::stats::NetworkStats;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::trace::{EventTrace, TraceEntry};
 use crate::transport::{DeliveryMode, RoutingMode};
 use std::fmt;
+use std::rc::Rc;
 
 /// Why the simulator could not carry a message.
 ///
@@ -167,7 +169,9 @@ pub struct Simulator<P, N> {
     config: SimConfig,
     nodes: Vec<N>,
     channels: Vec<Option<Channel>>,
-    queue: EventQueue<P>,
+    /// Queued payloads are [`Payload`]-wrapped so one multicast fan-out
+    /// shares a single allocation across all of its delivery events.
+    queue: EventQueue<Payload<P>>,
     now: SimTime,
     stats: NetworkStats,
     trace: EventTrace,
@@ -179,7 +183,13 @@ pub struct Simulator<P, N> {
     manual_down: Vec<bool>,
     /// Envelopes parked at runtime-crashed nodes, redelivered in order by
     /// [`Simulator::set_up`].
-    parked: Vec<Vec<(NodeId, u64, P)>>,
+    parked: Vec<Vec<(NodeId, u64, Payload<P>)>>,
+    /// Recycled outbox buffers for delivery-path [`NodeContext`]s.
+    outbox_pool: BufferPool<Outgoing<P>>,
+    /// Recycled timer-request buffers for delivery-path [`NodeContext`]s.
+    timer_pool: BufferPool<(SimDuration, u64)>,
+    /// Recycled scratch buffers for the batched event drain.
+    batch_pool: BufferPool<Event<Payload<P>>>,
 }
 
 impl<P, N> Simulator<P, N>
@@ -225,6 +235,9 @@ where
             started: false,
             manual_down: vec![false; n],
             parked: (0..n).map(|_| Vec::new()).collect(),
+            outbox_pool: BufferPool::new(),
+            timer_pool: BufferPool::new(),
+            batch_pool: BufferPool::new(),
         }
     }
 
@@ -309,6 +322,35 @@ where
         &self.stats
     }
 
+    /// Combined buffer-pool counters (outbox + timer + event-batch
+    /// pools): how often the delivery hot path reused a recycled buffer
+    /// instead of allocating. Purely observational — pooling never
+    /// changes simulation results.
+    pub fn pool_stats(&self) -> PoolStats {
+        let (a, b, c) = (
+            self.outbox_pool.stats(),
+            self.timer_pool.stats(),
+            self.batch_pool.stats(),
+        );
+        PoolStats {
+            hits: a.hits + b.hits + c.hits,
+            misses: a.misses + b.misses + c.misses,
+            recycled: a.recycled + b.recycled + c.recycled,
+            discarded: a.discarded + b.discarded + c.discarded,
+        }
+    }
+
+    /// A [`NodeContext`] for `me` at the current time, backed by pooled
+    /// buffers ([`Simulator::flush_context`] returns them).
+    fn recycled_context(&mut self, me: NodeId) -> NodeContext<P> {
+        NodeContext::with_buffers(
+            me,
+            self.now,
+            self.outbox_pool.acquire(0),
+            self.timer_pool.acquire(0),
+        )
+    }
+
     /// The event trace (empty if tracing is disabled).
     pub fn trace(&self) -> &EventTrace {
         &self.trace
@@ -340,7 +382,7 @@ where
         }
         self.started = true;
         for i in 0..self.nodes.len() {
-            let mut ctx = NodeContext::new(NodeId(i), self.now);
+            let mut ctx = self.recycled_context(NodeId(i));
             if let Some(node) = self.nodes.get_mut(i) {
                 node.on_start(&mut ctx);
             }
@@ -376,7 +418,7 @@ where
         f: impl FnOnce(&mut N, &mut NodeContext<P>) -> R,
     ) -> Result<R, SendError> {
         self.try_start()?;
-        let mut ctx = NodeContext::new(id, self.now);
+        let mut ctx = self.recycled_context(id);
         let node = self
             .nodes
             .get_mut(id.index())
@@ -403,6 +445,14 @@ where
         let Some(event) = self.queue.pop() else {
             return Ok(false);
         };
+        self.process_event(event)?;
+        Ok(true)
+    }
+
+    /// Handle one drained event: advance virtual time and dispatch to the
+    /// destination node. Shared by the single-step path and the batched
+    /// drain in [`Simulator::try_run_until_quiescent`].
+    fn process_event(&mut self, event: Event<Payload<P>>) -> Result<(), SendError> {
         debug_assert!(event.at >= self.now, "time must not run backwards");
         self.now = event.at;
         self.events_processed += 1;
@@ -426,18 +476,18 @@ where
                         label: format!("{payload:?}"),
                     });
                 }
-                let mut ctx = NodeContext::new(to, self.now);
+                let mut ctx = self.recycled_context(to);
                 let node = self
                     .nodes
                     .get_mut(to.index())
                     .ok_or(SendError::UnknownNode { node: to })?;
-                node.on_message(&mut ctx, from, payload);
+                node.on_message(&mut ctx, from, payload.into_owned());
                 self.flush_context(to, ctx)?;
             }
             EventKind::Timer { node, tag } => {
                 if self.is_down(node, self.now) {
                     // A crashed node's timers are volatile state: lost.
-                    return Ok(true);
+                    return Ok(());
                 }
                 if self.trace.is_enabled() {
                     self.trace.record(TraceEntry::TimerFired {
@@ -446,7 +496,7 @@ where
                         tag,
                     });
                 }
-                let mut ctx = NodeContext::new(node, self.now);
+                let mut ctx = self.recycled_context(node);
                 let state = self
                     .nodes
                     .get_mut(node.index())
@@ -459,7 +509,7 @@ where
                 // dedup); its wire cost was charged at send time.
             }
         }
-        Ok(true)
+        Ok(())
     }
 
     /// Apply the destination node's [`Node::while_down`] policy to a
@@ -469,13 +519,13 @@ where
         from: NodeId,
         to: NodeId,
         seq: u64,
-        payload: P,
-    ) -> Result<bool, SendError> {
+        payload: Payload<P>,
+    ) -> Result<(), SendError> {
         let action = self
             .nodes
             .get(to.index())
             .ok_or(SendError::UnknownNode { node: to })?
-            .while_down(&payload);
+            .while_down(payload.value());
         match action {
             DownAction::Lose => {
                 self.stats.record_crash_loss(to);
@@ -512,7 +562,7 @@ where
                 }
             }
         }
-        Ok(true)
+        Ok(())
     }
 
     /// Run until no events remain or the `max_events` budget is exhausted.
@@ -525,16 +575,43 @@ where
     }
 
     /// Fallible variant of [`Simulator::run_until_quiescent`].
+    ///
+    /// The run loop drains all events sharing the earliest timestamp in
+    /// one heap pass ([`EventQueue::pop_ready_into`]) instead of
+    /// re-peeking per event; the interleaving is bit-identical to the
+    /// single-step loop because events scheduled while a batch is
+    /// processed always carry larger order numbers (see the batch-drain
+    /// docs). On budget expiry or a send error mid-batch the unprocessed
+    /// remainder is requeued at its original positions.
     pub fn try_run_until_quiescent(&mut self) -> Result<RunOutcome, SendError> {
         self.try_start()?;
         let mut processed = 0u64;
+        let mut batch = self.batch_pool.acquire(0);
         while !self.queue.is_empty() {
-            if self.config.max_events > 0 && processed >= self.config.max_events {
-                return Ok(RunOutcome::Exhausted { events: processed });
+            self.queue.pop_ready_into(&mut batch);
+            let mut events = batch.drain(..);
+            while let Some(event) = events.next() {
+                if self.config.max_events > 0 && processed >= self.config.max_events {
+                    self.queue.requeue(event);
+                    for rest in events {
+                        self.queue.requeue(rest);
+                    }
+                    self.batch_pool.release(batch);
+                    return Ok(RunOutcome::Exhausted { events: processed });
+                }
+                match self.process_event(event) {
+                    Ok(()) => processed += 1,
+                    Err(e) => {
+                        for rest in events {
+                            self.queue.requeue(rest);
+                        }
+                        self.batch_pool.release(batch);
+                        return Err(e);
+                    }
+                }
             }
-            self.try_step()?;
-            processed += 1;
         }
+        self.batch_pool.release(batch);
         Ok(RunOutcome::Quiescent { events: processed })
     }
 
@@ -565,30 +642,51 @@ where
     }
 
     fn flush_context(&mut self, origin: NodeId, ctx: NodeContext<P>) -> Result<(), SendError> {
-        let NodeContext { outbox, timers, .. } = ctx;
+        let (mut outbox, mut timers) = ctx.into_parts();
         // Timers cannot fail; schedule them first so a SendError on a later
         // send never silently drops a timer the same callback requested.
-        for (delay, tag) in timers {
+        for (delay, tag) in timers.drain(..) {
             self.queue
                 .push(self.now + delay, EventKind::Timer { node: origin, tag });
         }
+        self.timer_pool.release(timers);
         // The raw simulator has no routing tables, so a multi-destination
-        // entry degrades to its definition: one unicast per destination, in
-        // order. Tree deduplication lives in the routed transport alone.
-        for out in outbox {
-            match out {
-                Outgoing::One(to, payload) => self.send_message(origin, to, payload)?,
-                Outgoing::Many(targets, payload) => {
-                    for to in targets {
-                        self.send_message(origin, to, payload.clone())?;
-                    }
+        // entry degrades to its definition: one delivery per destination,
+        // in order — but the fan-out's events share one payload
+        // allocation instead of cloning it per destination. Tree
+        // deduplication lives in the routed transport alone.
+        let mut result = Ok(());
+        for out in outbox.drain(..) {
+            result = match out {
+                Outgoing::One(to, payload) => {
+                    self.send_message(origin, to, Payload::Owned(payload))
                 }
+                Outgoing::Many(targets, payload) => {
+                    let shared = Rc::new(payload);
+                    let mut fanned = Ok(());
+                    for to in targets {
+                        fanned = self.send_message(origin, to, Payload::Shared(Rc::clone(&shared)));
+                        if fanned.is_err() {
+                            break;
+                        }
+                    }
+                    fanned
+                }
+            };
+            if result.is_err() {
+                break;
             }
         }
-        Ok(())
+        self.outbox_pool.release(outbox);
+        result
     }
 
-    fn send_message(&mut self, from: NodeId, to: NodeId, payload: P) -> Result<(), SendError> {
+    fn send_message(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: Payload<P>,
+    ) -> Result<(), SendError> {
         if !self.topology.connected(from, to) {
             return Err(SendError::NoLink { from, to });
         }

@@ -65,10 +65,16 @@ pub enum RoutingMode {
 ///   destination, and delta-encode batches, instead of paying a full
 ///   control message per record. A bounded flush (a zero-delay timer plus
 ///   a batch-size cap) guarantees quiescence still drains every record.
+/// * `delta` — vector-clock-carrying protocols (the causal pair) charge
+///   the wire for a sparse delta encoding of each clock against the
+///   writer's previous write (the `dsm` crate's `DeltaVc`) instead of
+///   the dense `8n` bytes. Writes touch few entries between
+///   broadcasts, so the encoded size collapses from `O(n)` to `O(changed
+///   entries)`; a dense fallback caps it at the classical size.
 ///
 /// Delivery modes never change *what* is delivered — histories, settled
 /// replica contents, and per-destination control-record counts are
-/// pinned equal across all four modes by differential tests — only what
+/// pinned equal across all modes by differential tests — only what
 /// the wire pays for it.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DeliveryMode {
@@ -76,6 +82,9 @@ pub struct DeliveryMode {
     pub multicast: bool,
     /// Allow protocols to batch and piggyback control records.
     pub batching: bool,
+    /// Charge vector clocks at their delta-encoded wire size.
+    #[serde(default)]
+    pub delta: bool,
 }
 
 impl DeliveryMode {
@@ -84,45 +93,84 @@ impl DeliveryMode {
     pub const UNICAST: DeliveryMode = DeliveryMode {
         multicast: false,
         batching: false,
+        delta: false,
     };
     /// Tree multicast, unbatched control records.
     pub const MULTICAST: DeliveryMode = DeliveryMode {
         multicast: true,
         batching: false,
+        delta: false,
     };
     /// Unicast fan-out, batched/piggybacked control records.
     pub const BATCHED: DeliveryMode = DeliveryMode {
         multicast: false,
         batching: true,
+        delta: false,
     };
     /// Tree multicast and batched control records.
     pub const MULTICAST_BATCHED: DeliveryMode = DeliveryMode {
         multicast: true,
         batching: true,
+        delta: false,
+    };
+    /// Unicast fan-out, unbatched, delta-encoded vector clocks.
+    pub const DELTA: DeliveryMode = DeliveryMode {
+        multicast: false,
+        batching: false,
+        delta: true,
+    };
+    /// Every wire optimization at once: tree multicast, batched control
+    /// records, and delta-encoded vector clocks.
+    pub const MULTICAST_BATCHED_DELTA: DeliveryMode = DeliveryMode {
+        multicast: true,
+        batching: true,
+        delta: true,
     };
 
-    /// All delivery modes, baseline first (the sweep order used by
+    /// All swept delivery modes, baseline first (the sweep order used by
     /// benchmark tables).
-    pub const ALL: [DeliveryMode; 4] = [
+    pub const ALL: [DeliveryMode; 6] = [
         DeliveryMode::UNICAST,
         DeliveryMode::MULTICAST,
         DeliveryMode::BATCHED,
         DeliveryMode::MULTICAST_BATCHED,
+        DeliveryMode::DELTA,
+        DeliveryMode::MULTICAST_BATCHED_DELTA,
     ];
 
     /// Short label used in tables and benchmark ids.
     pub fn label(self) -> &'static str {
-        match (self.multicast, self.batching) {
-            (false, false) => "unicast",
-            (true, false) => "multicast",
-            (false, true) => "batched",
-            (true, true) => "multicast-batched",
+        match (self.multicast, self.batching, self.delta) {
+            (false, false, false) => "unicast",
+            (true, false, false) => "multicast",
+            (false, true, false) => "batched",
+            (true, true, false) => "multicast-batched",
+            (false, false, true) => "delta",
+            (true, false, true) => "multicast-delta",
+            (false, true, true) => "batched-delta",
+            (true, true, true) => "multicast-batched-delta",
         }
     }
 
-    /// Parse a [`DeliveryMode::label`] back into a mode.
+    /// Parse a [`DeliveryMode::label`] back into a mode (any of the eight
+    /// knob combinations, not just the swept [`DeliveryMode::ALL`] set).
     pub fn parse(label: &str) -> Option<DeliveryMode> {
-        DeliveryMode::ALL.into_iter().find(|m| m.label() == label)
+        let unswept = [
+            DeliveryMode {
+                multicast: true,
+                batching: false,
+                delta: true,
+            },
+            DeliveryMode {
+                multicast: false,
+                batching: true,
+                delta: true,
+            },
+        ];
+        DeliveryMode::ALL
+            .into_iter()
+            .chain(unswept)
+            .find(|m| m.label() == label)
     }
 }
 
@@ -263,6 +311,15 @@ where
         match self {
             Transport::Direct(sim) => sim.events_processed(),
             Transport::Routed(sim) => sim.events_processed(),
+        }
+    }
+
+    /// Combined buffer-pool counters of the underlying simulator (see
+    /// [`Simulator::pool_stats`]).
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        match self {
+            Transport::Direct(sim) => sim.pool_stats(),
+            Transport::Routed(sim) => sim.pool_stats(),
         }
     }
 
@@ -615,6 +672,17 @@ mod tests {
         assert_eq!(DeliveryMode::parse("nonsense"), None);
         assert_eq!(DeliveryMode::default(), DeliveryMode::UNICAST);
         assert_eq!(DeliveryMode::MULTICAST_BATCHED.label(), "multicast-batched");
+        assert_eq!(DeliveryMode::DELTA.label(), "delta");
+        assert_eq!(
+            DeliveryMode::MULTICAST_BATCHED_DELTA.label(),
+            "multicast-batched-delta"
+        );
+        // The two knob combinations outside the sweep still round-trip.
+        for label in ["multicast-delta", "batched-delta"] {
+            let mode = DeliveryMode::parse(label).unwrap();
+            assert_eq!(mode.label(), label);
+            assert!(mode.delta);
+        }
     }
 
     #[test]
