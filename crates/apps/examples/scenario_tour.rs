@@ -38,7 +38,7 @@ use apps::scenario::{
     SettlePolicy, TopologyFamily, WorkloadFamily,
 };
 use histories::{causal_spot_check, check, pram_spot_check, Criterion};
-use simnet::{DeliveryMode, LatencyModel};
+use simnet::{DeliveryMode, ExecBackend, LatencyModel, ThreadedMode};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -66,32 +66,50 @@ fn main() {
                         {
                             continue;
                         }
-                        for faults in standard_faults() {
-                            // Fault families are swept on every topology
-                            // under the default latency and wire format:
-                            // the fault layer lives beneath both, so one
-                            // axis at a time keeps the tour interpretable.
-                            if faults != FaultFamily::None
-                                && (latency != LatencyModel::default()
+                        for backend in ExecBackend::ALL {
+                            // The threaded backend only hosts direct
+                            // full-mesh fault-free deployments; it is
+                            // swept on the baseline wire coordinates
+                            // (default latency and delivery), where the
+                            // simnet sibling cell is its oracle.
+                            if backend != ExecBackend::Simnet
+                                && (topology != TopologyFamily::FullMesh
+                                    || latency != LatencyModel::default()
                                     || delivery != DeliveryMode::default())
                             {
                                 continue;
                             }
-                            scenarios.push(Scenario {
-                                name: "tour".into(),
-                                distribution: dist_family.clone(),
-                                processes: n,
-                                variables: n,
-                                workload,
-                                ops_per_process: 4,
-                                settle: SettlePolicy::Every(4),
-                                latency: latency.clone(),
-                                topology: topology.clone(),
-                                delivery,
-                                faults,
-                                seed: 7,
-                                record: true,
-                            });
+                            for faults in standard_faults() {
+                                // Fault families are swept on every
+                                // topology under the default latency and
+                                // wire format: the fault layer lives
+                                // beneath both, so one axis at a time
+                                // keeps the tour interpretable. Faults
+                                // are simnet-only.
+                                if faults != FaultFamily::None
+                                    && (latency != LatencyModel::default()
+                                        || delivery != DeliveryMode::default()
+                                        || backend != ExecBackend::Simnet)
+                                {
+                                    continue;
+                                }
+                                scenarios.push(Scenario {
+                                    name: "tour".into(),
+                                    distribution: dist_family.clone(),
+                                    processes: n,
+                                    variables: n,
+                                    workload,
+                                    ops_per_process: 4,
+                                    settle: SettlePolicy::Every(4),
+                                    latency: latency.clone(),
+                                    topology: topology.clone(),
+                                    delivery,
+                                    faults,
+                                    backend,
+                                    seed: 7,
+                                    record: true,
+                                });
+                            }
                         }
                     }
                 }
@@ -101,15 +119,21 @@ fn main() {
 
     // Independent cells → scoped-thread fan-out; results come back in
     // sweep order, so the printed table is identical to a sequential run.
-    let results: Vec<(String, FaultFamily, WorkloadFamily, Vec<RunReport>)> =
-        parallel_map(scenarios, |scenario| {
-            (
-                scenario.label(),
-                scenario.faults,
-                scenario.workload,
-                run_all(&scenario),
-            )
-        });
+    let results: Vec<(
+        String,
+        FaultFamily,
+        WorkloadFamily,
+        ExecBackend,
+        Vec<RunReport>,
+    )> = parallel_map(scenarios, |scenario| {
+        (
+            scenario.label(),
+            scenario.faults,
+            scenario.workload,
+            scenario.backend,
+            run_all(&scenario),
+        )
+    });
 
     println!(
         "{:<66} {:<16} {:>9} {:>7} {:>6} {:>5} {:>13} {:>12} {:>6}",
@@ -125,23 +149,34 @@ fn main() {
     );
 
     // Fault-free sibling histories, keyed by the label minus its fault
-    // segment, used to pin lossy/duplicating equivalence below.
+    // segment, used to pin lossy/duplicating equivalence below. The
+    // backend-free key (label minus backend *and* fault segments)
+    // additionally pins threaded-replay cells to their simnet sibling.
     let mut baselines: BTreeMap<String, Vec<histories::History>> = BTreeMap::new();
+    let mut simnet_baselines: BTreeMap<String, Vec<histories::History>> = BTreeMap::new();
     let mut cells = 0usize;
     let mut full_checks = 0usize;
     let mut causal_spots = 0usize;
     let mut pram_spots = 0usize;
     let mut pinned_equal = 0usize;
-    for (label, faults, workload, reports) in results {
+    let mut replay_pinned = 0usize;
+    for (label, faults, workload, backend, reports) in results {
         let coordinate = label
             .rsplit_once('/')
             .map(|(head, _)| head.to_string())
             .unwrap_or_else(|| label.clone());
+        // Strip the backend segment too (it sits just before faults).
+        let backend_free = coordinate
+            .rsplit_once('/')
+            .map(|(head, _)| head.to_string())
+            .unwrap_or_else(|| coordinate.clone());
         if faults == FaultFamily::None {
-            baselines.insert(
-                coordinate.clone(),
-                reports.iter().map(|r| r.history.clone()).collect(),
-            );
+            let histories: Vec<histories::History> =
+                reports.iter().map(|r| r.history.clone()).collect();
+            if backend == ExecBackend::Simnet {
+                simnet_baselines.insert(backend_free.clone(), histories.clone());
+            }
+            baselines.insert(coordinate.clone(), histories);
         }
         for (i, report) in reports.iter().enumerate() {
             // The formal checkers run a serialization search that is
@@ -174,6 +209,18 @@ fn main() {
                 );
                 pinned_equal += 1;
             }
+            // The threaded replay backend re-executes the simnet delivery
+            // schedule on real threads: its history must be bit-identical
+            // to the simnet sibling cell, every protocol, every workload.
+            if backend == ExecBackend::Threaded(ThreadedMode::Replay) {
+                let oracle = &simnet_baselines[&backend_free][i];
+                assert_eq!(
+                    oracle, &report.history,
+                    "{label}: {} replay history diverged from simnet",
+                    report.protocol
+                );
+                replay_pinned += 1;
+            }
             println!(
                 "{:<66} {:<16} {:>9} {:>7} {:>6} {:>5} {:>13} {:>12?} {:>6}",
                 label,
@@ -192,6 +239,7 @@ fn main() {
     println!(
         "\n{cells} scenario cells executed and checked through one runtime-dispatched engine \
          ({full_checks} complete checks, {causal_spots} causal spot-checks, {pram_spots} PRAM \
-         spot-checks, {pinned_equal} fault cells pinned equal to their fault-free sibling)."
+         spot-checks, {pinned_equal} fault cells pinned equal to their fault-free sibling, \
+         {replay_pinned} threaded-replay cells pinned bit-identical to their simnet sibling)."
     );
 }

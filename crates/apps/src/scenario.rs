@@ -24,7 +24,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use simnet::{
-    DeliveryMode, FaultPlan, LatencyModel, NetworkStats, SimConfig, SimDuration, SimTime, Topology,
+    DeliveryMode, ExecBackend, FaultPlan, LatencyModel, NetworkStats, PoolStats, SimConfig,
+    SimDuration, SimTime, Topology,
 };
 
 /// The variable-distribution families the experiments sweep.
@@ -358,6 +359,13 @@ pub struct Scenario {
     /// crash-restart. The default ([`FaultFamily::None`]) is the paper's
     /// reliable model, bit-identical to the pre-fault engine.
     pub faults: FaultFamily,
+    /// Execution backend: the deterministic event-driven simulator (the
+    /// default — every other scenario dimension composes with it) or the
+    /// threaded backend, which hosts each process on an OS thread. The
+    /// threaded backend only supports full-mesh, fault-free scenarios
+    /// (construction fails with [`dsm::DsmError::Unsupported`] otherwise).
+    #[serde(default)]
+    pub backend: ExecBackend,
     /// Seed for distribution construction, workload generation, and
     /// channel jitter.
     pub seed: u64,
@@ -379,6 +387,7 @@ impl Default for Scenario {
             topology: TopologyFamily::FullMesh,
             delivery: DeliveryMode::default(),
             faults: FaultFamily::None,
+            backend: ExecBackend::Simnet,
             seed: 42,
             record: false,
         }
@@ -427,15 +436,20 @@ impl Scenario {
         )
     }
 
-    /// A compact label identifying the scenario's coordinates.
+    /// A compact label identifying the scenario's coordinates. The
+    /// backend segment sits *before* the fault segment: sweep baselining
+    /// strips the trailing fault segment to key fault siblings together
+    /// (see the `scenario_tour` example), and that convention must keep
+    /// working with the backend axis in the label.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}/{}",
+            "{}/{}/{}/{}/{}/{}/{}",
             self.distribution.label(),
             self.workload.label(),
             latency_label(&self.latency),
             self.topology.label(),
             self.delivery.label(),
+            self.backend.label(),
             self.faults.label()
         )
     }
@@ -555,6 +569,12 @@ pub struct RunReport {
     /// Total simulator events (deliveries + timers) processed — the work
     /// unit the scaling sweeps report throughput in.
     pub events: u64,
+    /// Buffer-pool hit/miss accounting of the run's event scheduler
+    /// (zeros on the threaded free-running backend, which allocates no
+    /// pooled event buffers).
+    pub pool: PoolStats,
+    /// Execution backend the run used.
+    pub backend: ExecBackend,
 }
 
 impl RunReport {
@@ -620,6 +640,20 @@ pub fn run_script(
     run_script_faulted(kind, dist, ops, config, record, None)
 }
 
+/// [`run_script`] on an explicit execution backend. Scripted crashes are
+/// simnet-only, so this path takes none; the threaded backend's other
+/// restrictions (full mesh, fault-free) are enforced at construction.
+pub fn run_script_backend(
+    kind: ProtocolKind,
+    dist: &Distribution,
+    ops: &[WorkloadOp],
+    config: SimConfig,
+    record: bool,
+    backend: ExecBackend,
+) -> RunReport {
+    run_script_on(kind, dist, ops, config, record, None, backend)
+}
+
 /// [`run_script`] with a scripted crash: `crash.proc` goes down before
 /// the op at `crash_before_op` (its own ops inside the window are skipped
 /// — a down process executes nothing) and restarts — snapshot restore,
@@ -634,7 +668,22 @@ pub fn run_script_faulted(
     record: bool,
     crash: Option<CrashSchedule>,
 ) -> RunReport {
-    let mut dsm = DynDsm::with_config(kind, dist.clone(), config);
+    run_script_on(kind, dist, ops, config, record, crash, ExecBackend::Simnet)
+}
+
+/// The single construction-and-measurement site behind every `run_script*`
+/// entry point: build the deployment on `backend`, drive the script, and
+/// collect the unified report.
+fn run_script_on(
+    kind: ProtocolKind,
+    dist: &Distribution,
+    ops: &[WorkloadOp],
+    config: SimConfig,
+    record: bool,
+    crash: Option<CrashSchedule>,
+    backend: ExecBackend,
+) -> RunReport {
+    let mut dsm = DynDsm::with_backend(kind, dist.clone(), config, backend);
     if !record {
         dsm.disable_recording();
     }
@@ -648,6 +697,8 @@ pub fn run_script_faulted(
         virtual_time: dsm.now(),
         forwarded: dsm.forwarded_messages(),
         events: dsm.events_processed(),
+        pool: dsm.pool_stats(),
+        backend,
     }
 }
 
@@ -702,13 +753,14 @@ pub fn run_scenario(kind: ProtocolKind, scenario: &Scenario) -> RunReport {
     let dist = scenario.build_distribution();
     let ops = scenario.generate_ops(&dist);
     let crash = scenario.faults.crash_schedule(&ops, scenario.processes);
-    run_script_faulted(
+    run_script_on(
         kind,
         &dist,
         &ops,
         scenario.sim_config(),
         scenario.record,
         crash,
+        scenario.backend,
     )
 }
 
@@ -720,13 +772,14 @@ pub fn run_all(scenario: &Scenario) -> Vec<RunReport> {
     ProtocolKind::ALL
         .iter()
         .map(|&kind| {
-            run_script_faulted(
+            run_script_on(
                 kind,
                 &dist,
                 &ops,
                 scenario.sim_config(),
                 scenario.record,
                 crash,
+                scenario.backend,
             )
         })
         .collect()
@@ -750,17 +803,7 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let workers = std::env::var("SWEEP_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&w| w > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(8)
-        })
-        .min(items.len().max(1));
+    let workers = effective_sweep_workers(items.len());
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -784,6 +827,25 @@ where
         }
     });
     results.into_iter().flatten().collect()
+}
+
+/// The worker count [`parallel_map`] would use for `len` items: the
+/// `SWEEP_WORKERS` environment variable if set (any positive value),
+/// otherwise [`std::thread::available_parallelism`] capped at 8 — and
+/// never more than one worker per item. Exposed so sweep drivers can
+/// record the parallelism a sweep actually ran with alongside its rows.
+pub fn effective_sweep_workers(len: usize) -> usize {
+    std::env::var("SWEEP_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        })
+        .min(len.max(1))
 }
 
 #[cfg(test)]
@@ -1060,7 +1122,7 @@ mod tests {
         };
         assert_eq!(
             scenario.label(),
-            "random-2/uniform/constant/custom/unicast/none"
+            "random-2/uniform/constant/custom/unicast/simnet/none"
         );
         let report = run_scenario(ProtocolKind::PramPartial, &scenario);
         assert!(report.operations > 0);

@@ -1,0 +1,146 @@
+//! Differential property tests pinning the threaded execution backend to
+//! the simnet oracle, through the same runtime-dispatched path every
+//! driver uses.
+//!
+//! Two pins, per protocol, on full-mesh deployments of 4 and 8 processes:
+//!
+//! * **Replay mode is bit-identical**: the threaded backend re-executes
+//!   the simnet delivery schedule on real threads, so the recorded
+//!   history, the per-node control-record accounting, and every settled
+//!   replica value must equal the simnet run exactly — any workload.
+//! * **Free-running mode converges to the same settled values** on
+//!   race-free (single-writer-per-variable) scripts: delivery timing is
+//!   real and nondeterministic, but per-link FIFO plus a quiescence
+//!   barrier at every settle point pins what the replicas hold whenever
+//!   the application looks.
+
+use apps::scenario::{generate_family_ops, SettlePolicy, WorkloadFamily};
+use apps::WorkloadOp;
+use dsm::{ControlSummary, DynDsm, ProtocolKind};
+use histories::{Distribution, History, ProcId, Value, VarId};
+use proptest::prelude::*;
+use simnet::{ExecBackend, SimConfig, ThreadedMode};
+
+/// Drive `ops` on `backend` and collect everything the pins compare:
+/// settled replica values (one per replica of each variable), the
+/// recorded history, and the control-record accounting.
+fn run_on(
+    kind: ProtocolKind,
+    dist: &Distribution,
+    ops: &[WorkloadOp],
+    backend: ExecBackend,
+) -> (Vec<(ProcId, VarId, Value)>, History, ControlSummary) {
+    let mut dsm = DynDsm::with_backend(kind, dist.clone(), SimConfig::default(), backend);
+    for op in ops {
+        match *op {
+            WorkloadOp::Write { proc, var, value } => {
+                dsm.write(proc, var, value).expect("script respects dist");
+            }
+            WorkloadOp::Read { proc, var } => {
+                let _ = dsm.read(proc, var).expect("script respects dist");
+            }
+            WorkloadOp::Settle => {
+                dsm.settle();
+            }
+        }
+    }
+    dsm.settle();
+    let mut settled = Vec::new();
+    for x in 0..dist.var_count() {
+        let var = VarId(x);
+        for proc in dist.replicas_of(var) {
+            settled.push((proc, var, dsm.peek(proc, var)));
+        }
+    }
+    (settled, dsm.history(), dsm.control_summary())
+}
+
+/// Strategy: a 4- or 8-process random distribution plus a race-free
+/// (single-writer-per-variable) producer/consumer script over it.
+fn mesh_setup() -> impl Strategy<Value = (Distribution, Vec<WorkloadOp>)> {
+    (
+        0usize..=1,
+        3usize..=8,
+        1usize..=3,
+        any::<u64>(),
+        any::<u64>(),
+        1usize..=4,
+    )
+        .prop_map(|(size_pick, vars, replicas, dseed, wseed, settle_every)| {
+            let procs = if size_pick == 0 { 4 } else { 8 };
+            let dist = Distribution::random(procs, vars, replicas.min(procs), dseed);
+            let ops = generate_family_ops(
+                &dist,
+                &WorkloadFamily::ProducerConsumer,
+                4,
+                SettlePolicy::Every(settle_every * 3),
+                wseed,
+            );
+            (dist, ops)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Replay mode: bit-identical to simnet — settled values, recorded
+    /// history (every read sees the same value at the same position),
+    /// and per-node control-record counts/bytes.
+    #[test]
+    fn replay_mode_is_bit_identical_to_simnet((dist, ops) in mesh_setup()) {
+        for kind in ProtocolKind::ALL {
+            let (sim_vals, sim_hist, sim_ctl) =
+                run_on(kind, &dist, &ops, ExecBackend::Simnet);
+            let (thr_vals, thr_hist, thr_ctl) =
+                run_on(kind, &dist, &ops, ExecBackend::Threaded(ThreadedMode::Replay));
+            prop_assert_eq!(&sim_vals, &thr_vals, "{} settled values", kind);
+            prop_assert_eq!(&sim_hist, &thr_hist, "{} history", kind);
+            prop_assert_eq!(&sim_ctl, &thr_ctl, "{} control records", kind);
+        }
+    }
+
+    /// Free-running mode: real concurrent delivery, but race-free scripts
+    /// settle to exactly the values the simnet run settles to.
+    #[test]
+    fn free_running_settles_to_simnet_values((dist, ops) in mesh_setup()) {
+        for kind in ProtocolKind::ALL {
+            let (sim_vals, _, _) = run_on(kind, &dist, &ops, ExecBackend::Simnet);
+            let (thr_vals, _, _) =
+                run_on(kind, &dist, &ops, ExecBackend::Threaded(ThreadedMode::FreeRunning));
+            prop_assert_eq!(&sim_vals, &thr_vals, "{} settled values", kind);
+        }
+    }
+}
+
+/// One deterministic smoke case per mode outside the proptest loop, so a
+/// plain `cargo test` failure names the mode without shrinking first.
+#[test]
+fn threaded_modes_agree_on_a_fixed_producer_consumer_script() {
+    let dist = Distribution::random(4, 6, 2, 11);
+    let ops = generate_family_ops(
+        &dist,
+        &WorkloadFamily::ProducerConsumer,
+        5,
+        SettlePolicy::Every(4),
+        23,
+    );
+    for kind in ProtocolKind::ALL {
+        let (sim_vals, sim_hist, sim_ctl) = run_on(kind, &dist, &ops, ExecBackend::Simnet);
+        let (rep_vals, rep_hist, rep_ctl) = run_on(
+            kind,
+            &dist,
+            &ops,
+            ExecBackend::Threaded(ThreadedMode::Replay),
+        );
+        assert_eq!(sim_vals, rep_vals, "{kind} replay settled values");
+        assert_eq!(sim_hist, rep_hist, "{kind} replay history");
+        assert_eq!(sim_ctl, rep_ctl, "{kind} replay control records");
+        let (free_vals, _, _) = run_on(
+            kind,
+            &dist,
+            &ops,
+            ExecBackend::Threaded(ThreadedMode::FreeRunning),
+        );
+        assert_eq!(sim_vals, free_vals, "{kind} free-running settled values");
+    }
+}

@@ -1,0 +1,59 @@
+//! The threaded execution backend against the simnet oracle: the same
+//! bulk-phase producer/consumer script timed on the event-driven
+//! simulator, on threaded replay (simnet schedule re-executed on real
+//! threads), and on threaded free-running (real concurrent delivery with
+//! a quiescence barrier at the settle). One Criterion group per system
+//! size, so the crossover where real cores start paying for their channel
+//! and wake-up overhead is visible directly.
+
+use apps::scenario::{generate_family_ops, run_script_backend, SettlePolicy, WorkloadFamily};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsm::ProtocolKind;
+use histories::Distribution;
+use simnet::{ExecBackend, SimConfig, ThreadedMode};
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_backend");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for n in [4usize, 8] {
+        let dist = Distribution::random(n, 2 * n, 2, 7);
+        let ops = generate_family_ops(
+            &dist,
+            &WorkloadFamily::ProducerConsumer,
+            16,
+            SettlePolicy::AtEnd,
+            7,
+        );
+        for (label, backend) in [
+            ("simnet", ExecBackend::Simnet),
+            (
+                "threaded-replay",
+                ExecBackend::Threaded(ThreadedMode::Replay),
+            ),
+            (
+                "threaded-free",
+                ExecBackend::Threaded(ThreadedMode::FreeRunning),
+            ),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    run_script_backend(
+                        ProtocolKind::PramPartial,
+                        &dist,
+                        &ops,
+                        SimConfig::default(),
+                        false,
+                        backend,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,23 +1,28 @@
-//! Regenerate the efficiency experiments (E1–E8) as text tables.
+//! Regenerate the efficiency experiments (E1–E9) as text tables.
 //!
 //! ```text
 //! cargo run --release -p bench --bin efficiency
 //! cargo run --release -p bench --bin efficiency -- --max-procs 32
 //! cargo run --release -p bench --bin efficiency -- --scaling-max 256
+//! cargo run --release -p bench --bin efficiency -- --threads-max 4
 //! ```
 //!
 //! `--max-procs` caps the E1 size loop; `--scaling-max` caps the E8
-//! scaling sweep (default 1024 — CI passes 64 to bound wall-clock).
+//! scaling sweep (default 1024 — CI passes 64 to bound wall-clock);
+//! `--threads-max` caps the E9 threaded-backend thread count (default 8 —
+//! CI passes 4 to stay inside small runners).
 
 use bench::{
     bellman_ford_point, delivery_mode_sweep, distribution_families, efficiency_sweep_point,
     fault_tolerance_sweep, relevance_fraction, routed_vs_mesh_sweep, scaling_sweep,
+    threaded_throughput_sweep,
 };
 use histories::Distribution;
 
 fn main() {
     let mut max_procs = 16usize;
     let mut scaling_max = 1024usize;
+    let mut threads_max = 8usize;
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--max-procs") {
         if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
@@ -27,6 +32,11 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--scaling-max") {
         if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
             scaling_max = v;
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--threads-max") {
+        if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            threads_max = v;
         }
     }
 
@@ -230,6 +240,31 @@ fn main() {
             row.control_bytes_per_op,
             row.events,
             row.events_per_sec()
+        );
+    }
+    println!();
+
+    println!(
+        "E9 — threaded execution backend (one OS thread per process, free-running, \
+         producer/consumer bulk phase; ops/s columns are host wall-clock)"
+    );
+    println!(
+        "{:>8} {:<16} {:>10} {:>14} {:>17} {:>17}",
+        "threads", "protocol", "ops", "threaded ops/s", "simnet ops/s", "simnet events/s"
+    );
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= threads_max)
+        .collect();
+    for row in threaded_throughput_sweep(&thread_counts, 24, 7) {
+        println!(
+            "{:>8} {:<16} {:>10} {:>14.0} {:>17.0} {:>17.0}",
+            row.threads,
+            row.protocol.name(),
+            row.operations,
+            row.ops_per_sec(),
+            row.simnet_ops_per_sec(),
+            row.simnet_events_per_sec()
         );
     }
     println!();

@@ -11,17 +11,17 @@
 #![warn(missing_docs)]
 
 use apps::scenario::{
-    generate_family_ops, latency_label, parallel_map, run_script, run_script_faulted,
-    standard_deliveries, standard_distributions, standard_faults, standard_latencies,
-    standard_topologies, standard_workloads, CrashSchedule, DistributionFamily, FaultFamily,
-    SettlePolicy, TopologyFamily, WorkloadFamily,
+    effective_sweep_workers, generate_family_ops, latency_label, parallel_map, run_script,
+    run_script_backend, run_script_faulted, standard_deliveries, standard_distributions,
+    standard_faults, standard_latencies, standard_topologies, standard_workloads, CrashSchedule,
+    DistributionFamily, FaultFamily, SettlePolicy, TopologyFamily, WorkloadFamily,
 };
 use apps::workload::WorkloadOp;
 use apps::{run_bellman_ford, Network};
 use dsm::ProtocolKind;
 use histories::{causal_spot_check, pram_spot_check, Distribution, VarId};
 use serde::{Deserialize, Serialize};
-use simnet::{DeliveryMode, LatencyModel, SimConfig};
+use simnet::{DeliveryMode, ExecBackend, LatencyModel, SimConfig, ThreadedMode};
 
 /// One row of an efficiency table: the cost of running a workload under one
 /// protocol.
@@ -192,6 +192,15 @@ pub struct ScenarioMatrixRow {
     pub duplicates: u64,
     /// Virtual nanoseconds until quiescence.
     pub virtual_nanos: u64,
+    /// Event-buffer-pool acquisitions served from a free list during the
+    /// cell's run (deterministic, like every non-wall-clock column).
+    pub pool_hits: u64,
+    /// Event-buffer-pool acquisitions that had to allocate fresh.
+    pub pool_misses: u64,
+    /// Worker threads the sweep's [`apps::scenario::parallel_map`] fan-out
+    /// actually used (identical for every row of one sweep; recorded so a
+    /// checked-in JSON names the parallelism it was produced under).
+    pub sweep_workers: usize,
 }
 
 impl ScenarioMatrixRow {
@@ -218,7 +227,8 @@ impl ScenarioMatrixRow {
             "{{\"protocol\":\"{}\",\"distribution\":\"{}\",\"workload\":\"{}\",\"latency\":\"{}\",\
              \"topology\":\"{}\",\"delivery\":\"{}\",\"fault\":\"{}\",\"processes\":{},\
              \"messages\":{},\"data_bytes\":{},\"control_bytes\":{},\"control_bytes_per_op\":{:.3},\
-             \"forwarded\":{},\"drops\":{},\"duplicates\":{},\"virtual_nanos\":{}}}",
+             \"forwarded\":{},\"drops\":{},\"duplicates\":{},\"virtual_nanos\":{},\
+             \"pool_hits\":{},\"pool_misses\":{},\"sweep_workers\":{}}}",
             self.protocol,
             self.distribution,
             self.workload,
@@ -234,7 +244,10 @@ impl ScenarioMatrixRow {
             self.forwarded,
             self.drops,
             self.duplicates,
-            self.virtual_nanos
+            self.virtual_nanos,
+            self.pool_hits,
+            self.pool_misses,
+            self.sweep_workers
         )
     }
 
@@ -275,6 +288,18 @@ impl ScenarioMatrixRow {
             drops: num_field(line, "drops")?.parse().ok()?,
             duplicates: num_field(line, "duplicates")?.parse().ok()?,
             virtual_nanos: num_field(line, "virtual_nanos")?.parse().ok()?,
+            // Columns added after a baseline was recorded default to zero,
+            // so older checked-in `BENCH_*.json` rows keep parsing (the
+            // baseline gate compares control bytes only).
+            pool_hits: num_field(line, "pool_hits")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+            pool_misses: num_field(line, "pool_misses")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+            sweep_workers: num_field(line, "sweep_workers")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         })
     }
 }
@@ -381,6 +406,7 @@ pub fn scenario_matrix(n: usize, ops_per_process: usize, seed: u64) -> Vec<Scena
             }
         }
     }
+    let sweep_workers = effective_sweep_workers(cells.len());
     parallel_map(cells, |cell| {
         let out = run_script_faulted(
             cell.kind,
@@ -407,6 +433,9 @@ pub fn scenario_matrix(n: usize, ops_per_process: usize, seed: u64) -> Vec<Scena
             drops: out.drops(),
             duplicates: out.duplicates(),
             virtual_nanos: out.virtual_time.as_nanos(),
+            pool_hits: out.pool.hits,
+            pool_misses: out.pool.misses,
+            sweep_workers,
         }
     })
 }
@@ -752,6 +781,7 @@ pub fn scenario_matrix_large(
             }
         }
     }
+    let sweep_workers = effective_sweep_workers(cells.len());
     parallel_map(cells, |cell| {
         let out = run_script(cell.kind, &cell.dist, &cell.ops, cell.config, true);
         match cell.kind {
@@ -793,6 +823,9 @@ pub fn scenario_matrix_large(
             drops: out.drops(),
             duplicates: out.duplicates(),
             virtual_nanos: out.virtual_time.as_nanos(),
+            pool_hits: out.pool.hits,
+            pool_misses: out.pool.misses,
+            sweep_workers,
         }
     })
 }
@@ -879,6 +912,116 @@ pub fn scaling_sweep(ns: &[usize], ops_per_process: usize, seed: u64) -> Vec<Sca
                     wall_nanos,
                 });
             }
+        }
+    }
+    rows
+}
+
+/// One row of the threaded-backend throughput table (experiment E9): one
+/// protocol at one system size, each process on its own OS thread in
+/// free-running mode, with the simnet run of the same script alongside.
+/// The threaded columns answer "what do real cores buy" (application
+/// operations per wall-clock second); the simnet columns restate the
+/// deterministic engine's cost in its own work unit (events per second).
+/// Like E8, every wall-clock field is host-dependent: reported, never
+/// recorded in the baseline or asserted on.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThreadedThroughputRow {
+    /// Protocol measured.
+    pub protocol: ProtocolKind,
+    /// Number of processes = number of worker OS threads.
+    pub threads: usize,
+    /// Application operations issued (identical for both backends).
+    pub operations: u64,
+    /// Wall-clock nanoseconds of the threaded free-running run.
+    pub wall_nanos: u64,
+    /// Simulator events the simnet run of the same script processed.
+    pub simnet_events: u64,
+    /// Wall-clock nanoseconds of the simnet run.
+    pub simnet_wall_nanos: u64,
+}
+
+impl ThreadedThroughputRow {
+    /// Application operations per wall-clock second on the threaded
+    /// backend (host-dependent).
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.operations as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+
+    /// Application operations per wall-clock second on simnet
+    /// (host-dependent).
+    pub fn simnet_ops_per_sec(&self) -> f64 {
+        if self.simnet_wall_nanos == 0 {
+            0.0
+        } else {
+            self.operations as f64 * 1e9 / self.simnet_wall_nanos as f64
+        }
+    }
+
+    /// Simulator events per wall-clock second of the simnet run
+    /// (host-dependent) — comparable to the E8 throughput column.
+    pub fn simnet_events_per_sec(&self) -> f64 {
+        if self.simnet_wall_nanos == 0 {
+            0.0
+        } else {
+            self.simnet_events as f64 * 1e9 / self.simnet_wall_nanos as f64
+        }
+    }
+}
+
+/// The E9 threaded-throughput sweep: every protocol at each thread count
+/// in `thread_counts` (one process per OS thread), running a bulk-phase
+/// uniform workload free-running — writes race across real cores and a
+/// quiescence barrier at the end settles the run — with the simnet run of
+/// the identical script timed alongside as the deterministic reference
+/// (backend equivalence itself is pinned by the differential tests; here
+/// only the issued-operation counts are cross-checked). Cells run
+/// sequentially so the wall-clock columns measure an uncontended host.
+pub fn threaded_throughput_sweep(
+    thread_counts: &[usize],
+    ops_per_process: usize,
+    seed: u64,
+) -> Vec<ThreadedThroughputRow> {
+    let mut rows = Vec::new();
+    for &n in thread_counts {
+        let dist = Distribution::random(n, 2 * n, 2.min(n), seed);
+        let ops = generate_family_ops(
+            &dist,
+            &WorkloadFamily::ProducerConsumer,
+            ops_per_process,
+            SettlePolicy::AtEnd,
+            seed,
+        );
+        for kind in ProtocolKind::ALL {
+            let sim_start = std::time::Instant::now();
+            let sim = run_script(kind, &dist, &ops, SimConfig::default(), false);
+            let simnet_wall_nanos = sim_start.elapsed().as_nanos() as u64;
+            let thr_start = std::time::Instant::now();
+            let thr = run_script_backend(
+                kind,
+                &dist,
+                &ops,
+                SimConfig::default(),
+                false,
+                ExecBackend::Threaded(ThreadedMode::FreeRunning),
+            );
+            let wall_nanos = thr_start.elapsed().as_nanos() as u64;
+            assert_eq!(
+                sim.operations, thr.operations,
+                "{kind}/{n}: backends disagree on issued operations"
+            );
+            rows.push(ThreadedThroughputRow {
+                protocol: kind,
+                threads: n,
+                operations: thr.operations,
+                wall_nanos,
+                simnet_events: sim.events,
+                simnet_wall_nanos,
+            });
         }
     }
     rows
@@ -1394,6 +1537,9 @@ mod tests {
             assert_eq!(parsed.control_bytes, row.control_bytes);
             assert_eq!(parsed.forwarded, row.forwarded);
             assert_eq!(parsed.virtual_nanos, row.virtual_nanos);
+            assert_eq!(parsed.pool_hits, row.pool_hits);
+            assert_eq!(parsed.pool_misses, row.pool_misses);
+            assert_eq!(parsed.sweep_workers, row.sweep_workers);
         }
         // Array framing (trailing comma, whitespace) is tolerated; other
         // lines are not rows.
@@ -1401,6 +1547,54 @@ mod tests {
         assert!(ScenarioMatrixRow::from_json(&line).is_some());
         assert!(ScenarioMatrixRow::from_json("[").is_none());
         assert!(ScenarioMatrixRow::from_json("]").is_none());
+        // Rows recorded before the pool/worker columns existed still
+        // parse, with the new columns defaulting to zero — the checked-in
+        // baseline stays valid without regeneration.
+        let legacy = line
+            .replace(&format!(",\"pool_hits\":{}", rows[0].pool_hits), "")
+            .replace(&format!(",\"pool_misses\":{}", rows[0].pool_misses), "")
+            .replace(&format!(",\"sweep_workers\":{}", rows[0].sweep_workers), "");
+        let parsed = ScenarioMatrixRow::from_json(&legacy).unwrap();
+        assert_eq!(parsed.coordinate(), rows[0].coordinate());
+        assert_eq!(parsed.control_bytes, rows[0].control_bytes);
+        assert_eq!(parsed.pool_hits, 0);
+        assert_eq!(parsed.pool_misses, 0);
+        assert_eq!(parsed.sweep_workers, 0);
+    }
+
+    /// The sweep rows carry the scheduler's pool accounting: after warmup
+    /// the event path recycles buffers, so hits dominate somewhere, and
+    /// every row records the fan-out width it ran under.
+    #[test]
+    fn matrix_rows_report_pool_and_worker_columns() {
+        let rows = scenario_matrix(5, 3, 9);
+        let workers = rows[0].sweep_workers;
+        assert!(workers >= 1);
+        assert!(rows.iter().all(|r| r.sweep_workers == workers));
+        assert!(rows.iter().any(|r| r.pool_hits > 0));
+        // Pool accounting is part of the deterministic row payload: two
+        // identical sweeps agree column for column.
+        let again = scenario_matrix(5, 3, 9);
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.pool_hits, b.pool_hits, "{}", a.coordinate());
+            assert_eq!(a.pool_misses, b.pool_misses, "{}", a.coordinate());
+        }
+    }
+
+    /// E9 smoke: the threaded sweep produces one row per (thread count,
+    /// protocol), with sane deterministic columns; wall-clock columns are
+    /// only required to be nonzero.
+    #[test]
+    fn threaded_throughput_sweep_covers_every_protocol() {
+        let rows = threaded_throughput_sweep(&[2, 4], 3, 7);
+        assert_eq!(rows.len(), 2 * ProtocolKind::ALL.len());
+        for row in &rows {
+            assert!(row.operations > 0, "{}/{}", row.protocol, row.threads);
+            assert!(row.simnet_events > 0);
+            assert!(row.wall_nanos > 0 && row.simnet_wall_nanos > 0);
+            assert!(row.ops_per_sec() > 0.0);
+            assert!(row.simnet_events_per_sec() > 0.0);
+        }
     }
 
     #[test]

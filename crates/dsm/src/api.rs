@@ -133,6 +133,15 @@ pub enum DsmError {
         /// Human-readable reason the configuration was rejected.
         reason: String,
     },
+    /// The operation (or configuration) is not available on the selected
+    /// execution backend — for example crash/restart, sparse topologies,
+    /// overlay routing, or fault plans on [`simnet::ExecBackend::Threaded`],
+    /// which deliberately supports only direct full-mesh fault-free runs
+    /// for now.
+    Unsupported {
+        /// Human-readable description of the unsupported combination.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DsmError {
@@ -150,6 +159,9 @@ impl fmt::Display for DsmError {
             }
             DsmError::Network(e) => e.fmt(f),
             DsmError::InvalidConfig { reason } => f.write_str(reason),
+            DsmError::Unsupported { reason } => {
+                write!(f, "unsupported on this execution backend: {reason}")
+            }
         }
     }
 }
@@ -210,5 +222,14 @@ mod tests {
         assert!(e.to_string().contains("x7"));
         let u = DsmError::UnknownProcess { proc: ProcId(9) };
         assert!(u.to_string().contains("p9"));
+    }
+
+    #[test]
+    fn unsupported_error_names_the_backend() {
+        let e = DsmError::Unsupported {
+            reason: "crash/restart on the threaded backend".to_string(),
+        };
+        assert!(e.to_string().contains("execution backend"));
+        assert!(e.to_string().contains("crash/restart"));
     }
 }

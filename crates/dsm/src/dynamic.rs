@@ -21,7 +21,9 @@ use crate::protocol::pram_partial::PramPartial;
 use crate::protocol::sequential::Sequential;
 use crate::runtime::DsmSystem;
 use histories::{Distribution, History, ProcId, Value, VarId};
-use simnet::{DeliveryMode, NetworkStats, RunOutcome, SimConfig, SimTime, Topology};
+use simnet::{
+    DeliveryMode, ExecBackend, NetworkStats, PoolStats, RunOutcome, SimConfig, SimTime, Topology,
+};
 
 /// A persisted replica image of one process, taken by
 /// [`DynDsm::snapshot`] and restorable by [`DynDsm::restore`]. Wraps the
@@ -112,20 +114,47 @@ impl DynDsm {
         dist: Distribution,
         config: SimConfig,
     ) -> Result<Self, crate::DsmError> {
+        Self::try_with_backend(kind, dist, config, ExecBackend::Simnet)
+    }
+
+    /// Build a system for `kind` on an explicit execution backend; panics
+    /// where [`DynDsm::try_with_backend`] would return an error.
+    pub fn with_backend(
+        kind: ProtocolKind,
+        dist: Distribution,
+        config: SimConfig,
+        backend: ExecBackend,
+    ) -> Self {
+        Self::try_with_backend(kind, dist, config, backend).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build a system for `kind` on an explicit execution backend (see
+    /// [`DsmSystem::try_with_backend`] for what each backend supports).
+    pub fn try_with_backend(
+        kind: ProtocolKind,
+        dist: Distribution,
+        config: SimConfig,
+        backend: ExecBackend,
+    ) -> Result<Self, crate::DsmError> {
         Ok(match kind {
             ProtocolKind::CausalFull => {
-                DynDsm::CausalFull(DsmSystem::try_with_config(dist, config)?)
+                DynDsm::CausalFull(DsmSystem::try_with_backend(dist, config, backend)?)
             }
             ProtocolKind::CausalPartial => {
-                DynDsm::CausalPartial(DsmSystem::try_with_config(dist, config)?)
+                DynDsm::CausalPartial(DsmSystem::try_with_backend(dist, config, backend)?)
             }
             ProtocolKind::PramPartial => {
-                DynDsm::PramPartial(DsmSystem::try_with_config(dist, config)?)
+                DynDsm::PramPartial(DsmSystem::try_with_backend(dist, config, backend)?)
             }
             ProtocolKind::Sequential => {
-                DynDsm::Sequential(DsmSystem::try_with_config(dist, config)?)
+                DynDsm::Sequential(DsmSystem::try_with_backend(dist, config, backend)?)
             }
         })
+    }
+
+    /// The execution backend this system runs on.
+    pub fn backend(&self) -> ExecBackend {
+        dispatch!(self, sys => sys.backend())
     }
 
     /// Disable operation recording (useful for large benchmark runs).
@@ -179,6 +208,12 @@ impl DynDsm {
     /// Total simulator events (deliveries + timers) processed so far.
     pub fn events_processed(&self) -> u64 {
         dispatch!(self, sys => sys.events_processed())
+    }
+
+    /// Buffer-pool hit/miss statistics of the event-driven scheduler
+    /// (see [`DsmSystem::pool_stats`]).
+    pub fn pool_stats(&self) -> PoolStats {
+        dispatch!(self, sys => sys.pool_stats())
     }
 
     /// Issue `w_p(var)value`.

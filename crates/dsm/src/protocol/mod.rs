@@ -31,7 +31,10 @@ use std::fmt;
 /// replica and hand propagation messages to the provided context.
 pub trait McsNode: Node<<Self as McsNode>::Msg> {
     /// The message type exchanged between nodes of this protocol.
-    type Msg: WireSize + fmt::Debug + Clone;
+    /// `Send + 'static` because the threaded execution backend moves
+    /// payloads across OS threads; every message type here is plain data,
+    /// so the bound costs nothing.
+    type Msg: WireSize + fmt::Debug + Clone + Send + 'static;
 
     /// Wait-free local read. Returns `⊥` if the variable has never been
     /// written (or is not replicated here — callers are expected to check
@@ -61,12 +64,15 @@ pub trait McsNode: Node<<Self as McsNode>::Msg> {
 /// A protocol family: how to instantiate one node per process for a given
 /// variable distribution.
 pub trait ProtocolSpec {
-    /// Message type.
-    type Msg: WireSize + fmt::Debug + Clone;
+    /// Message type (`Send + 'static` for the threaded backend — see
+    /// [`McsNode::Msg`]).
+    type Msg: WireSize + fmt::Debug + Clone + Send + 'static;
     /// Node type. `Clone` is the persistence model of the fault layer: a
     /// crash snapshot is a clone of the node state (replica values, clocks,
-    /// pending records), and a restart restores it verbatim.
-    type Node: McsNode<Msg = Self::Msg> + Clone;
+    /// pending records), and a restart restores it verbatim. `Send +
+    /// 'static` lets the threaded backend host each node on its own OS
+    /// thread.
+    type Node: McsNode<Msg = Self::Msg> + Clone + Send + 'static;
 
     /// Which protocol this is.
     const KIND: ProtocolKind;

@@ -21,12 +21,25 @@ use crate::protocol::{McsNode, ProtocolSpec};
 use crate::recorder::Recorder;
 use histories::{Distribution, History, ProcId, Value, VarId};
 use simnet::{
-    DeliveryMode, NetworkStats, NodeId, RunOutcome, SimConfig, SimTime, Topology, Transport,
+    DeliveryMode, ExecBackend, NetworkStats, NodeId, PoolStats, RoutingMode, RunOutcome, SimConfig,
+    SimTime, ThreadedNet, Topology, Transport,
 };
+
+/// The execution substrate a [`DsmSystem`] drives its nodes on: the
+/// discrete-event transport or the threaded channel fabric. The protocol
+/// nodes are identical either way; only the scheduler differs.
+enum NetBackend<P: ProtocolSpec> {
+    /// Discrete-event simulation (virtual time, full feature set).
+    Sim(Transport<P::Msg, P::Node>),
+    /// One OS thread per process (replay or free-running; no faults, no
+    /// routing — see [`DsmError::Unsupported`]).
+    Threaded(ThreadedNet<P::Msg, P::Node>),
+}
 
 /// A complete simulated DSM deployment for protocol `P`.
 pub struct DsmSystem<P: ProtocolSpec> {
-    net: Transport<P::Msg, P::Node>,
+    net: NetBackend<P>,
+    backend: ExecBackend,
     dist: Distribution,
     delivery: DeliveryMode,
     recorder: Recorder,
@@ -67,6 +80,85 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     /// [`DsmSystem::with_config`] would panic on is returned as a
     /// [`DsmError::InvalidConfig`] instead.
     pub fn try_with_config(dist: Distribution, config: SimConfig) -> Result<Self, DsmError> {
+        Self::try_with_backend(dist, config, ExecBackend::Simnet)
+    }
+
+    /// Build a system on an explicit execution backend; panics where
+    /// [`DsmSystem::try_with_backend`] would return an error.
+    pub fn with_backend(dist: Distribution, config: SimConfig, backend: ExecBackend) -> Self {
+        Self::try_with_backend(dist, config, backend).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build a system on an explicit execution backend.
+    ///
+    /// [`ExecBackend::Simnet`] accepts everything
+    /// [`DsmSystem::try_with_config`] accepts.
+    /// [`ExecBackend::Threaded`] deliberately supports only the paper's
+    /// base model — direct full-mesh links, no routing, no fault plan —
+    /// and returns [`DsmError::Unsupported`] for anything else.
+    pub fn try_with_backend(
+        dist: Distribution,
+        config: SimConfig,
+        backend: ExecBackend,
+    ) -> Result<Self, DsmError> {
+        match backend {
+            ExecBackend::Simnet => Self::build_simnet(dist, config, backend),
+            ExecBackend::Threaded(mode) => {
+                if !config.faults.is_trivial() {
+                    return Err(DsmError::Unsupported {
+                        reason: "fault injection on the threaded backend (drops, duplicates, \
+                                 and crash windows are simnet-only)"
+                            .to_string(),
+                    });
+                }
+                if config.routing == RoutingMode::ForceRouted {
+                    return Err(DsmError::Unsupported {
+                        reason: "overlay routing on the threaded backend (links are direct \
+                                 full-mesh channels)"
+                            .to_string(),
+                    });
+                }
+                if let Some(t) = &config.topology {
+                    if t.node_count() != dist.process_count() {
+                        return Err(DsmError::InvalidConfig {
+                            reason: format!(
+                                "topology must have one node per process \
+                                 ({} nodes for {} processes)",
+                                t.node_count(),
+                                dist.process_count()
+                            ),
+                        });
+                    }
+                    if !t.is_full_mesh() {
+                        return Err(DsmError::Unsupported {
+                            reason: "sparse topologies on the threaded backend (the channel \
+                                     fabric is a full mesh)"
+                                .to_string(),
+                        });
+                    }
+                }
+                let delivery = config.delivery;
+                let nodes = P::build_nodes(&dist, delivery);
+                let net = ThreadedNet::new(mode, config, nodes);
+                let recorder = Recorder::new(dist.process_count());
+                let crashed = (0..dist.process_count()).map(|_| None).collect();
+                Ok(DsmSystem {
+                    net: NetBackend::Threaded(net),
+                    backend,
+                    dist,
+                    delivery,
+                    recorder,
+                    crashed,
+                })
+            }
+        }
+    }
+
+    fn build_simnet(
+        dist: Distribution,
+        config: SimConfig,
+        backend: ExecBackend,
+    ) -> Result<Self, DsmError> {
         if !config.faults.crashes.is_empty() {
             return Err(DsmError::InvalidConfig {
                 reason: "scheduled FaultPlan crash windows bypass DSM recovery; drive crashes \
@@ -98,12 +190,18 @@ impl<P: ProtocolSpec> DsmSystem<P> {
         let recorder = Recorder::new(dist.process_count());
         let crashed = (0..dist.process_count()).map(|_| None).collect();
         Ok(DsmSystem {
-            net,
+            net: NetBackend::Sim(net),
+            backend,
             dist,
             delivery,
             recorder,
             crashed,
         })
+    }
+
+    /// The execution backend this system runs on.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
     }
 
     /// Disable operation recording (useful for large benchmark runs).
@@ -126,20 +224,32 @@ impl<P: ProtocolSpec> DsmSystem<P> {
         self.dist.process_count()
     }
 
-    /// Current virtual time.
+    /// Current virtual time. On the free-running threaded backend there
+    /// is no virtual clock and this is always zero; in replay mode it is
+    /// the oracle's clock (identical to the simnet run).
     pub fn now(&self) -> SimTime {
-        self.net.now()
+        match &self.net {
+            NetBackend::Sim(net) => net.now(),
+            NetBackend::Threaded(net) => net.now(),
+        }
     }
 
     /// The network topology the deployment runs over.
     pub fn topology(&self) -> &Topology {
-        self.net.topology()
+        match &self.net {
+            NetBackend::Sim(net) => net.topology(),
+            NetBackend::Threaded(net) => net.topology(),
+        }
     }
 
     /// Whether sends are relayed over shortest paths (sparse topology or
-    /// forced routing) rather than delivered on direct links.
+    /// forced routing) rather than delivered on direct links. Always
+    /// `false` on the threaded backend.
     pub fn is_routed(&self) -> bool {
-        self.net.is_routed()
+        match &self.net {
+            NetBackend::Sim(net) => net.is_routed(),
+            NetBackend::Threaded(_) => false,
+        }
     }
 
     /// The wire delivery mode (multicast / batching) this deployment runs
@@ -149,15 +259,34 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     }
 
     /// Transit envelopes forwarded by intermediate nodes — the extra hops
-    /// the overlay pays compared to a full mesh (0 when direct).
+    /// the overlay pays compared to a full mesh (0 when direct, and
+    /// always 0 on the threaded backend).
     pub fn forwarded_messages(&self) -> u64 {
-        self.net.forwarded_messages()
+        match &self.net {
+            NetBackend::Sim(net) => net.forwarded_messages(),
+            NetBackend::Threaded(_) => 0,
+        }
     }
 
-    /// Total simulator events (deliveries + timers) processed so far —
-    /// the work unit the scaling sweeps report throughput in.
+    /// Total events (deliveries + timers) processed so far — the work
+    /// unit the scaling sweeps report throughput in. On the threaded
+    /// backend this counts handler executions across the workers (oracle
+    /// events in replay mode, so the number matches the simnet run).
     pub fn events_processed(&self) -> u64 {
-        self.net.events_processed()
+        match &self.net {
+            NetBackend::Sim(net) => net.events_processed(),
+            NetBackend::Threaded(net) => net.events_processed(),
+        }
+    }
+
+    /// Buffer-pool hit/miss statistics of the event-driven scheduler
+    /// (zeros on the free-running threaded backend, which allocates
+    /// directly; replay mode reports its oracle's pools).
+    pub fn pool_stats(&self) -> PoolStats {
+        match &self.net {
+            NetBackend::Sim(net) => net.pool_stats(),
+            NetBackend::Threaded(net) => net.pool_stats(),
+        }
     }
 
     fn validate(&self, p: ProcId, var: VarId) -> Result<(), DsmError> {
@@ -187,14 +316,20 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     /// storage, so the only thing a crash loses is the messages delivered
     /// while the node was down.
     pub fn snapshot(&self, p: ProcId) -> P::Node {
-        self.net.node(NodeId(p.index())).clone()
+        match &self.net {
+            NetBackend::Sim(net) => net.node(NodeId(p.index())).clone(),
+            NetBackend::Threaded(net) => net.query(NodeId(p.index()), |node| node.clone()),
+        }
     }
 
     /// Replace process `p`'s state machine with `snapshot` (the restore
     /// half of the persistence round trip; normally driven by
     /// [`DsmSystem::restart`]).
     pub fn restore(&mut self, p: ProcId, snapshot: P::Node) {
-        *self.net.node_mut(NodeId(p.index())) = snapshot;
+        match &mut self.net {
+            NetBackend::Sim(net) => *net.node_mut(NodeId(p.index())) = snapshot,
+            NetBackend::Threaded(net) => net.restore_node(NodeId(p.index()), snapshot),
+        }
     }
 
     /// Crash process `p`: persist its snapshot and take its node down.
@@ -203,6 +338,13 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     /// is parked and redelivered at restart. Operations issued by a
     /// crashed process fail with [`DsmError::Crashed`].
     pub fn crash(&mut self, p: ProcId) -> Result<(), DsmError> {
+        if self.backend.is_threaded() {
+            return Err(DsmError::Unsupported {
+                reason: "crash/restart on the threaded backend (worker threads cannot lose \
+                         in-flight channel messages deterministically yet)"
+                    .to_string(),
+            });
+        }
         if p.index() >= self.dist.process_count() {
             return Err(DsmError::UnknownProcess { proc: p });
         }
@@ -210,7 +352,9 @@ impl<P: ProtocolSpec> DsmSystem<P> {
             return Err(DsmError::Crashed { proc: p });
         }
         self.crashed[p.index()] = Some(self.snapshot(p));
-        self.net.set_down(NodeId(p.index()));
+        if let NetBackend::Sim(net) = &mut self.net {
+            net.set_down(NodeId(p.index()));
+        }
         Ok(())
     }
 
@@ -222,42 +366,69 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     /// protocol's gap-tolerant sequence numbers require catch-up traffic
     /// not to race with new writes).
     pub fn restart(&mut self, p: ProcId) -> Result<(), DsmError> {
+        if self.backend.is_threaded() {
+            return Err(DsmError::Unsupported {
+                reason: "crash/restart on the threaded backend (worker threads cannot lose \
+                         in-flight channel messages deterministically yet)"
+                    .to_string(),
+            });
+        }
         if p.index() >= self.dist.process_count() {
             return Err(DsmError::UnknownProcess { proc: p });
         }
         let snapshot = self.crashed[p.index()]
             .take()
             .ok_or(DsmError::Crashed { proc: p })?;
-        self.net.set_up(NodeId(p.index()));
-        self.restore(p, snapshot);
-        self.net
-            .try_with_node(NodeId(p.index()), |node, ctx| node.on_restart(ctx))?;
-        self.net.try_run_until_quiescent()?;
+        let NetBackend::Sim(net) = &mut self.net else {
+            unreachable!("threaded backends never crash a process");
+        };
+        net.set_up(NodeId(p.index()));
+        *net.node_mut(NodeId(p.index())) = snapshot;
+        net.try_with_node(NodeId(p.index()), |node, ctx| node.on_restart(ctx))?;
+        net.try_run_until_quiescent()?;
         Ok(())
     }
 
     /// Envelopes currently parked at a crashed process (transit traffic
-    /// awaiting its restart; 0 on direct transports).
+    /// awaiting its restart; 0 on direct transports and on the threaded
+    /// backend, which has no crashes).
     pub fn parked_messages(&self, p: ProcId) -> usize {
-        self.net.parked_count(NodeId(p.index()))
+        match &self.net {
+            NetBackend::Sim(net) => net.parked_count(NodeId(p.index())),
+            NetBackend::Threaded(_) => 0,
+        }
     }
 
     /// Issue `w_p(var)value`.
     pub fn write(&mut self, p: ProcId, var: VarId, value: i64) -> Result<(), DsmError> {
         self.validate(p, var)?;
         self.recorder.record_write(p, var, value);
-        self.net.try_with_node(NodeId(p.index()), |node, ctx| {
-            node.local_write(ctx, var, value);
-        })?;
+        match &mut self.net {
+            NetBackend::Sim(net) => {
+                net.try_with_node(NodeId(p.index()), |node, ctx| {
+                    node.local_write(ctx, var, value);
+                })?;
+            }
+            NetBackend::Threaded(net) => {
+                net.with_node(NodeId(p.index()), move |node, ctx| {
+                    node.local_write(ctx, var, value);
+                });
+            }
+        }
         Ok(())
     }
 
     /// Issue `r_p(var)` and return the value the local replica holds.
     pub fn read(&mut self, p: ProcId, var: VarId) -> Result<Value, DsmError> {
         self.validate(p, var)?;
-        let value = self
-            .net
-            .try_with_node(NodeId(p.index()), |node, _ctx| node.local_read(var))?;
+        let value = match &mut self.net {
+            NetBackend::Sim(net) => {
+                net.try_with_node(NodeId(p.index()), |node, _ctx| node.local_read(var))?
+            }
+            NetBackend::Threaded(net) => {
+                net.with_node(NodeId(p.index()), move |node, _ctx| node.local_read(var))
+            }
+        };
         self.recorder.record_read(p, var, value);
         Ok(value)
     }
@@ -272,28 +443,49 @@ impl<P: ProtocolSpec> DsmSystem<P> {
 
     /// Fallible variant of [`DsmSystem::settle`].
     pub fn try_settle(&mut self) -> Result<RunOutcome, DsmError> {
-        Ok(self.net.try_run_until_quiescent()?)
+        match &mut self.net {
+            NetBackend::Sim(net) => Ok(net.try_run_until_quiescent()?),
+            NetBackend::Threaded(net) => Ok(net.settle()),
+        }
     }
 
     /// Deliver at most one pending message; returns `false` when idle.
+    /// Single-stepping is a simnet affordance: the threaded backend has
+    /// no event queue to step and always returns `false` (use
+    /// [`DsmSystem::settle`] there).
     pub fn step(&mut self) -> bool {
-        self.net.step()
+        match &mut self.net {
+            NetBackend::Sim(net) => net.step(),
+            NetBackend::Threaded(_) => false,
+        }
     }
 
     /// Number of messages still in flight.
     pub fn pending_messages(&self) -> usize {
-        self.net.pending_events()
+        match &self.net {
+            NetBackend::Sim(net) => net.pending_events(),
+            NetBackend::Threaded(net) => net.pending(),
+        }
     }
 
     /// Network-level statistics (messages, data bytes, control bytes).
+    /// On the threaded backend the counters are synchronized at settle
+    /// boundaries (replay mode reports the oracle's simnet-identical
+    /// accounting; free-running mode merges per-worker counters).
     pub fn network_stats(&self) -> &NetworkStats {
-        self.net.stats()
+        match &self.net {
+            NetBackend::Sim(net) => net.stats(),
+            NetBackend::Threaded(net) => net.stats(),
+        }
     }
 
     /// Per-node control-information accounting.
     pub fn control_summary(&self) -> ControlSummary {
         let stats = (0..self.process_count())
-            .map(|i| self.net.node(NodeId(i)).control().clone())
+            .map(|i| match &self.net {
+                NetBackend::Sim(net) => net.node(NodeId(i)).control().clone(),
+                NetBackend::Threaded(net) => net.query(NodeId(i), |node| node.control().clone()),
+            })
             .collect();
         ControlSummary::new(stats)
     }
@@ -311,7 +503,12 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     /// Direct read of a node's replica without recording an application
     /// operation (used by tests and convergence checks).
     pub fn peek(&self, p: ProcId, var: VarId) -> Value {
-        self.net.node(NodeId(p.index())).local_read(var)
+        match &self.net {
+            NetBackend::Sim(net) => net.node(NodeId(p.index())).local_read(var),
+            NetBackend::Threaded(net) => {
+                net.query(NodeId(p.index()), move |node| node.local_read(var))
+            }
+        }
     }
 }
 
@@ -728,6 +925,80 @@ mod tests {
         assert_eq!(sys.parked_messages(ProcId(2)), 0);
         sys.settle();
         assert_eq!(sys.peek(ProcId(3), VarId(0)), Value::Int(42));
+    }
+
+    #[test]
+    fn threaded_backend_runs_every_protocol() {
+        use simnet::{ExecBackend, ThreadedMode};
+        fn run<P: ProtocolSpec>(backend: ExecBackend) -> (Vec<Value>, History) {
+            let mut sys: DsmSystem<P> =
+                DsmSystem::with_backend(Distribution::full(3, 2), SimConfig::default(), backend);
+            assert_eq!(sys.backend(), backend);
+            sys.write(ProcId(0), VarId(0), 7).unwrap();
+            sys.write(ProcId(1), VarId(1), 9).unwrap();
+            sys.settle();
+            let _ = sys.read(ProcId(2), VarId(0)).unwrap();
+            sys.write(ProcId(2), VarId(0), 11).unwrap();
+            sys.settle();
+            let values = (0..3)
+                .flat_map(|p| (0..2).map(move |x| (p, x)))
+                .map(|(p, x)| sys.peek(ProcId(p), VarId(x)))
+                .collect();
+            (values, sys.history())
+        }
+        fn check_protocol<P: ProtocolSpec>() {
+            let (sim_values, sim_history) = run::<P>(ExecBackend::Simnet);
+            for mode in [ThreadedMode::Replay, ThreadedMode::FreeRunning] {
+                let (values, history) = run::<P>(ExecBackend::Threaded(mode));
+                assert_eq!(values, sim_values, "{:?} {mode:?}", P::KIND);
+                if mode == ThreadedMode::Replay {
+                    assert_eq!(history, sim_history, "{:?}", P::KIND);
+                }
+            }
+        }
+        check_protocol::<PramPartial>();
+        check_protocol::<CausalPartial>();
+        check_protocol::<CausalFull>();
+        check_protocol::<Sequential>();
+    }
+
+    #[test]
+    fn threaded_backend_rejects_unsupported_features() {
+        use simnet::{ExecBackend, FaultPlan, ThreadedMode};
+        let backend = ExecBackend::Threaded(ThreadedMode::Replay);
+
+        let sparse = SimConfig {
+            topology: Some(Topology::ring(4)),
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            DsmSystem::<PramPartial>::try_with_backend(partial_dist(), sparse, backend),
+            Err(DsmError::Unsupported { .. })
+        ));
+
+        let faulty = SimConfig {
+            faults: FaultPlan::lossy(0.1, 3),
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            DsmSystem::<PramPartial>::try_with_backend(partial_dist(), faulty, backend),
+            Err(DsmError::Unsupported { .. })
+        ));
+
+        let mut sys: DsmSystem<PramPartial> =
+            DsmSystem::with_backend(partial_dist(), SimConfig::default(), backend);
+        assert!(matches!(
+            sys.crash(ProcId(0)),
+            Err(DsmError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            sys.restart(ProcId(0)),
+            Err(DsmError::Unsupported { .. })
+        ));
+        assert!(!sys.is_routed());
+        assert_eq!(sys.forwarded_messages(), 0);
+        assert_eq!(sys.parked_messages(ProcId(0)), 0);
+        assert!(!sys.step());
     }
 
     #[test]

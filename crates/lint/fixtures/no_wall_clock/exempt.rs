@@ -1,0 +1,22 @@
+//! Exempt fixture for `no-wall-clock`: this snippet MUST fire under the
+//! rule's normal lib context (it reads host time in library code) and
+//! MUST stay silent when lexed under the threaded-backend path prefix
+//! (`crates/simnet/src/threaded*`), where the scoped exemption applies.
+//! The fixture harness checks both sides, so the waiver can never grow
+//! wider (or quietly stop applying) without this file noticing.
+
+use std::time::{Duration, Instant};
+
+/// A free-running quiescence spin: waits for in-flight work to drain,
+/// bounding the wait in host time. Legitimate only on the threaded
+/// backend, where preemptive OS scheduling has no virtual-time model.
+pub fn spin_until_quiescent(pending: impl Fn() -> u64, watchdog: Duration) {
+    let start = Instant::now();
+    while pending() > 0 {
+        assert!(
+            start.elapsed() < watchdog,
+            "threaded backend failed to reach quiescence"
+        );
+        std::thread::yield_now();
+    }
+}

@@ -25,6 +25,6 @@ pub mod workspace;
 
 pub use allowlist::Allowlist;
 pub use diag::Diagnostic;
-pub use rules::{catalog, Rule};
+pub use rules::{catalog, Exemption, Rule};
 pub use source::{FileKind, SourceFile};
 pub use workspace::{run_fixture_harness, run_workspace, workspace_root, Outcome};

@@ -71,6 +71,14 @@ fn self_test() -> ExitCode {
 fn list_rules() -> ExitCode {
     for rule in lint::catalog() {
         println!("{:<22} {}", rule.name(), rule.description());
+        if let Some(e) = rule.exemption() {
+            println!(
+                "{:<22}   exempt: {} — {}",
+                "",
+                e.path_prefixes.join(", "),
+                e.why
+            );
+        }
     }
     ExitCode::SUCCESS
 }

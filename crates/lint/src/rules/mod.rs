@@ -27,6 +27,25 @@ pub use no_unseeded_rng::NoUnseededRng;
 pub use no_wall_clock::NoWallClock;
 pub use wire_accounting::WireAccounting;
 
+/// A scoped waiver baked into a rule: the invariant genuinely cannot
+/// hold under these path prefixes, so the rule skips them entirely.
+///
+/// This is deliberately different from the allowlist. An allowlist entry
+/// silences one diagnostic on one line (and goes stale when the line
+/// moves); an exemption says the *rule does not apply* to a module, with
+/// the reason carried in the rule itself and a mandatory `exempt.rs`
+/// fixture pinning both sides of the boundary — the snippet must fire
+/// under the rule's normal context and stay silent under the exempt
+/// path. Growing the allowlist line-by-line for such a module would bury
+/// the policy in dozens of entries that rot on every edit.
+pub struct Exemption {
+    /// Repo-relative path prefixes the rule skips (prefix match, so
+    /// `crates/x/src/y` covers both `y.rs` and a `y/` directory).
+    pub path_prefixes: &'static [&'static str],
+    /// Why the invariant cannot hold there (shown by `--list`).
+    pub why: &'static str,
+}
+
 /// A workspace invariant checked over lexed source files.
 pub trait Rule {
     /// Stable kebab-case rule name (used in output and the allowlist).
@@ -41,6 +60,22 @@ pub trait Rule {
     /// The `(crate_name, rel_path, kind)` under which this rule's
     /// fixtures are lexed, chosen so the rule actually applies to them.
     fn fixture_context(&self) -> (&'static str, &'static str, FileKind);
+
+    /// The rule's scoped waiver, if it has one (see [`Exemption`]).
+    /// Rules with an exemption must ship an `exempt.rs` fixture; the
+    /// fixture harness enforces both sides of the boundary.
+    fn exemption(&self) -> Option<Exemption> {
+        None
+    }
+
+    /// Whether `rel_path` falls under this rule's exemption. Rules call
+    /// this first in `check` so the waiver applies identically in the
+    /// workspace run, the fixture harness, and the `--rule` CLI mode.
+    fn is_exempt_path(&self, rel_path: &str) -> bool {
+        self.exemption()
+            .map(|e| e.path_prefixes.iter().any(|p| rel_path.starts_with(p)))
+            .unwrap_or(false)
+    }
 }
 
 /// All rules, in the order they run and report.

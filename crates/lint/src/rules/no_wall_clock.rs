@@ -5,8 +5,15 @@
 //! through `simnet::SimTime`. Test modules and criterion benches are
 //! exempt (criterion itself measures wall time — that is its job), but
 //! first-party lib and bin code is not.
+//!
+//! One scoped exemption: the threaded execution backend
+//! (`crates/simnet/src/threaded*`) hosts nodes on real OS threads, where
+//! virtual time has no meaning across preemptive scheduling — its
+//! quiescence spins and shutdown watchdogs must read host time to bound
+//! waiting. Protocol-visible timing there still flows through the
+//! replayed simnet schedule, which is what the differential tests pin.
 
-use super::{diag_at, Rule};
+use super::{diag_at, Exemption, Rule};
 use crate::diag::Diagnostic;
 use crate::source::{FileKind, SourceFile};
 
@@ -24,6 +31,9 @@ impl Rule for NoWallClock {
 
     fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
         if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+            return Vec::new();
+        }
+        if self.is_exempt_path(&file.rel_path) {
             return Vec::new();
         }
         let mut out = Vec::new();
@@ -49,6 +59,17 @@ impl Rule for NoWallClock {
 
     fn fixture_context(&self) -> (&'static str, &'static str, FileKind) {
         ("simnet", "crates/simnet/src/fixture.rs", FileKind::Lib)
+    }
+
+    fn exemption(&self) -> Option<Exemption> {
+        Some(Exemption {
+            path_prefixes: &["crates/simnet/src/threaded"],
+            why: "the threaded execution backend runs nodes on real OS threads; its \
+                  free-running quiescence spin and shutdown watchdog must bound waiting \
+                  in host time, which has no virtual-time equivalent across preemptive \
+                  threads (protocol-visible ordering is pinned to the simnet schedule \
+                  by the replay differential tests instead)",
+        })
     }
 }
 

@@ -130,6 +130,10 @@ pub fn run_workspace(root: &Path) -> Outcome {
 
 /// Run the per-rule fixture harness: each rule's `violation.rs` must
 /// fire at least one diagnostic and its `clean.rs` must fire none.
+/// A rule with a scoped [`crate::rules::Exemption`] must additionally
+/// ship an `exempt.rs` that fires under the rule's normal context and
+/// stays silent when lexed under the exempt path — pinning both sides
+/// of the waiver boundary.
 /// Returns human-readable failures (empty = all fixtures behave).
 pub fn run_fixture_harness(root: &Path) -> Vec<String> {
     let mut failures = Vec::new();
@@ -137,6 +141,37 @@ pub fn run_fixture_harness(root: &Path) -> Vec<String> {
         let dir = root
             .join("crates/lint/fixtures")
             .join(rule.name().replace('-', "_"));
+        if let Some(exemption) = rule.exemption() {
+            let path = dir.join("exempt.rs");
+            match fs::read_to_string(&path) {
+                Err(e) => failures.push(format!(
+                    "[{}] rule declares an exemption but has no exempt.rs fixture ({}): {e}",
+                    rule.name(),
+                    path.display()
+                )),
+                Ok(text) => {
+                    let (crate_name, rel_path, kind) = rule.fixture_context();
+                    let normal = SourceFile::new(crate_name, rel_path, kind, &text);
+                    if rule.check(&normal).is_empty() {
+                        failures.push(format!(
+                            "[{}] exempt.rs stayed silent under the normal context — \
+                             it must demonstrate what the exemption waives",
+                            rule.name()
+                        ));
+                    }
+                    for prefix in exemption.path_prefixes {
+                        let exempt_path = format!("{prefix}.rs");
+                        let exempt = SourceFile::new(crate_name, &exempt_path, kind, &text);
+                        if !rule.check(&exempt).is_empty() {
+                            failures.push(format!(
+                                "[{}] exempt.rs fired under exempt path {exempt_path}",
+                                rule.name()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
         for (case, want_fire) in [("violation.rs", true), ("clean.rs", false)] {
             let path = dir.join(case);
             let text = match fs::read_to_string(&path) {

@@ -55,6 +55,55 @@ fn every_rule_stays_silent_on_its_clean_fixture() {
     }
 }
 
+/// Rules with a scoped exemption ship an `exempt.rs` pinning both sides
+/// of the waiver: the snippet fires under the rule's normal context and
+/// stays silent under every exempt path prefix. At least one rule must
+/// exercise the mechanism (the threaded-backend wall-clock waiver).
+#[test]
+fn exempt_fixtures_pin_both_sides_of_the_waiver() {
+    let mut exempted_rules = 0;
+    for rule in catalog() {
+        let Some(exemption) = rule.exemption() else {
+            continue;
+        };
+        exempted_rules += 1;
+        assert!(
+            !exemption.why.is_empty(),
+            "[{}] exemption without a written reason",
+            rule.name()
+        );
+        let path = fixture_dir(rule.name()).join("exempt.rs");
+        let text = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("[{}] read {}: {e}", rule.name(), path.display()));
+        let (crate_name, rel_path, kind) = rule.fixture_context();
+        assert!(
+            !rule.is_exempt_path(rel_path),
+            "[{}] fixture context sits inside the exemption — the normal side would be vacuous",
+            rule.name()
+        );
+        let normal = SourceFile::new(crate_name, rel_path, kind, &text);
+        assert!(
+            !rule.check(&normal).is_empty(),
+            "[{}] exempt.rs must fire under the normal context",
+            rule.name()
+        );
+        for prefix in exemption.path_prefixes {
+            let exempt_path = format!("{prefix}.rs");
+            assert!(rule.is_exempt_path(&exempt_path));
+            let exempt = SourceFile::new(crate_name, &exempt_path, kind, &text);
+            assert!(
+                rule.check(&exempt).is_empty(),
+                "[{}] exempt.rs fired under exempt path {exempt_path}",
+                rule.name()
+            );
+        }
+    }
+    assert!(
+        exempted_rules >= 1,
+        "the threaded-backend wall-clock waiver should exist"
+    );
+}
+
 #[test]
 fn fixture_harness_agrees_with_the_direct_checks() {
     let failures = lint::run_fixture_harness(&lint::workspace_root());

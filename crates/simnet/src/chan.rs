@@ -1,0 +1,194 @@
+//! Mutex-free MPSC link fabric for the threaded backend.
+//!
+//! Each node owns one [`Mailbox`] (the receiving half of a
+//! [`std::sync::mpsc`] channel) and every participant holds a [`Post`] — a
+//! bundle of senders, one per mailbox. `std::sync::mpsc` channels are
+//! lock-free in the multi-producer case and guarantee per-sender FIFO
+//! delivery, which is exactly the reliable-FIFO-link model the paper
+//! assumes: messages from node *i* to node *j* arrive in send order, while
+//! messages from different senders interleave arbitrarily.
+//!
+//! Quiescence detection in free-running mode uses [`InFlight`], a shared
+//! atomic counter of protocol events (deliveries and timer firings) that
+//! have been accepted into the fabric but not yet fully processed. The
+//! counter is incremented *before* a send and decremented only after the
+//! receiving worker has run the handler **and flushed its outbox** (each
+//! send in the flush increments before the triggering event decrements),
+//! so the count can only reach zero when no handler is running and no
+//! message is buffered anywhere — a genuine global quiescence point.
+
+use crate::message::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Shared count of protocol events in flight (sent but not fully
+/// processed). Zero means the fabric is quiescent.
+#[derive(Debug, Default)]
+pub struct InFlight(AtomicU64);
+
+impl InFlight {
+    /// Record one event entering the fabric. Must happen *before* the
+    /// corresponding channel send.
+    pub fn up(&self) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Record one event fully processed (handler run and outbox flushed).
+    pub fn down(&self) {
+        let prev = self.0.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "InFlight underflow");
+    }
+
+    /// Current number of in-flight events.
+    pub fn load(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// The sending side of the fabric: one sender per mailbox. Cloning a
+/// `Post` clones every sender, so each worker thread carries its own
+/// independent handle to every link.
+#[derive(Debug)]
+pub struct Post<M> {
+    txs: Vec<mpsc::Sender<M>>,
+}
+
+impl<M> Clone for Post<M> {
+    fn clone(&self) -> Self {
+        Post {
+            txs: self.txs.clone(),
+        }
+    }
+}
+
+impl<M> Post<M> {
+    /// Number of mailboxes the fabric connects.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Whether the fabric has no mailboxes.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// Send `msg` to `node`'s mailbox. Returns `false` if the mailbox was
+    /// dropped (its worker exited), which callers treat as fatal during a
+    /// run and ignorable during shutdown.
+    pub fn to(&self, node: NodeId, msg: M) -> bool {
+        self.txs[node.index()].send(msg).is_ok()
+    }
+}
+
+/// Outcome of a bounded wait on a [`Mailbox`].
+#[derive(Debug)]
+pub enum Recv<M> {
+    /// A message arrived within the timeout.
+    Msg(M),
+    /// The timeout elapsed with the mailbox still connected.
+    Timeout,
+    /// Every sender was dropped (shutdown).
+    Disconnected,
+}
+
+/// The receiving side of one node's link bundle.
+#[derive(Debug)]
+pub struct Mailbox<M> {
+    rx: mpsc::Receiver<M>,
+}
+
+impl<M> Mailbox<M> {
+    /// Block until a message arrives. `None` means every sender was
+    /// dropped (shutdown).
+    pub fn recv(&self) -> Option<M> {
+        self.rx.recv().ok()
+    }
+
+    /// Block up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Recv<M> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Recv::Msg(m),
+            Err(mpsc::RecvTimeoutError::Timeout) => Recv::Timeout,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Recv::Disconnected,
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<M> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Build a full-mesh fabric over `n` nodes: `n` mailboxes plus a [`Post`]
+/// reaching all of them. Self-links exist (a node may post to itself;
+/// free-running timers ride on them).
+pub fn mesh<M>(n: usize) -> (Post<M>, Vec<Mailbox<M>>) {
+    let mut txs = Vec::with_capacity(n);
+    let mut mailboxes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = mpsc::channel();
+        txs.push(tx);
+        mailboxes.push(Mailbox { rx });
+    }
+    (Post { txs }, mailboxes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_sender_fifo_is_preserved() {
+        let (post, mut boxes) = mesh::<(usize, u32)>(2);
+        let inbox = boxes.remove(1);
+        for k in 0..10u32 {
+            assert!(post.to(NodeId(1), (0, k)));
+        }
+        for k in 0..10u32 {
+            assert_eq!(inbox.recv(), Some((0, k)));
+        }
+        assert_eq!(inbox.try_recv(), None);
+    }
+
+    #[test]
+    fn inflight_counts_up_and_down() {
+        let f = InFlight::default();
+        assert_eq!(f.load(), 0);
+        f.up();
+        f.up();
+        assert_eq!(f.load(), 2);
+        f.down();
+        assert_eq!(f.load(), 1);
+        f.down();
+        assert_eq!(f.load(), 0);
+    }
+
+    #[test]
+    fn cross_thread_delivery_works() {
+        let (post, mut boxes) = mesh::<u64>(2);
+        let inbox = boxes.remove(1);
+        let p = post.clone();
+        let h = std::thread::spawn(move || {
+            for k in 0..100u64 {
+                assert!(p.to(NodeId(1), k));
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            if let Some(v) = inbox.recv() {
+                got.push(v);
+            }
+        }
+        h.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mesh_shape() {
+        let (post, boxes) = mesh::<u8>(4);
+        assert_eq!(post.len(), 4);
+        assert!(!post.is_empty());
+        assert_eq!(boxes.len(), 4);
+    }
+}

@@ -37,6 +37,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod backend;
+pub mod chan;
 pub mod channel;
 pub mod event;
 pub mod fault;
@@ -47,10 +49,12 @@ pub mod pool;
 pub mod route;
 pub mod sim;
 pub mod stats;
+pub mod threaded;
 pub mod time;
 pub mod trace;
 pub mod transport;
 
+pub use backend::{ExecBackend, ThreadedMode};
 pub use channel::{Channel, LatencyModel, Transmission};
 pub use event::{Event, EventKind, EventQueue};
 pub use fault::{CrashWindow, DownAction, FaultError, FaultPlan};
@@ -61,6 +65,7 @@ pub use pool::{BufferPool, PoolStats};
 pub use route::{Multicast, Packet, Relay, RouteError, Routed, Router};
 pub use sim::{RunOutcome, SendError, SimConfig, Simulator};
 pub use stats::{LinkStats, NetworkStats, NodeStats};
+pub use threaded::ThreadedNet;
 pub use time::{SimDuration, SimTime};
 pub use trace::{EventTrace, TraceEntry};
 pub use transport::{DeliveryMode, RoutingMode, Transport};

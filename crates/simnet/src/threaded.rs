@@ -1,0 +1,837 @@
+//! Threaded execution backend: one OS thread per node, MPSC channels as
+//! links, pinned (optionally) to a simnet oracle.
+//!
+//! The discrete-event simulator gives bit-identical runs and exact wire
+//! accounting; this module gives real cores. Each protocol node moves
+//! onto its own worker thread and exchanges the *same* payload types over
+//! the mutex-free channel fabric of [`chan`](crate::chan). The protocol
+//! code is reused unchanged: workers drive the [`Node`] trait exactly as
+//! the simulator does (handler, then flush timers and outbox in order).
+//!
+//! Two modes, chosen by [`ThreadedMode`]:
+//!
+//! * **Replay** — the `ThreadedNet` embeds a [`Transport`] oracle (the
+//!   exact object the simnet backend runs on). Every local operation is
+//!   applied to the oracle *and* to the live worker; at settle time the
+//!   oracle runs to quiescence, its event trace is cut into a
+//!   [`ReplayWindow`] (one entry per delivery / timer firing, in oracle
+//!   order), and the workers execute the window step by step: a shared
+//!   atomic cursor serializes handler executions in oracle order while
+//!   every payload still crosses a real channel between real threads.
+//!   Settled values, histories, and control-record counts are therefore
+//!   bit-identical to a pure simnet run — that is what the differential
+//!   tests pin.
+//! * **FreeRunning** — no oracle. Sends go straight to the destination
+//!   mailbox and are handled in arrival order; quiescence is detected
+//!   with the [`InFlight`] counter. Message interleaving (and per-link
+//!   statistics) are nondeterministic, but on race-free workloads the
+//!   settled values still converge to the simnet outcome. This is the
+//!   mode the wall-clock throughput benchmarks (E9) run.
+//!
+//! Deliberate scope limits (the DSM layer turns these into typed
+//! `Unsupported` errors): direct full-mesh topologies only, no overlay
+//! routing, no fault injection, and no `on_start` hooks that emit
+//! messages or timers (none of the DSM protocols use them).
+//!
+//! This module is the one place in `simnet` allowed to touch
+//! `std::time::Instant` (watchdogs around blocking waits) and unordered
+//! interior state — the lint rules carry a scoped exemption for it.
+
+use crate::backend::ThreadedMode;
+use crate::chan::{mesh, InFlight, Mailbox, Post, Recv};
+use crate::message::{NodeId, WireSize};
+use crate::node::{Node, NodeContext, Outgoing};
+use crate::pool::PoolStats;
+use crate::sim::{RunOutcome, SimConfig};
+use crate::stats::NetworkStats;
+use crate::time::SimTime;
+use crate::transport::{RoutingMode, Transport};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a blocking wait (settle spin, replay step, shutdown) may
+/// stall before the backend panics instead of hanging the process.
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+/// Trace capacity the replay oracle is configured with. The oracle's
+/// trace must hold every delivery of the run (the replay schedule is cut
+/// from it); overflow panics with a clear message rather than replaying
+/// a truncated schedule.
+const REPLAY_TRACE_CAPACITY: usize = 1 << 20;
+
+/// One step of a replay schedule: which node acts, and how.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Step {
+    /// Deliver the next buffered message from `from`.
+    Deliver {
+        /// Sender whose FIFO stream supplies the payload.
+        from: NodeId,
+    },
+    /// Fire the pending timer with this tag.
+    Timer {
+        /// Tag passed back to [`Node::on_timer`].
+        tag: u64,
+    },
+}
+
+/// A replay schedule plus the shared cursor that serializes it. Workers
+/// spin on `pos`; the worker named by `steps[pos]` executes the step and
+/// advances the cursor.
+#[derive(Debug)]
+struct ReplayWindow {
+    steps: Vec<(NodeId, Step)>,
+    pos: AtomicUsize,
+}
+
+/// A boxed closure run against a worker's live node (the local
+/// read/write/query path serialized through the mailbox).
+type InvokeFn<P, N> = Box<dyn FnOnce(&mut N, &mut NodeContext<P>) + Send>;
+
+/// Everything a worker thread can receive.
+enum WorkerMsg<P, N> {
+    /// A protocol payload from `from` (a real link message).
+    Deliver { from: NodeId, payload: P },
+    /// A free-running timer firing (posted by the owning worker itself).
+    Timer { tag: u64 },
+    /// Run a closure against the node (local read/write/query); `done`
+    /// is signalled only after the closure ran *and* its outbox flushed.
+    Invoke {
+        f: InvokeFn<P, N>,
+        done: mpsc::Sender<()>,
+    },
+    /// Execute a replay window; ack on the sender when the cursor passes
+    /// the end.
+    Replay(Arc<ReplayWindow>, mpsc::Sender<()>),
+    /// Report the worker's local [`NetworkStats`].
+    Collect(mpsc::Sender<NetworkStats>),
+    /// Exit the worker loop, returning the node.
+    Stop(mpsc::Sender<N>),
+}
+
+/// Worker-thread state: the node it owns plus replay buffers.
+struct Worker<P, N> {
+    me: NodeId,
+    mode: ThreadedMode,
+    node: N,
+    mailbox: Mailbox<WorkerMsg<P, N>>,
+    post: Post<WorkerMsg<P, N>>,
+    inflight: Arc<InFlight>,
+    events: Arc<AtomicU64>,
+    stats: NetworkStats,
+    /// Replay mode: per-sender FIFO of payloads received but not yet
+    /// scheduled by the oracle.
+    buffered: Vec<std::collections::VecDeque<P>>,
+    /// Replay mode: tags of timers set but not yet fired, in set order.
+    pending_timers: Vec<u64>,
+}
+
+impl<P, N> Worker<P, N>
+where
+    P: WireSize + fmt::Debug + Clone + Send + 'static,
+    N: Node<P> + Send + 'static,
+{
+    fn run(mut self) {
+        loop {
+            let Some(msg) = self.mailbox.recv() else {
+                return; // all senders gone: the coordinator was dropped
+            };
+            match msg {
+                WorkerMsg::Deliver { from, payload } => match self.mode {
+                    // The oracle decides when (and in which order) this
+                    // payload is handled; park it in the sender's FIFO.
+                    ThreadedMode::Replay => self.buffered[from.index()].push_back(payload),
+                    ThreadedMode::FreeRunning => {
+                        self.deliver(from, payload);
+                        self.inflight.down();
+                    }
+                },
+                WorkerMsg::Timer { tag } => {
+                    self.fire_timer(tag);
+                    self.inflight.down();
+                }
+                WorkerMsg::Invoke { f, done } => {
+                    let mut ctx = NodeContext::new(self.me, SimTime::ZERO);
+                    f(&mut self.node, &mut ctx);
+                    self.flush(ctx);
+                    let _ = done.send(());
+                }
+                WorkerMsg::Replay(window, done) => {
+                    self.replay(&window);
+                    let _ = done.send(());
+                }
+                WorkerMsg::Collect(tx) => {
+                    let _ = tx.send(self.stats.clone());
+                }
+                WorkerMsg::Stop(tx) => {
+                    let _ = tx.send(self.node);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Run the message handler and flush, with delivery-side accounting.
+    fn deliver(&mut self, from: NodeId, payload: P) {
+        self.stats
+            .record_delivery(self.me, payload.data_bytes(), payload.control_bytes());
+        self.events.fetch_add(1, Ordering::Relaxed);
+        let mut ctx = NodeContext::new(self.me, SimTime::ZERO);
+        self.node.on_message(&mut ctx, from, payload);
+        self.flush(ctx);
+    }
+
+    /// Run the timer handler and flush.
+    fn fire_timer(&mut self, tag: u64) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        let mut ctx = NodeContext::new(self.me, SimTime::ZERO);
+        self.node.on_timer(&mut ctx, tag);
+        self.flush(ctx);
+    }
+
+    /// Schedule whatever a handler produced, mirroring the simulator's
+    /// flush: timers first, then the outbox in order, with `Many`
+    /// expanded to one link message per destination in target order.
+    fn flush(&mut self, ctx: NodeContext<P>) {
+        let (outbox, timers) = ctx.into_parts();
+        for (_delay, tag) in timers {
+            match self.mode {
+                // The oracle schedules the firing; remember the tag so
+                // the replayed firing can be matched up.
+                ThreadedMode::Replay => self.pending_timers.push(tag),
+                // No virtual clock: the timer rides the self-link and
+                // fires when it drains (all DSM timers are zero-delay
+                // flush kicks).
+                ThreadedMode::FreeRunning => {
+                    self.inflight.up();
+                    self.post.to(self.me, WorkerMsg::Timer { tag });
+                }
+            }
+        }
+        for out in outbox {
+            match out {
+                Outgoing::One(to, payload) => self.send(to, payload),
+                Outgoing::Many(targets, payload) => {
+                    let last = targets.len().saturating_sub(1);
+                    for (k, to) in targets.into_iter().enumerate() {
+                        if k == last {
+                            self.send(to, payload);
+                            break;
+                        }
+                        self.send(to, payload.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Put one payload on the wire with send-side accounting.
+    fn send(&mut self, to: NodeId, payload: P) {
+        self.stats
+            .record_send(self.me, to, payload.data_bytes(), payload.control_bytes());
+        if self.mode == ThreadedMode::FreeRunning {
+            self.inflight.up();
+        }
+        let delivered = self.post.to(
+            to,
+            WorkerMsg::Deliver {
+                from: self.me,
+                payload,
+            },
+        );
+        assert!(delivered, "worker {to} exited mid-run");
+    }
+
+    /// Execute a replay window: spin on the shared cursor, execute the
+    /// steps assigned to this node, advance the cursor.
+    fn replay(&mut self, window: &ReplayWindow) {
+        let mut last_seen = usize::MAX;
+        let mut idle_since = Instant::now();
+        loop {
+            let pos = window.pos.load(Ordering::Acquire);
+            if pos >= window.steps.len() {
+                return;
+            }
+            if pos != last_seen {
+                last_seen = pos;
+                idle_since = Instant::now();
+            }
+            let (who, step) = window.steps[pos];
+            if who != self.me {
+                // Keep draining arrivals while another node acts so the
+                // mailbox stays short.
+                if let Some(msg) = self.mailbox.try_recv() {
+                    self.park(msg);
+                } else {
+                    assert!(
+                        idle_since.elapsed() < WATCHDOG,
+                        "replay stalled at step {pos}/{} on {}",
+                        window.steps.len(),
+                        self.me
+                    );
+                    std::thread::yield_now();
+                }
+                continue;
+            }
+            match step {
+                Step::Deliver { from } => {
+                    let payload = self.next_delivery_from(from);
+                    self.deliver(from, payload);
+                }
+                Step::Timer { tag } => {
+                    if let Some(i) = self.pending_timers.iter().position(|&t| t == tag) {
+                        self.pending_timers.remove(i);
+                    }
+                    self.fire_timer(tag);
+                }
+            }
+            window.pos.store(pos + 1, Ordering::Release);
+        }
+    }
+
+    /// Pop (or block for) the next payload in `from`'s FIFO stream.
+    fn next_delivery_from(&mut self, from: NodeId) -> P {
+        loop {
+            if let Some(p) = self.buffered[from.index()].pop_front() {
+                return p;
+            }
+            // The oracle says this message exists, so it is either in
+            // the mailbox already or a peer is about to send it.
+            match self.mailbox.recv_timeout(WATCHDOG) {
+                Recv::Msg(msg) => self.park(msg),
+                Recv::Timeout => panic!(
+                    "replay on {} timed out waiting for a delivery from {from}",
+                    self.me
+                ),
+                Recv::Disconnected => panic!("fabric torn down mid-replay on {}", self.me),
+            }
+        }
+    }
+
+    /// Buffer an in-window arrival. Only link messages can arrive while
+    /// a window executes (the coordinator is blocked on the acks).
+    fn park(&mut self, msg: WorkerMsg<P, N>) {
+        match msg {
+            WorkerMsg::Deliver { from, payload } => {
+                self.buffered[from.index()].push_back(payload);
+            }
+            _ => panic!("non-delivery message arrived mid-replay on {}", self.me),
+        }
+    }
+}
+
+/// A set of protocol nodes running on real OS threads, linked by MPSC
+/// channels, optionally pinned to a simnet oracle. See the module docs
+/// for the execution model.
+pub struct ThreadedNet<P, N>
+where
+    P: WireSize + fmt::Debug + Clone + Send + 'static,
+    N: Node<P> + Clone + Send + 'static,
+{
+    mode: ThreadedMode,
+    n: usize,
+    topology: crate::network::Topology,
+    post: Post<WorkerMsg<P, N>>,
+    handles: Vec<Option<JoinHandle<()>>>,
+    inflight: Arc<InFlight>,
+    events: Arc<AtomicU64>,
+    /// Per-worker stats merged at the last settle (free-running) or a
+    /// copy of the oracle's stats (replay).
+    stats_cache: NetworkStats,
+    /// Replay mode: the simnet transport whose delivery order the
+    /// threads follow. `None` in free-running mode.
+    oracle: Option<Transport<P, N>>,
+    /// Index of the first oracle trace entry not yet replayed.
+    trace_cursor: usize,
+    /// Worker event count at the end of the previous settle, so settle
+    /// outcomes report per-call deltas like the simulator does.
+    events_at_last_settle: u64,
+}
+
+impl<P, N> ThreadedNet<P, N>
+where
+    P: WireSize + fmt::Debug + Clone + Send + 'static,
+    N: Node<P> + Clone + Send + 'static,
+{
+    /// Spawn one worker thread per node over a full-mesh channel fabric.
+    ///
+    /// `config` parameterizes the replay oracle (latency model, seed,
+    /// event budget); free-running mode only uses it for sizing. The
+    /// caller is responsible for rejecting configurations the threaded
+    /// backend does not support (sparse topologies, routing, faults) —
+    /// the DSM layer maps them to typed errors before getting here.
+    ///
+    /// Panics if an `on_start` hook emits messages or timers: the
+    /// threaded backend supports only passive starts (all DSM protocol
+    /// nodes qualify).
+    pub fn new(mode: ThreadedMode, config: SimConfig, mut nodes: Vec<N>) -> Self {
+        let n = nodes.len();
+        let topology = crate::network::Topology::full_mesh(n);
+        let oracle = match mode {
+            ThreadedMode::Replay => {
+                let mut cfg = config;
+                cfg.topology = None;
+                cfg.routing = RoutingMode::Direct;
+                cfg.trace_capacity =
+                    Some(cfg.trace_capacity.unwrap_or(0).max(REPLAY_TRACE_CAPACITY));
+                // The oracle runs `on_start` on its own copies lazily;
+                // clone before the local `on_start` pass so every copy
+                // sees the hook exactly once.
+                Some(
+                    Transport::new(topology.clone(), cfg, nodes.clone())
+                        .expect("full mesh never needs routing"),
+                )
+            }
+            ThreadedMode::FreeRunning => None,
+        };
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let mut ctx = NodeContext::new(NodeId(i), SimTime::ZERO);
+            node.on_start(&mut ctx);
+            let (outbox, timers) = ctx.into_parts();
+            assert!(
+                outbox.is_empty() && timers.is_empty(),
+                "threaded backend requires passive on_start hooks (node {i} emitted output)"
+            );
+        }
+        let (post, mailboxes) = mesh(n);
+        let inflight = Arc::new(InFlight::default());
+        let events = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::with_capacity(n);
+        for (i, (node, mailbox)) in nodes.into_iter().zip(mailboxes).enumerate() {
+            let worker = Worker {
+                me: NodeId(i),
+                mode,
+                node,
+                mailbox,
+                post: post.clone(),
+                inflight: Arc::clone(&inflight),
+                events: Arc::clone(&events),
+                stats: NetworkStats::with_nodes(n),
+                buffered: std::iter::repeat_with(std::collections::VecDeque::new)
+                    .take(n)
+                    .collect(),
+                pending_timers: Vec::new(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("simnet-worker-{i}"))
+                .spawn(move || worker.run())
+                .expect("spawn worker thread");
+            handles.push(Some(handle));
+        }
+        ThreadedNet {
+            mode,
+            n,
+            topology,
+            post,
+            handles,
+            inflight,
+            events,
+            stats_cache: NetworkStats::with_nodes(n),
+            oracle,
+            trace_cursor: 0,
+            events_at_last_settle: 0,
+        }
+    }
+
+    /// The scheduling mode this net was built with.
+    pub fn mode(&self) -> ThreadedMode {
+        self.mode
+    }
+
+    /// Number of worker threads (= protocol nodes).
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The (always full-mesh) topology the channel fabric realizes.
+    pub fn topology(&self) -> &crate::network::Topology {
+        &self.topology
+    }
+
+    /// Run a closure against a node, scheduling whatever it sends — the
+    /// threaded counterpart of [`Transport::with_node`]. In replay mode
+    /// the closure is applied to the oracle's copy first (to keep the
+    /// schedule source in lock-step), then to the live worker; the
+    /// worker's result is returned, so callers always observe the
+    /// threaded execution.
+    pub fn with_node<R, F>(&mut self, id: NodeId, f: F) -> R
+    where
+        F: Fn(&mut N, &mut NodeContext<P>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        assert!(id.index() < self.n, "unknown node {id}");
+        if let Some(oracle) = &mut self.oracle {
+            let _ = oracle.with_node(id, &f);
+        }
+        let (result_tx, result_rx) = mpsc::channel();
+        let (done_tx, done_rx) = mpsc::channel();
+        let sent = self.post.to(
+            id,
+            WorkerMsg::Invoke {
+                f: Box::new(move |node, ctx| {
+                    let _ = result_tx.send(f(node, ctx));
+                }),
+                done: done_tx,
+            },
+        );
+        assert!(sent, "worker {id} exited mid-run");
+        done_rx
+            .recv_timeout(WATCHDOG)
+            .expect("worker acknowledged the invoke");
+        result_rx.recv().expect("invoke produced a result")
+    }
+
+    /// Run a read-only closure against a node's live state. Works from
+    /// `&self` because the closure is serialized through the worker's
+    /// mailbox like any other event.
+    pub fn query<R, F>(&self, id: NodeId, f: F) -> R
+    where
+        F: FnOnce(&N) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        assert!(id.index() < self.n, "unknown node {id}");
+        let (result_tx, result_rx) = mpsc::channel();
+        let (done_tx, _done_rx) = mpsc::channel();
+        let sent = self.post.to(
+            id,
+            WorkerMsg::Invoke {
+                f: Box::new(move |node, _ctx| {
+                    let _ = result_tx.send(f(node));
+                }),
+                done: done_tx,
+            },
+        );
+        assert!(sent, "worker {id} exited mid-run");
+        result_rx
+            .recv_timeout(WATCHDOG)
+            .expect("query produced a result")
+    }
+
+    /// Overwrite a node's state (the DSM layer's restore-from-snapshot
+    /// path). In replay mode the oracle's copy is overwritten too.
+    pub fn restore_node(&mut self, id: NodeId, node: N) {
+        if let Some(oracle) = &mut self.oracle {
+            *oracle.node_mut(id) = node.clone();
+        }
+        self.with_node(id, move |slot, _ctx| {
+            *slot = node.clone();
+        });
+    }
+
+    /// Drive the net to quiescence.
+    ///
+    /// Replay: run the oracle to quiescence, cut the new slice of its
+    /// trace into a replay window, execute it on the workers, refresh
+    /// the stats cache from the oracle. Free-running: wait for the
+    /// in-flight counter to reach zero, then merge worker stats.
+    pub fn settle(&mut self) -> RunOutcome {
+        match self.mode {
+            ThreadedMode::Replay => {
+                let oracle = self.oracle.as_mut().expect("replay mode has an oracle");
+                let outcome = oracle.run_until_quiescent();
+                let trace = oracle.trace();
+                assert_eq!(
+                    trace.dropped(),
+                    0,
+                    "replay oracle trace overflowed {REPLAY_TRACE_CAPACITY} entries; \
+                     this run is too large for replay mode — use free-running"
+                );
+                let steps: Vec<(NodeId, Step)> = trace.entries()[self.trace_cursor..]
+                    .iter()
+                    .filter_map(|e| match *e {
+                        crate::trace::TraceEntry::Delivered { from, to, .. } => {
+                            Some((to, Step::Deliver { from }))
+                        }
+                        crate::trace::TraceEntry::TimerFired { node, tag, .. } => {
+                            Some((node, Step::Timer { tag }))
+                        }
+                        crate::trace::TraceEntry::Sent { .. } => None,
+                    })
+                    .collect();
+                self.trace_cursor = trace.entries().len();
+                if !steps.is_empty() {
+                    let window = Arc::new(ReplayWindow {
+                        steps,
+                        pos: AtomicUsize::new(0),
+                    });
+                    let (ack_tx, ack_rx) = mpsc::channel();
+                    for i in 0..self.n {
+                        let sent = self.post.to(
+                            NodeId(i),
+                            WorkerMsg::Replay(Arc::clone(&window), ack_tx.clone()),
+                        );
+                        assert!(sent, "worker n{i} exited mid-run");
+                    }
+                    drop(ack_tx);
+                    for _ in 0..self.n {
+                        ack_rx
+                            .recv_timeout(WATCHDOG)
+                            .expect("replay window acknowledged");
+                    }
+                }
+                self.stats_cache = self.oracle.as_ref().expect("oracle").stats().clone();
+                outcome
+            }
+            ThreadedMode::FreeRunning => {
+                let start = Instant::now();
+                while self.inflight.load() > 0 {
+                    assert!(
+                        start.elapsed() < WATCHDOG,
+                        "free-running settle stalled with {} event(s) in flight",
+                        self.inflight.load()
+                    );
+                    std::thread::yield_now();
+                }
+                self.refresh_stats();
+                let total = self.events.load(Ordering::SeqCst);
+                let events = total - self.events_at_last_settle;
+                self.events_at_last_settle = total;
+                RunOutcome::Quiescent { events }
+            }
+        }
+    }
+
+    /// Merge every worker's local [`NetworkStats`] into the cache.
+    fn refresh_stats(&mut self) {
+        let (tx, rx) = mpsc::channel();
+        for i in 0..self.n {
+            let sent = self.post.to(NodeId(i), WorkerMsg::Collect(tx.clone()));
+            assert!(sent, "worker n{i} exited mid-run");
+        }
+        drop(tx);
+        let mut merged = NetworkStats::with_nodes(self.n);
+        for _ in 0..self.n {
+            let stats = rx
+                .recv_timeout(WATCHDOG)
+                .expect("worker reported its stats");
+            merged.merge(&stats);
+        }
+        self.stats_cache = merged;
+    }
+
+    /// Wire statistics as of the last settle. Replay mode reports the
+    /// oracle's (simnet-identical) accounting; free-running mode reports
+    /// the merged per-worker counters.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats_cache
+    }
+
+    /// Events processed so far: oracle events in replay mode (identical
+    /// to the simnet run), handler executions across workers otherwise.
+    pub fn events_processed(&self) -> u64 {
+        match &self.oracle {
+            Some(oracle) => oracle.events_processed(),
+            None => self.events.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Virtual time: the oracle clock in replay mode. Free-running mode
+    /// has no virtual clock and always reports zero.
+    pub fn now(&self) -> SimTime {
+        match &self.oracle {
+            Some(oracle) => oracle.now(),
+            None => SimTime::ZERO,
+        }
+    }
+
+    /// Events not yet fully processed (oracle queue length in replay
+    /// mode, in-flight counter otherwise).
+    pub fn pending(&self) -> usize {
+        match &self.oracle {
+            Some(oracle) => oracle.pending_events(),
+            None => self.inflight.load() as usize,
+        }
+    }
+
+    /// Buffer-pool statistics of the replay oracle (the worker-side path
+    /// allocates directly; pooling is a simulator concern).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.oracle
+            .as_ref()
+            .map(Transport::pool_stats)
+            .unwrap_or_default()
+    }
+
+    /// Stop every worker and collect the nodes in id order.
+    pub fn into_nodes(mut self) -> Vec<N> {
+        self.shutdown()
+    }
+
+    fn shutdown(&mut self) -> Vec<N> {
+        let mut receivers = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let (tx, rx) = mpsc::channel();
+            // A worker that already exited (panicked) just drops the
+            // sender; recv below then reports the gap.
+            let _ = self.post.to(NodeId(i), WorkerMsg::Stop(tx));
+            receivers.push(rx);
+        }
+        let mut nodes = Vec::with_capacity(self.n);
+        for (i, rx) in receivers.into_iter().enumerate() {
+            if let Ok(node) = rx.recv_timeout(WATCHDOG) {
+                nodes.push(node);
+            }
+            if let Some(handle) = self.handles[i].take() {
+                let _ = handle.join();
+            }
+        }
+        nodes
+    }
+}
+
+impl<P, N> Drop for ThreadedNet<P, N>
+where
+    P: WireSize + fmt::Debug + Clone + Send + 'static,
+    N: Node<P> + Clone + Send + 'static,
+{
+    fn drop(&mut self) {
+        if self.handles.iter().any(Option::is_some) {
+            let _ = self.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::RawPayload;
+
+    /// Echoes every payload back to the sender once, counting arrivals.
+    #[derive(Clone, Debug, Default)]
+    struct Echo {
+        seen: u64,
+        echoed: u64,
+    }
+
+    impl Node<RawPayload> for Echo {
+        fn on_message(&mut self, ctx: &mut NodeContext<RawPayload>, from: NodeId, msg: RawPayload) {
+            self.seen += 1;
+            if msg.control == 0 {
+                self.echoed += 1;
+                ctx.send(from, RawPayload::new(msg.data, 1));
+            }
+        }
+    }
+
+    fn net(mode: ThreadedMode, n: usize) -> ThreadedNet<RawPayload, Echo> {
+        ThreadedNet::new(mode, SimConfig::default(), vec![Echo::default(); n])
+    }
+
+    #[test]
+    fn free_running_ping_pong_settles() {
+        let mut net = net(ThreadedMode::FreeRunning, 4);
+        for to in 1..4usize {
+            net.with_node(NodeId(0), move |_, ctx| {
+                ctx.send(NodeId(to), RawPayload::new(8, 0));
+            });
+        }
+        let outcome = net.settle();
+        assert!(outcome.is_quiescent());
+        // 3 pings delivered + 3 echoes delivered.
+        assert_eq!(outcome.events(), 6);
+        let echoes = net.query(NodeId(0), |n| n.seen);
+        assert_eq!(echoes, 3);
+        for to in 1..4usize {
+            assert_eq!(net.query(NodeId(to), |n| (n.seen, n.echoed)), (1, 1));
+        }
+        assert_eq!(net.stats().total_messages(), 6);
+        assert_eq!(net.pending(), 0);
+    }
+
+    #[test]
+    fn replay_matches_pure_simulation() {
+        let mut sim = crate::sim::Simulator::new(
+            crate::network::Topology::full_mesh(3),
+            SimConfig::default(),
+            vec![Echo::default(); 3],
+        );
+        sim.with_node(NodeId(0), |_, ctx| {
+            ctx.send_multi([NodeId(1), NodeId(2)], RawPayload::new(4, 0));
+        });
+        sim.run_until_quiescent();
+
+        let mut net = net(ThreadedMode::Replay, 3);
+        net.with_node(NodeId(0), |_, ctx| {
+            ctx.send_multi([NodeId(1), NodeId(2)], RawPayload::new(4, 0));
+        });
+        let outcome = net.settle();
+        assert!(outcome.is_quiescent());
+        assert_eq!(net.events_processed(), sim.events_processed());
+        assert_eq!(net.now(), sim.now());
+        assert_eq!(net.stats(), sim.stats());
+        assert_eq!(net.query(NodeId(0), |n| n.seen), sim.node(NodeId(0)).seen);
+        let nodes = net.into_nodes();
+        assert_eq!(nodes.len(), 3);
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(node.seen, sim.node(NodeId(i)).seen, "node {i}");
+            assert_eq!(node.echoed, sim.node(NodeId(i)).echoed, "node {i}");
+        }
+    }
+
+    #[test]
+    fn replay_settle_is_incremental() {
+        let mut net = net(ThreadedMode::Replay, 2);
+        net.with_node(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), RawPayload::new(1, 0));
+        });
+        assert!(net.settle().is_quiescent());
+        let after_first = net.events_processed();
+        assert!(after_first > 0);
+        net.with_node(NodeId(1), |_, ctx| {
+            ctx.send(NodeId(0), RawPayload::new(2, 0));
+        });
+        assert!(net.settle().is_quiescent());
+        assert!(net.events_processed() > after_first);
+        assert_eq!(net.query(NodeId(1), |n| n.seen), 2); // ping + echo
+    }
+
+    /// A node that arms a zero-delay timer on every message and counts
+    /// firings — the flush-kick pattern `CausalPartial` uses.
+    #[derive(Clone, Debug, Default)]
+    struct TimerKick {
+        fired: u64,
+    }
+
+    impl Node<RawPayload> for TimerKick {
+        fn on_message(
+            &mut self,
+            ctx: &mut NodeContext<RawPayload>,
+            _from: NodeId,
+            _msg: RawPayload,
+        ) {
+            ctx.set_timer(crate::time::SimDuration::from_nanos(0), 7);
+        }
+
+        fn on_timer(&mut self, _ctx: &mut NodeContext<RawPayload>, tag: u64) {
+            assert_eq!(tag, 7);
+            self.fired += 1;
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_both_modes() {
+        for mode in [ThreadedMode::FreeRunning, ThreadedMode::Replay] {
+            let mut net: ThreadedNet<RawPayload, TimerKick> =
+                ThreadedNet::new(mode, SimConfig::default(), vec![TimerKick::default(); 2]);
+            net.with_node(NodeId(0), |_, ctx| {
+                ctx.send(NodeId(1), RawPayload::new(1, 1));
+            });
+            assert!(net.settle().is_quiescent());
+            assert_eq!(net.query(NodeId(1), |n| n.fired), 1, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn restore_node_overwrites_live_state() {
+        let mut net = net(ThreadedMode::Replay, 2);
+        net.with_node(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), RawPayload::new(1, 0));
+        });
+        net.settle();
+        assert_eq!(net.query(NodeId(1), |n| n.seen), 1);
+        net.restore_node(NodeId(1), Echo::default());
+        assert_eq!(net.query(NodeId(1), |n| n.seen), 0);
+    }
+}
