@@ -67,15 +67,16 @@ fn main() {
                             continue;
                         }
                         for backend in ExecBackend::ALL {
-                            // The threaded backend only hosts direct
-                            // full-mesh fault-free deployments; it is
-                            // swept on the baseline wire coordinates
-                            // (default latency and delivery), where the
-                            // simnet sibling cell is its oracle.
+                            // The threaded backend sweeps every delivery
+                            // mode on the mesh and every sparse topology
+                            // under the baseline wire format (all under
+                            // the default latency — worker threads have
+                            // no virtual clock to model latency with);
+                            // the simnet sibling cell is its oracle.
                             if backend != ExecBackend::Simnet
-                                && (topology != TopologyFamily::FullMesh
-                                    || latency != LatencyModel::default()
-                                    || delivery != DeliveryMode::default())
+                                && (latency != LatencyModel::default()
+                                    || (topology != TopologyFamily::FullMesh
+                                        && delivery != DeliveryMode::default()))
                             {
                                 continue;
                             }

@@ -362,8 +362,9 @@ pub struct Scenario {
     /// Execution backend: the deterministic event-driven simulator (the
     /// default — every other scenario dimension composes with it) or the
     /// threaded backend, which hosts each process on an OS thread. The
-    /// threaded backend only supports full-mesh, fault-free scenarios
-    /// (construction fails with [`dsm::DsmError::Unsupported`] otherwise).
+    /// threaded backend supports every topology and delivery mode but
+    /// stays fault-free (construction fails with
+    /// [`dsm::DsmError::Unsupported`] on fault scenarios).
     #[serde(default)]
     pub backend: ExecBackend,
     /// Seed for distribution construction, workload generation, and
@@ -569,10 +570,16 @@ pub struct RunReport {
     /// Total simulator events (deliveries + timers) processed — the work
     /// unit the scaling sweeps report throughput in.
     pub events: u64,
-    /// Buffer-pool hit/miss accounting of the run's event scheduler
-    /// (zeros on the threaded free-running backend, which allocates no
-    /// pooled event buffers).
+    /// Buffer-pool hit/miss accounting: the event scheduler's pools on
+    /// simnet, the per-worker handler-context pools (merged at the last
+    /// settle) on the threaded free-running backend, and the replay
+    /// oracle's pools in threaded replay mode.
     pub pool: PoolStats,
+    /// Link-fabric contention counters (ring-full stalls, mailbox drain
+    /// batches) merged across workers at the last settle. All-zero on
+    /// simnet and in threaded replay mode — only free-running workers
+    /// drain whole mailboxes.
+    pub fabric: simnet::FabricStats,
     /// Execution backend the run used.
     pub backend: ExecBackend,
 }
@@ -641,8 +648,8 @@ pub fn run_script(
 }
 
 /// [`run_script`] on an explicit execution backend. Scripted crashes are
-/// simnet-only, so this path takes none; the threaded backend's other
-/// restrictions (full mesh, fault-free) are enforced at construction.
+/// simnet-only, so this path takes none; the threaded backend's one
+/// remaining restriction (fault-free runs) is enforced at construction.
 pub fn run_script_backend(
     kind: ProtocolKind,
     dist: &Distribution,
@@ -698,6 +705,7 @@ fn run_script_on(
         forwarded: dsm.forwarded_messages(),
         events: dsm.events_processed(),
         pool: dsm.pool_stats(),
+        fabric: dsm.fabric_stats(),
         backend,
     }
 }

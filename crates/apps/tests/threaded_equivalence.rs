@@ -13,24 +13,31 @@
 //!   real and nondeterministic, but per-link FIFO plus a quiescence
 //!   barrier at every settle point pins what the replicas hold whenever
 //!   the application looks.
+//!
+//! The same two pins then sweep each capability the ring-fabric backend
+//! gained: every swept delivery mode (multicast, batching, delta) on the
+//! mesh, and routed sparse topologies (ring / grid / star / line), with
+//! multicast also exercised *on* the sparse topologies, where broadcast
+//! trees actually share edges.
 
 use apps::scenario::{generate_family_ops, SettlePolicy, WorkloadFamily};
 use apps::WorkloadOp;
 use dsm::{ControlSummary, DynDsm, ProtocolKind};
 use histories::{Distribution, History, ProcId, Value, VarId};
 use proptest::prelude::*;
-use simnet::{ExecBackend, SimConfig, ThreadedMode};
+use simnet::{DeliveryMode, ExecBackend, SimConfig, ThreadedMode, Topology};
 
-/// Drive `ops` on `backend` and collect everything the pins compare:
-/// settled replica values (one per replica of each variable), the
-/// recorded history, and the control-record accounting.
-fn run_on(
+/// Drive `ops` on `backend` under `config` and collect everything the
+/// pins compare: settled replica values (one per replica of each
+/// variable), the recorded history, and the control-record accounting.
+fn run_with(
     kind: ProtocolKind,
     dist: &Distribution,
     ops: &[WorkloadOp],
+    config: SimConfig,
     backend: ExecBackend,
 ) -> (Vec<(ProcId, VarId, Value)>, History, ControlSummary) {
-    let mut dsm = DynDsm::with_backend(kind, dist.clone(), SimConfig::default(), backend);
+    let mut dsm = DynDsm::with_backend(kind, dist.clone(), config, backend);
     for op in ops {
         match *op {
             WorkloadOp::Write { proc, var, value } => {
@@ -53,6 +60,26 @@ fn run_on(
         }
     }
     (settled, dsm.history(), dsm.control_summary())
+}
+
+/// [`run_with`] under the default configuration.
+fn run_on(
+    kind: ProtocolKind,
+    dist: &Distribution,
+    ops: &[WorkloadOp],
+    backend: ExecBackend,
+) -> (Vec<(ProcId, VarId, Value)>, History, ControlSummary) {
+    run_with(kind, dist, ops, SimConfig::default(), backend)
+}
+
+/// The sparse topologies the threaded backend must host via relays.
+fn sparse_topology(pick: usize, n: usize) -> Topology {
+    match pick % 4 {
+        0 => Topology::ring(n),
+        1 => Topology::grid_of(n),
+        2 => Topology::star(n),
+        _ => Topology::line(n),
+    }
 }
 
 /// Strategy: a 4- or 8-process random distribution plus a race-free
@@ -108,6 +135,145 @@ proptest! {
             let (thr_vals, _, _) =
                 run_on(kind, &dist, &ops, ExecBackend::Threaded(ThreadedMode::FreeRunning));
             prop_assert_eq!(&sim_vals, &thr_vals, "{} settled values", kind);
+        }
+    }
+}
+
+/// Strategy: a 4-process random distribution plus a race-free script —
+/// the small deployments the capability sweeps run on (every protocol ×
+/// mode × topology multiplies the cost, so the fabric stays small).
+fn small_setup() -> impl Strategy<Value = (Distribution, Vec<WorkloadOp>)> {
+    (2usize..=6, 1usize..=3, any::<u64>(), any::<u64>()).prop_map(
+        |(vars, replicas, dseed, wseed)| {
+            let dist = Distribution::random(4, vars, replicas.min(4), dseed);
+            let ops = generate_family_ops(
+                &dist,
+                &WorkloadFamily::ProducerConsumer,
+                4,
+                SettlePolicy::Every(6),
+                wseed,
+            );
+            (dist, ops)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Threaded × delivery modes on the mesh: every swept wire mode
+    /// (multicast, batching, delta, and all three together) is accepted
+    /// by the threaded backend, replay stays bit-identical to the simnet
+    /// run under the same mode, and free-running settles to its values.
+    #[test]
+    fn threaded_backend_pins_every_delivery_mode((dist, ops) in small_setup()) {
+        for delivery in [
+            DeliveryMode::MULTICAST,
+            DeliveryMode::BATCHED,
+            DeliveryMode::DELTA,
+            DeliveryMode::MULTICAST_BATCHED_DELTA,
+        ] {
+            let config = SimConfig { delivery, ..SimConfig::default() };
+            for kind in ProtocolKind::ALL {
+                let (sim_vals, sim_hist, sim_ctl) =
+                    run_with(kind, &dist, &ops, config.clone(), ExecBackend::Simnet);
+                let (rep_vals, rep_hist, rep_ctl) = run_with(
+                    kind, &dist, &ops, config.clone(),
+                    ExecBackend::Threaded(ThreadedMode::Replay),
+                );
+                prop_assert_eq!(&sim_vals, &rep_vals,
+                    "{} × {} replay settled values", kind, delivery.label());
+                prop_assert_eq!(&sim_hist, &rep_hist,
+                    "{} × {} replay history", kind, delivery.label());
+                prop_assert_eq!(&sim_ctl, &rep_ctl,
+                    "{} × {} replay control records", kind, delivery.label());
+                let (free_vals, _, _) = run_with(
+                    kind, &dist, &ops, config.clone(),
+                    ExecBackend::Threaded(ThreadedMode::FreeRunning),
+                );
+                prop_assert_eq!(&sim_vals, &free_vals,
+                    "{} × {} free-running settled values", kind, delivery.label());
+            }
+        }
+    }
+
+    /// Threaded × routed sparse topologies: relay nodes on worker threads
+    /// carry every protocol over ring/grid/star/line, with multicast also
+    /// swept (broadcast trees only share edges when routed). Replay is
+    /// bit-identical to the simnet run over the same topology;
+    /// free-running settles to its values.
+    #[test]
+    fn threaded_backend_pins_routed_topologies(
+        (dist, ops) in small_setup(),
+        pick in 0usize..4,
+        multicast in any::<bool>(),
+    ) {
+        let config = SimConfig {
+            topology: Some(sparse_topology(pick, 4)),
+            delivery: if multicast { DeliveryMode::MULTICAST } else { DeliveryMode::UNICAST },
+            ..SimConfig::default()
+        };
+        for kind in ProtocolKind::ALL {
+            let (sim_vals, sim_hist, sim_ctl) =
+                run_with(kind, &dist, &ops, config.clone(), ExecBackend::Simnet);
+            let (rep_vals, rep_hist, rep_ctl) = run_with(
+                kind, &dist, &ops, config.clone(),
+                ExecBackend::Threaded(ThreadedMode::Replay),
+            );
+            prop_assert_eq!(&sim_vals, &rep_vals, "{} routed replay settled values", kind);
+            prop_assert_eq!(&sim_hist, &rep_hist, "{} routed replay history", kind);
+            prop_assert_eq!(&sim_ctl, &rep_ctl, "{} routed replay control records", kind);
+            let (free_vals, _, _) = run_with(
+                kind, &dist, &ops, config.clone(),
+                ExecBackend::Threaded(ThreadedMode::FreeRunning),
+            );
+            prop_assert_eq!(&sim_vals, &free_vals,
+                "{} routed free-running settled values", kind);
+        }
+    }
+}
+
+/// Each sparse topology gets one deterministic cell outside the proptest
+/// loop, so a plain `cargo test` failure names the topology directly.
+#[test]
+fn threaded_routed_topologies_agree_on_a_fixed_script() {
+    let dist = Distribution::random(4, 5, 2, 19);
+    let ops = generate_family_ops(
+        &dist,
+        &WorkloadFamily::ProducerConsumer,
+        4,
+        SettlePolicy::Every(5),
+        31,
+    );
+    for pick in 0..4 {
+        let topology = sparse_topology(pick, 4);
+        let config = SimConfig {
+            topology: Some(topology.clone()),
+            ..SimConfig::default()
+        };
+        for kind in ProtocolKind::ALL {
+            let (sim_vals, sim_hist, _) =
+                run_with(kind, &dist, &ops, config.clone(), ExecBackend::Simnet);
+            let (rep_vals, rep_hist, _) = run_with(
+                kind,
+                &dist,
+                &ops,
+                config.clone(),
+                ExecBackend::Threaded(ThreadedMode::Replay),
+            );
+            assert_eq!(sim_vals, rep_vals, "{kind} on {topology:?}: replay values");
+            assert_eq!(sim_hist, rep_hist, "{kind} on {topology:?}: replay history");
+            let (free_vals, _, _) = run_with(
+                kind,
+                &dist,
+                &ops,
+                config.clone(),
+                ExecBackend::Threaded(ThreadedMode::FreeRunning),
+            );
+            assert_eq!(
+                sim_vals, free_vals,
+                "{kind} on {topology:?}: free-running values"
+            );
         }
     }
 }

@@ -9,8 +9,9 @@
 //!
 //! `--max-procs` caps the E1 size loop; `--scaling-max` caps the E8
 //! scaling sweep (default 1024 — CI passes 64 to bound wall-clock);
-//! `--threads-max` caps the E9 threaded-backend thread count (default 8 —
-//! CI passes 4 to stay inside small runners).
+//! `--threads-max` caps the E9 threaded-backend thread count (the sweep
+//! list goes up to 64 worker threads; default cap 8 — CI passes 4 to
+//! stay inside small runners, pass 64 for the full table).
 
 use bench::{
     bellman_ford_point, delivery_mode_sweep, distribution_families, efficiency_sweep_point,
@@ -246,23 +247,32 @@ fn main() {
 
     println!(
         "E9 — threaded execution backend (one OS thread per process, free-running, \
-         producer/consumer bulk phase; ops/s columns are host wall-clock)"
+         producer/consumer bulk phase; ops/s, ns/op and batch columns are host wall-clock)"
     );
     println!(
-        "{:>8} {:<16} {:>10} {:>14} {:>17} {:>17}",
-        "threads", "protocol", "ops", "threaded ops/s", "simnet ops/s", "simnet events/s"
+        "{:>8} {:<16} {:>10} {:>14} {:>10} {:>10} {:>17} {:>17}",
+        "threads",
+        "protocol",
+        "ops",
+        "threaded ops/s",
+        "ns/op",
+        "mean batch",
+        "simnet ops/s",
+        "simnet events/s"
     );
-    let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8, 16, 64]
         .into_iter()
         .filter(|&t| t <= threads_max)
         .collect();
-    for row in threaded_throughput_sweep(&thread_counts, 24, 7) {
+    for row in threaded_throughput_sweep(&thread_counts, 96, 7) {
         println!(
-            "{:>8} {:<16} {:>10} {:>14.0} {:>17.0} {:>17.0}",
+            "{:>8} {:<16} {:>10} {:>14.0} {:>10.0} {:>10.2} {:>17.0} {:>17.0}",
             row.threads,
             row.protocol.name(),
             row.operations,
             row.ops_per_sec(),
+            row.ns_per_op(),
+            row.mean_batch_len(),
             row.simnet_ops_per_sec(),
             row.simnet_events_per_sec()
         );

@@ -133,11 +133,17 @@ pub enum DsmError {
         /// Human-readable reason the configuration was rejected.
         reason: String,
     },
+    /// A worker thread of the threaded backend died (its node's handler
+    /// panicked). The system is poisoned: every subsequent fallible
+    /// operation reports the same dead worker.
+    WorkerDied {
+        /// The process whose worker thread died.
+        proc: ProcId,
+    },
     /// The operation (or configuration) is not available on the selected
-    /// execution backend — for example crash/restart, sparse topologies,
-    /// overlay routing, or fault plans on [`simnet::ExecBackend::Threaded`],
-    /// which deliberately supports only direct full-mesh fault-free runs
-    /// for now.
+    /// execution backend — for example crash/restart or fault plans on
+    /// [`simnet::ExecBackend::Threaded`], which supports every delivery
+    /// mode and topology but only fault-free runs for now.
     Unsupported {
         /// Human-readable description of the unsupported combination.
         reason: String,
@@ -158,6 +164,9 @@ impl fmt::Display for DsmError {
                 )
             }
             DsmError::Network(e) => e.fmt(f),
+            DsmError::WorkerDied { proc } => {
+                write!(f, "worker thread for process {proc} died (handler panic)")
+            }
             DsmError::InvalidConfig { reason } => f.write_str(reason),
             DsmError::Unsupported { reason } => {
                 write!(f, "unsupported on this execution backend: {reason}")

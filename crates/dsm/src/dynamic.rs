@@ -216,6 +216,12 @@ impl DynDsm {
         dispatch!(self, sys => sys.pool_stats())
     }
 
+    /// Link-fabric contention counters of the threaded backend (see
+    /// [`DsmSystem::fabric_stats`]; all zeros on simnet).
+    pub fn fabric_stats(&self) -> simnet::FabricStats {
+        dispatch!(self, sys => sys.fabric_stats())
+    }
+
     /// Issue `w_p(var)value`.
     pub fn write(&mut self, p: ProcId, var: VarId, value: i64) -> Result<(), DsmError> {
         dispatch!(self, sys => sys.write(p, var, value))

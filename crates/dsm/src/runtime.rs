@@ -21,19 +21,31 @@ use crate::protocol::{McsNode, ProtocolSpec};
 use crate::recorder::Recorder;
 use histories::{Distribution, History, ProcId, Value, VarId};
 use simnet::{
-    DeliveryMode, ExecBackend, NetworkStats, NodeId, PoolStats, RoutingMode, RunOutcome, SimConfig,
-    SimTime, ThreadedNet, Topology, Transport,
+    DeliveryMode, ExecBackend, FabricStats, NetworkStats, NodeId, PoolStats, RunOutcome, SimConfig,
+    SimTime, ThreadedTransport, Topology, Transport, WorkerDead,
 };
 
 /// The execution substrate a [`DsmSystem`] drives its nodes on: the
-/// discrete-event transport or the threaded channel fabric. The protocol
+/// discrete-event transport or the threaded ring fabric. The protocol
 /// nodes are identical either way; only the scheduler differs.
+// Both variants are hundreds of bytes and exactly one exists per system,
+// so boxing either would buy nothing and put a pointer chase on the
+// simulator's per-event hot path.
+#[allow(clippy::large_enum_variant)]
 enum NetBackend<P: ProtocolSpec> {
     /// Discrete-event simulation (virtual time, full feature set).
     Sim(Transport<P::Msg, P::Node>),
-    /// One OS thread per process (replay or free-running; no faults, no
-    /// routing — see [`DsmError::Unsupported`]).
-    Threaded(ThreadedNet<P::Msg, P::Node>),
+    /// One OS thread per process, over every topology and delivery mode
+    /// (replay or free-running; fault injection stays simnet-only — see
+    /// [`DsmError::Unsupported`]).
+    Threaded(ThreadedTransport<P::Msg, P::Node>),
+}
+
+/// Map a dead worker thread to the DSM-level error naming its process.
+fn worker_died(e: WorkerDead) -> DsmError {
+    DsmError::WorkerDied {
+        proc: ProcId(e.node.index()),
+    }
 }
 
 /// A complete simulated DSM deployment for protocol `P`.
@@ -93,9 +105,10 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     ///
     /// [`ExecBackend::Simnet`] accepts everything
     /// [`DsmSystem::try_with_config`] accepts.
-    /// [`ExecBackend::Threaded`] deliberately supports only the paper's
-    /// base model — direct full-mesh links, no routing, no fault plan —
-    /// and returns [`DsmError::Unsupported`] for anything else.
+    /// [`ExecBackend::Threaded`] accepts every delivery mode and any
+    /// strongly connected topology (sparse deployments host relay nodes
+    /// on the worker threads), but no fault plan — fault injection stays
+    /// simnet-only and returns [`DsmError::Unsupported`].
     pub fn try_with_backend(
         dist: Distribution,
         config: SimConfig,
@@ -111,35 +124,29 @@ impl<P: ProtocolSpec> DsmSystem<P> {
                             .to_string(),
                     });
                 }
-                if config.routing == RoutingMode::ForceRouted {
-                    return Err(DsmError::Unsupported {
-                        reason: "overlay routing on the threaded backend (links are direct \
-                                 full-mesh channels)"
-                            .to_string(),
-                    });
-                }
-                if let Some(t) = &config.topology {
-                    if t.node_count() != dist.process_count() {
-                        return Err(DsmError::InvalidConfig {
-                            reason: format!(
-                                "topology must have one node per process \
-                                 ({} nodes for {} processes)",
-                                t.node_count(),
-                                dist.process_count()
-                            ),
-                        });
+                let topology = match &config.topology {
+                    Some(t) => {
+                        if t.node_count() != dist.process_count() {
+                            return Err(DsmError::InvalidConfig {
+                                reason: format!(
+                                    "topology must have one node per process \
+                                     ({} nodes for {} processes)",
+                                    t.node_count(),
+                                    dist.process_count()
+                                ),
+                            });
+                        }
+                        t.clone()
                     }
-                    if !t.is_full_mesh() {
-                        return Err(DsmError::Unsupported {
-                            reason: "sparse topologies on the threaded backend (the channel \
-                                     fabric is a full mesh)"
-                                .to_string(),
-                        });
-                    }
-                }
+                    None => Topology::full_mesh(dist.process_count()),
+                };
                 let delivery = config.delivery;
                 let nodes = P::build_nodes(&dist, delivery);
-                let net = ThreadedNet::new(mode, config, nodes);
+                let net = ThreadedTransport::new(mode, topology, config, nodes).map_err(|e| {
+                    DsmError::InvalidConfig {
+                        reason: e.to_string(),
+                    }
+                })?;
                 let recorder = Recorder::new(dist.process_count());
                 let crashed = (0..dist.process_count()).map(|_| None).collect();
                 Ok(DsmSystem {
@@ -243,12 +250,13 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     }
 
     /// Whether sends are relayed over shortest paths (sparse topology or
-    /// forced routing) rather than delivered on direct links. Always
-    /// `false` on the threaded backend.
+    /// forced routing) rather than delivered on direct links. On the
+    /// threaded backend a routed deployment hosts relay nodes on the
+    /// worker threads.
     pub fn is_routed(&self) -> bool {
         match &self.net {
             NetBackend::Sim(net) => net.is_routed(),
-            NetBackend::Threaded(_) => false,
+            NetBackend::Threaded(net) => net.is_routed(),
         }
     }
 
@@ -259,12 +267,11 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     }
 
     /// Transit envelopes forwarded by intermediate nodes — the extra hops
-    /// the overlay pays compared to a full mesh (0 when direct, and
-    /// always 0 on the threaded backend).
+    /// the overlay pays compared to a full mesh (0 when direct).
     pub fn forwarded_messages(&self) -> u64 {
         match &self.net {
             NetBackend::Sim(net) => net.forwarded_messages(),
-            NetBackend::Threaded(_) => 0,
+            NetBackend::Threaded(net) => net.forwarded_messages(),
         }
     }
 
@@ -279,13 +286,25 @@ impl<P: ProtocolSpec> DsmSystem<P> {
         }
     }
 
-    /// Buffer-pool hit/miss statistics of the event-driven scheduler
-    /// (zeros on the free-running threaded backend, which allocates
-    /// directly; replay mode reports its oracle's pools).
+    /// Buffer-pool hit/miss statistics. On simnet this is the
+    /// event-driven scheduler's pools; on the free-running threaded
+    /// backend it is the per-worker handler-context pools merged at the
+    /// last settle, and in replay mode the oracle's (simnet-identical)
+    /// pools.
     pub fn pool_stats(&self) -> PoolStats {
         match &self.net {
             NetBackend::Sim(net) => net.pool_stats(),
             NetBackend::Threaded(net) => net.pool_stats(),
+        }
+    }
+
+    /// Link-fabric contention counters of the threaded backend (full-ring
+    /// stalls, drain batch-length histogram), merged across workers at
+    /// the last settle. All zeros on simnet, which has no ring fabric.
+    pub fn fabric_stats(&self) -> FabricStats {
+        match &self.net {
+            NetBackend::Sim(_) => FabricStats::default(),
+            NetBackend::Threaded(net) => net.fabric_stats(),
         }
     }
 
@@ -410,9 +429,14 @@ impl<P: ProtocolSpec> DsmSystem<P> {
                 })?;
             }
             NetBackend::Threaded(net) => {
-                net.with_node(NodeId(p.index()), move |node, ctx| {
+                // Writes return nothing, so they pipeline: the invoke is
+                // posted on the worker's FIFO control lane and the next
+                // settle (or synchronous read) is the barrier. A worker
+                // death after the post surfaces there as `WorkerDied`.
+                net.try_with_node_async(NodeId(p.index()), move |node, ctx| {
                     node.local_write(ctx, var, value);
-                });
+                })
+                .map_err(worker_died)?;
             }
         }
         Ok(())
@@ -425,9 +449,9 @@ impl<P: ProtocolSpec> DsmSystem<P> {
             NetBackend::Sim(net) => {
                 net.try_with_node(NodeId(p.index()), |node, _ctx| node.local_read(var))?
             }
-            NetBackend::Threaded(net) => {
-                net.with_node(NodeId(p.index()), move |node, _ctx| node.local_read(var))
-            }
+            NetBackend::Threaded(net) => net
+                .try_with_node(NodeId(p.index()), move |node, _ctx| node.local_read(var))
+                .map_err(worker_died)?,
         };
         self.recorder.record_read(p, var, value);
         Ok(value)
@@ -445,7 +469,7 @@ impl<P: ProtocolSpec> DsmSystem<P> {
     pub fn try_settle(&mut self) -> Result<RunOutcome, DsmError> {
         match &mut self.net {
             NetBackend::Sim(net) => Ok(net.try_run_until_quiescent()?),
-            NetBackend::Threaded(net) => Ok(net.settle()),
+            NetBackend::Threaded(net) => net.try_settle().map_err(worker_died),
         }
     }
 
@@ -967,15 +991,6 @@ mod tests {
         use simnet::{ExecBackend, FaultPlan, ThreadedMode};
         let backend = ExecBackend::Threaded(ThreadedMode::Replay);
 
-        let sparse = SimConfig {
-            topology: Some(Topology::ring(4)),
-            ..SimConfig::default()
-        };
-        assert!(matches!(
-            DsmSystem::<PramPartial>::try_with_backend(partial_dist(), sparse, backend),
-            Err(DsmError::Unsupported { .. })
-        ));
-
         let faulty = SimConfig {
             faults: FaultPlan::lossy(0.1, 3),
             ..SimConfig::default()
@@ -983,6 +998,15 @@ mod tests {
         assert!(matches!(
             DsmSystem::<PramPartial>::try_with_backend(partial_dist(), faulty, backend),
             Err(DsmError::Unsupported { .. })
+        ));
+
+        let mismatched = SimConfig {
+            topology: Some(Topology::ring(3)),
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            DsmSystem::<PramPartial>::try_with_backend(partial_dist(), mismatched, backend),
+            Err(DsmError::InvalidConfig { .. })
         ));
 
         let mut sys: DsmSystem<PramPartial> =
@@ -999,6 +1023,134 @@ mod tests {
         assert_eq!(sys.forwarded_messages(), 0);
         assert_eq!(sys.parked_messages(ProcId(0)), 0);
         assert!(!sys.step());
+    }
+
+    #[test]
+    fn threaded_backend_runs_sparse_topologies_via_relays() {
+        use simnet::{ExecBackend, ThreadedMode};
+        for mode in [ThreadedMode::Replay, ThreadedMode::FreeRunning] {
+            for topology in sparse_topologies(4) {
+                let config = SimConfig {
+                    topology: Some(topology.clone()),
+                    ..SimConfig::default()
+                };
+                let mut sys: DsmSystem<CausalPartial> =
+                    DsmSystem::with_backend(partial_dist(), config, ExecBackend::Threaded(mode));
+                assert!(sys.is_routed(), "{topology:?}");
+                sys.write(ProcId(0), VarId(0), 10).unwrap();
+                sys.settle();
+                let summary = sys.control_summary();
+                for p in 0..4 {
+                    assert!(
+                        summary.node(ProcId(p)).tracks(VarId(0)),
+                        "p{p} must process metadata about x0 on {topology:?} ({mode:?})"
+                    );
+                }
+                assert_eq!(sys.peek(ProcId(1), VarId(0)), Value::Int(10));
+                assert_eq!(sys.peek(ProcId(2), VarId(0)), Value::Bottom);
+            }
+        }
+    }
+
+    /// A minimal protocol whose nodes detonate on a marked write — the
+    /// panic-injection harness for the dead-worker error path.
+    mod bomb {
+        use super::*;
+        use crate::control::ControlStats;
+        use simnet::{Node, NodeContext, WireSize};
+
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        pub struct BombMsg(pub i64);
+
+        impl WireSize for BombMsg {
+            fn data_bytes(&self) -> usize {
+                8
+            }
+            fn control_bytes(&self) -> usize {
+                0
+            }
+        }
+
+        #[derive(Clone, Debug)]
+        pub struct BombNode {
+            peers: usize,
+            value: Value,
+            control: ControlStats,
+        }
+
+        impl Node<BombMsg> for BombNode {
+            fn on_message(&mut self, _ctx: &mut NodeContext<BombMsg>, _from: NodeId, m: BombMsg) {
+                assert!(m.0 != i64::MIN, "bomb node detonated");
+                self.value = Value::Int(m.0);
+            }
+        }
+
+        impl McsNode for BombNode {
+            type Msg = BombMsg;
+            fn local_read(&self, _var: VarId) -> Value {
+                self.value
+            }
+            fn local_write(&mut self, ctx: &mut NodeContext<BombMsg>, _var: VarId, value: i64) {
+                self.value = Value::Int(value);
+                let me = ctx.me();
+                for p in (0..self.peers).map(NodeId).filter(|&p| p != me) {
+                    ctx.send(p, BombMsg(value));
+                }
+            }
+            fn replicates(&self, _var: VarId) -> bool {
+                true
+            }
+            fn control(&self) -> &ControlStats {
+                &self.control
+            }
+        }
+
+        pub struct BombSpec;
+
+        impl ProtocolSpec for BombSpec {
+            type Msg = BombMsg;
+            type Node = BombNode;
+            const KIND: ProtocolKind = ProtocolKind::CausalFull;
+            fn build_nodes(dist: &Distribution, _delivery: DeliveryMode) -> Vec<BombNode> {
+                (0..dist.process_count())
+                    .map(|_| BombNode {
+                        peers: dist.process_count(),
+                        value: Value::Bottom,
+                        control: ControlStats::new(),
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    #[test]
+    fn dead_worker_becomes_a_typed_dsm_error() {
+        use simnet::{ExecBackend, ThreadedMode};
+        let mut sys: DsmSystem<bomb::BombSpec> = DsmSystem::with_backend(
+            Distribution::full(3, 1),
+            SimConfig::default(),
+            ExecBackend::Threaded(ThreadedMode::FreeRunning),
+        );
+        // An ordinary write round-trips first.
+        sys.write(ProcId(0), VarId(0), 7).unwrap();
+        sys.try_settle().unwrap();
+        assert_eq!(sys.peek(ProcId(1), VarId(0)), Value::Int(7));
+        // The poison write detonates every peer's delivery handler.
+        sys.write(ProcId(0), VarId(0), i64::MIN).unwrap();
+        // The panic is asynchronous; keep settling until it surfaces.
+        let err = loop {
+            match sys.try_settle() {
+                Ok(_) => std::thread::yield_now(),
+                Err(e) => break e,
+            }
+        };
+        let DsmError::WorkerDied { proc } = err else {
+            panic!("expected WorkerDied, got {err:?}");
+        };
+        assert_ne!(proc, ProcId(0), "the writer survived; a peer died");
+        assert!(err.to_string().contains("worker thread"), "{err}");
+        // The system is poisoned: later operations report the death too.
+        assert_eq!(sys.write(ProcId(0), VarId(0), 1), Err(err));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Exempt fixture for `no-wall-clock`: this snippet MUST fire under the
 //! rule's normal lib context (it reads host time in library code) and
-//! MUST stay silent when lexed under the threaded-backend path prefix
-//! (`crates/simnet/src/threaded*`), where the scoped exemption applies.
-//! The fixture harness checks both sides, so the waiver can never grow
-//! wider (or quietly stop applying) without this file noticing.
+//! MUST stay silent when lexed under the threaded backend's clock-module
+//! prefix (`crates/simnet/src/threaded/clock`), the one path where the
+//! scoped exemption applies. The fixture harness checks both sides, so
+//! the waiver can never grow wider (or quietly stop applying) without
+//! this file noticing.
 
 use std::time::{Duration, Instant};
 

@@ -6,12 +6,15 @@
 //! exempt (criterion itself measures wall time — that is its job), but
 //! first-party lib and bin code is not.
 //!
-//! One scoped exemption: the threaded execution backend
-//! (`crates/simnet/src/threaded*`) hosts nodes on real OS threads, where
-//! virtual time has no meaning across preemptive scheduling — its
-//! quiescence spins and shutdown watchdogs must read host time to bound
-//! waiting. Protocol-visible timing there still flows through the
-//! replayed simnet schedule, which is what the differential tests pin.
+//! One scoped exemption: the threaded execution backend hosts nodes on
+//! real OS threads, where virtual time has no meaning across preemptive
+//! scheduling — its stall watchdogs must read host time to bound
+//! waiting. All of that reading is quarantined in one module,
+//! `crates/simnet/src/threaded/clock.rs`, and only that module is
+//! exempt: the rest of the backend (fabric, workers, transport) uses the
+//! `Watchdog` it exports and stays lint-clean. Protocol-visible timing
+//! still flows through the replayed simnet schedule, which is what the
+//! differential tests pin.
 
 use super::{diag_at, Exemption, Rule};
 use crate::diag::Diagnostic;
@@ -63,12 +66,13 @@ impl Rule for NoWallClock {
 
     fn exemption(&self) -> Option<Exemption> {
         Some(Exemption {
-            path_prefixes: &["crates/simnet/src/threaded"],
-            why: "the threaded execution backend runs nodes on real OS threads; its \
-                  free-running quiescence spin and shutdown watchdog must bound waiting \
-                  in host time, which has no virtual-time equivalent across preemptive \
-                  threads (protocol-visible ordering is pinned to the simnet schedule \
-                  by the replay differential tests instead)",
+            path_prefixes: &["crates/simnet/src/threaded/clock"],
+            why: "the threaded backend's clock module is the one place allowed to read \
+                  host time: real OS threads have no virtual-time equivalent across \
+                  preemptive scheduling, so its `Watchdog` bounds stall waits in wall \
+                  time. Everything else in the backend uses that wrapper and stays \
+                  under the lint (protocol-visible ordering is pinned to the simnet \
+                  schedule by the replay differential tests instead)",
         })
     }
 }

@@ -65,7 +65,7 @@ pub use pool::{BufferPool, PoolStats};
 pub use route::{Multicast, Packet, Relay, RouteError, Routed, Router};
 pub use sim::{RunOutcome, SendError, SimConfig, Simulator};
 pub use stats::{LinkStats, NetworkStats, NodeStats};
-pub use threaded::ThreadedNet;
+pub use threaded::{FabricStats, ThreadedNet, ThreadedTransport, WorkerDead};
 pub use time::{SimDuration, SimTime};
 pub use trace::{EventTrace, TraceEntry};
 pub use transport::{DeliveryMode, RoutingMode, Transport};

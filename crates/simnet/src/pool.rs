@@ -49,6 +49,15 @@ impl PoolStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Accumulate another pool's counters into this one (used to combine
+    /// per-worker pools into one report).
+    pub fn merge(&mut self, other: PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.recycled += other.recycled;
+        self.discarded += other.discarded;
+    }
 }
 
 /// A free-list pool of `Vec<T>` buffers keyed by capacity size class.

@@ -299,7 +299,7 @@ impl<P: WireSize> WireSize for Packet<P> {
 /// relays: where the raw simulator would reject a send with a
 /// [`SendError`](crate::sim::SendError), the relay instead forwards the
 /// envelope to [`Router::next_hop`].
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Relay<N> {
     inner: N,
     me: NodeId,

@@ -1,0 +1,46 @@
+//! Host-time watchdogs — the one module in `simnet` allowed to read the
+//! wall clock.
+//!
+//! The threaded backend hosts nodes on preemptively scheduled OS
+//! threads, where virtual time has no meaning; its blocking waits
+//! (free-running quiescence spins, replay-step stalls, shutdown) must be
+//! bounded in host time or a lost wakeup hangs the process. Everything
+//! protocol-visible still flows through the simnet schedule — host time
+//! here only turns "hang forever" into "panic with a message".
+//!
+//! The `no-wall-clock` lint exemption is scoped to exactly this file, so
+//! any other `Instant` use in the backend fails the lint run.
+
+use std::time::{Duration, Instant};
+
+/// Default limit a blocking wait may stall before the backend panics
+/// instead of hanging the process.
+pub(crate) const WATCHDOG: Duration = Duration::from_secs(60);
+
+/// A deadline on host time: armed at construction, optionally re-armed
+/// when progress is observed, queried with [`Watchdog::expired`].
+#[derive(Debug)]
+pub(crate) struct Watchdog {
+    start: Instant,
+    limit: Duration,
+}
+
+impl Watchdog {
+    /// Arm a watchdog with the standard [`WATCHDOG`] limit.
+    pub(crate) fn standard() -> Self {
+        Watchdog {
+            start: Instant::now(),
+            limit: WATCHDOG,
+        }
+    }
+
+    /// Whether the limit has elapsed since arming (or the last reset).
+    pub(crate) fn expired(&self) -> bool {
+        self.start.elapsed() >= self.limit
+    }
+
+    /// Re-arm the deadline; called whenever forward progress is seen.
+    pub(crate) fn reset(&mut self) {
+        self.start = Instant::now();
+    }
+}
