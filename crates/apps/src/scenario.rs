@@ -971,7 +971,7 @@ mod tests {
             };
             for report in run_all(&scenario) {
                 assert!(
-                    check(&report.history, report.protocol.criterion()).consistent,
+                    check(&report.history, report.protocol.guaranteed_criterion()).consistent,
                     "{} under {}:\n{}",
                     report.protocol,
                     family.label(),
@@ -1008,7 +1008,7 @@ mod tests {
             };
             for report in run_all(&scenario) {
                 assert!(
-                    check(&report.history, report.protocol.criterion()).consistent,
+                    check(&report.history, report.protocol.guaranteed_criterion()).consistent,
                     "{} under {}:\n{}",
                     report.protocol,
                     latency_label(&latency),
@@ -1075,7 +1075,7 @@ mod tests {
             };
             for report in run_all(&scenario) {
                 assert!(
-                    check(&report.history, report.protocol.criterion()).consistent,
+                    check(&report.history, report.protocol.guaranteed_criterion()).consistent,
                     "{} on {}:\n{}",
                     report.protocol,
                     topology.label(),
@@ -1163,7 +1163,7 @@ mod tests {
             };
             for report in run_all(&scenario) {
                 assert!(
-                    check(&report.history, report.protocol.criterion()).consistent,
+                    check(&report.history, report.protocol.guaranteed_criterion()).consistent,
                     "{} under {}:\n{}",
                     report.protocol,
                     faults.label(),
@@ -1237,7 +1237,7 @@ mod tests {
             );
             // …and the recorded history still meets the criterion.
             assert!(
-                check(&report.history, report.protocol.criterion()).consistent,
+                check(&report.history, report.protocol.guaranteed_criterion()).consistent,
                 "{}:\n{}",
                 report.protocol,
                 report.history.pretty()

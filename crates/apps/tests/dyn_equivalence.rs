@@ -1,13 +1,13 @@
 //! Differential property test of the erased runtime: for random workloads
 //! over random distributions, the runtime-dispatched [`DynDsm`] and the
 //! compile-time-generic [`DsmSystem<P>`] produce *identical* histories,
-//! network statistics, and control-information summaries, for all four
+//! network statistics, and control-information summaries, for all five
 //! protocols. This is the guarantee that lets benchmarks and drivers use
 //! the scenario engine without fearing the erasure changed semantics.
 
 use apps::workload::{generate, WorkloadOp, WorkloadSpec};
 use dsm::{
-    CausalFull, CausalPartial, ControlSummary, DsmSystem, DynDsm, PramPartial, ProtocolKind,
+    CausalFull, CausalPartial, ControlSummary, DsmSystem, DynDsm, OpLog, PramPartial, ProtocolKind,
     ProtocolSpec, Sequential,
 };
 use histories::{Distribution, History};
@@ -68,6 +68,7 @@ fn observe_generic(kind: ProtocolKind, dist: &Distribution, ops: &[WorkloadOp]) 
         ProtocolKind::CausalPartial => run_generic::<CausalPartial>(dist, ops),
         ProtocolKind::PramPartial => run_generic::<PramPartial>(dist, ops),
         ProtocolKind::Sequential => run_generic::<Sequential>(dist, ops),
+        ProtocolKind::OpLog => run_generic::<OpLog>(dist, ops),
     }
 }
 

@@ -137,8 +137,8 @@ proptest! {
                     prop_assert_eq!(out.network.total_messages(), reference.network.total_messages());
                     // The post-fault history passes the advertised criterion.
                     if out.history.len() <= 24 {
-                        prop_assert!(check(&out.history, kind.criterion()).consistent);
-                    } else if kind.criterion() == Criterion::Causal {
+                        prop_assert!(check(&out.history, kind.guaranteed_criterion()).consistent);
+                    } else if kind.guaranteed_criterion() == Criterion::Causal {
                         prop_assert_eq!(histories::causal_spot_check(&out.history), Ok(()));
                     } else {
                         prop_assert_eq!(pram_spot_check(&out.history), Ok(()));
@@ -182,8 +182,8 @@ proptest! {
                 );
                 // The recovered run's history still meets the criterion.
                 if crashed.history.len() <= 24 {
-                    prop_assert!(check(&crashed.history, kind.criterion()).consistent);
-                } else if kind.criterion() == Criterion::Causal {
+                    prop_assert!(check(&crashed.history, kind.guaranteed_criterion()).consistent);
+                } else if kind.guaranteed_criterion() == Criterion::Causal {
                     prop_assert_eq!(histories::causal_spot_check(&crashed.history), Ok(()));
                 } else {
                     prop_assert_eq!(pram_spot_check(&crashed.history), Ok(()));

@@ -37,7 +37,7 @@ fn assert_protocol_meets(kind: ProtocolKind, criterion: Criterion) {
 fn causal_full_is_causally_consistent() {
     assert_protocol_meets(
         ProtocolKind::CausalFull,
-        ProtocolKind::CausalFull.criterion(),
+        ProtocolKind::CausalFull.guaranteed_criterion(),
     );
 }
 
@@ -45,7 +45,7 @@ fn causal_full_is_causally_consistent() {
 fn causal_partial_is_causally_consistent() {
     assert_protocol_meets(
         ProtocolKind::CausalPartial,
-        ProtocolKind::CausalPartial.criterion(),
+        ProtocolKind::CausalPartial.guaranteed_criterion(),
     );
 }
 
@@ -53,7 +53,7 @@ fn causal_partial_is_causally_consistent() {
 fn pram_partial_is_pram_consistent() {
     assert_protocol_meets(
         ProtocolKind::PramPartial,
-        ProtocolKind::PramPartial.criterion(),
+        ProtocolKind::PramPartial.guaranteed_criterion(),
     );
 }
 
@@ -66,4 +66,39 @@ fn sequential_is_sequentially_consistent() {
     // sequentially consistent histories, and this smoke test pins that
     // down.
     assert_protocol_meets(ProtocolKind::Sequential, Criterion::Sequential);
+}
+
+#[test]
+fn op_log_is_pram_consistent_on_racy_scripts() {
+    assert_protocol_meets(
+        ProtocolKind::OpLog,
+        ProtocolKind::OpLog.guaranteed_criterion(),
+    );
+}
+
+#[test]
+fn write_ordering_protocols_are_sequential_when_settle_synchronized() {
+    // Regression test for the criterion-advertisement split: the old
+    // single `criterion()` pinned the sequencer (and would have pinned
+    // the op-log) at PRAM everywhere, hiding the stronger property its
+    // write order actually buys. On settle-synchronized scripts — a
+    // settle after every operation, so no read races an in-flight
+    // write — both write-ordering protocols must pass the full
+    // sequential checker, exactly what `settled_criterion()` advertises.
+    for kind in [ProtocolKind::Sequential, ProtocolKind::OpLog] {
+        assert_eq!(kind.settled_criterion(), Criterion::Sequential);
+        for seed in 1..=5u64 {
+            let scenario = Scenario {
+                settle: SettlePolicy::Every(1),
+                ..small_scenario(seed)
+            };
+            let report = run_scenario(kind, &scenario);
+            let verdict = check(&report.history, kind.settled_criterion());
+            assert!(
+                verdict.consistent,
+                "settled criterion violated by {kind} (seed {seed}):\n{}",
+                report.history.pretty()
+            );
+        }
+    }
 }

@@ -310,3 +310,73 @@ fn threaded_modes_agree_on_a_fixed_producer_consumer_script() {
         assert_eq!(sim_vals, free_vals, "{kind} free-running settled values");
     }
 }
+
+/// The op-log's own deterministic pin: the fifth protocol's
+/// flat-combining lanes and shard-log replay must survive the move onto
+/// real threads exactly like the other four. Replay is bit-identical to
+/// the simnet oracle (settled values, history, control records) on a
+/// larger deployment than the `ALL` sweeps use, under both the plain
+/// wire and the full multicast+batched+delta stack; free-running
+/// converges to the same settled values.
+#[test]
+fn op_log_threaded_replay_is_bit_identical_and_free_running_converges() {
+    let dist = Distribution::random(8, 12, 2, 17);
+    let ops = generate_family_ops(
+        &dist,
+        &WorkloadFamily::ProducerConsumer,
+        6,
+        SettlePolicy::Every(5),
+        29,
+    );
+    for delivery in [DeliveryMode::UNICAST, DeliveryMode::MULTICAST_BATCHED_DELTA] {
+        let config = SimConfig {
+            delivery,
+            ..SimConfig::default()
+        };
+        let (sim_vals, sim_hist, sim_ctl) = run_with(
+            ProtocolKind::OpLog,
+            &dist,
+            &ops,
+            config.clone(),
+            ExecBackend::Simnet,
+        );
+        let (rep_vals, rep_hist, rep_ctl) = run_with(
+            ProtocolKind::OpLog,
+            &dist,
+            &ops,
+            config.clone(),
+            ExecBackend::Threaded(ThreadedMode::Replay),
+        );
+        assert_eq!(
+            sim_vals,
+            rep_vals,
+            "op-log × {} replay settled values",
+            delivery.label()
+        );
+        assert_eq!(
+            sim_hist,
+            rep_hist,
+            "op-log × {} replay history",
+            delivery.label()
+        );
+        assert_eq!(
+            sim_ctl,
+            rep_ctl,
+            "op-log × {} replay control records",
+            delivery.label()
+        );
+        let (free_vals, _, _) = run_with(
+            ProtocolKind::OpLog,
+            &dist,
+            &ops,
+            config.clone(),
+            ExecBackend::Threaded(ThreadedMode::FreeRunning),
+        );
+        assert_eq!(
+            sim_vals,
+            free_vals,
+            "op-log × {} free-running settled values",
+            delivery.label()
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! Regenerate the efficiency experiments (E1–E9) as text tables.
+//! Regenerate the efficiency experiments (E1–E10) as text tables.
 //!
 //! ```text
 //! cargo run --release -p bench --bin efficiency
@@ -15,8 +15,8 @@
 
 use bench::{
     bellman_ford_point, delivery_mode_sweep, distribution_families, efficiency_sweep_point,
-    fault_tolerance_sweep, relevance_fraction, routed_vs_mesh_sweep, scaling_sweep,
-    threaded_throughput_sweep,
+    fault_tolerance_sweep, op_log_vs_sequencer_sweep, relevance_fraction, routed_vs_mesh_sweep,
+    scaling_sweep, threaded_throughput_sweep,
 };
 use histories::Distribution;
 
@@ -275,6 +275,39 @@ fn main() {
             row.mean_batch_len(),
             row.simnet_ops_per_sec(),
             row.simnet_events_per_sec()
+        );
+    }
+    println!();
+
+    println!(
+        "E10 — op-log vs sequencer (12 processes, producer/consumer workload; both protocols \
+         are sequentially consistent at settle points, so the ratios price the shard log \
+         against the centralized sequencer)"
+    );
+    println!(
+        "{:<8} {:<24} {:<14} {:>12} {:>12} {:>12} {:>12} {:>10} {:>11}",
+        "topology",
+        "delivery",
+        "fault",
+        "oplog msgs",
+        "seq msgs",
+        "oplog ctl",
+        "seq ctl",
+        "ctl vs seq",
+        "time vs seq"
+    );
+    for row in op_log_vs_sequencer_sweep(12, 8, 7) {
+        println!(
+            "{:<8} {:<24} {:<14} {:>12} {:>12} {:>12} {:>12} {:>9.2}x {:>10.2}x",
+            row.topology,
+            row.delivery,
+            row.fault,
+            row.oplog_messages,
+            row.sequencer_messages,
+            row.oplog_control_bytes,
+            row.sequencer_control_bytes,
+            row.control_ratio_vs_sequencer,
+            row.virtual_ratio_vs_sequencer
         );
     }
     println!();

@@ -718,6 +718,108 @@ pub fn fault_tolerance_sweep(
     rows
 }
 
+/// One row of the op-log-vs-sequencer comparison (experiment E10): the
+/// same race-free workload under both write-ordering protocols on one
+/// (topology, delivery mode, fault family) cell, with the op-log's
+/// control bytes and virtual completion time relative to the sequencer's.
+/// Both protocols buy the same settled criterion (sequential consistency
+/// at settle points — see [`ProtocolKind::settled_criterion`]), so the
+/// ratios measure what sharding the write order and replicating partially
+/// save over the classical centralized sequencer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OpLogComparisonRow {
+    /// Topology family label.
+    pub topology: String,
+    /// Delivery-mode label.
+    pub delivery: String,
+    /// Fault-family label.
+    pub fault: String,
+    /// Op-log messages on the wire.
+    pub oplog_messages: u64,
+    /// Sequencer messages on the wire.
+    pub sequencer_messages: u64,
+    /// Op-log control bytes (catch-up traffic included).
+    pub oplog_control_bytes: u64,
+    /// Sequencer control bytes (catch-up traffic included).
+    pub sequencer_control_bytes: u64,
+    /// Op-log control bytes divided by the sequencer's on the same cell.
+    pub control_ratio_vs_sequencer: f64,
+    /// Op-log virtual nanoseconds until quiescence.
+    pub oplog_virtual_nanos: u64,
+    /// Sequencer virtual nanoseconds until quiescence.
+    pub sequencer_virtual_nanos: u64,
+    /// Op-log virtual completion time divided by the sequencer's.
+    pub virtual_ratio_vs_sequencer: f64,
+}
+
+/// Run a race-free (producer/consumer) workload under the op-log and the
+/// sequencer on every (topology, delivery mode, fault family) cell:
+/// mesh/star/grid × the classical unicast wire and the full efficiency
+/// stack × every standard fault family. The script is identical for both
+/// protocols in every cell, so the ratios isolate the protocol choice:
+/// how much wire and time the per-shard flat-combining log saves over
+/// routing every write through one global sequencer. This is the E10
+/// table.
+pub fn op_log_vs_sequencer_sweep(
+    n: usize,
+    ops_per_process: usize,
+    seed: u64,
+) -> Vec<OpLogComparisonRow> {
+    let dist = Distribution::random(n, 2 * n, 2, seed);
+    let ops = generate_family_ops(
+        &dist,
+        &WorkloadFamily::ProducerConsumer,
+        ops_per_process,
+        SettlePolicy::Every(6),
+        seed,
+    );
+    let deliveries = [DeliveryMode::UNICAST, DeliveryMode::MULTICAST_BATCHED_DELTA];
+    let mut rows = Vec::new();
+    for family in [
+        TopologyFamily::FullMesh,
+        TopologyFamily::Star,
+        TopologyFamily::Grid,
+    ] {
+        for delivery in deliveries {
+            for fault in standard_faults() {
+                let run = |kind: ProtocolKind| {
+                    let config = SimConfig {
+                        seed,
+                        topology: match &family {
+                            TopologyFamily::FullMesh => None,
+                            f => Some(f.build(n)),
+                        },
+                        delivery,
+                        faults: fault.fault_plan(seed),
+                        ..SimConfig::default()
+                    };
+                    let crash = fault.crash_schedule(&ops, n);
+                    run_script_faulted(kind, &dist, &ops, config, false, crash)
+                };
+                let oplog = run(ProtocolKind::OpLog);
+                let seq = run(ProtocolKind::Sequential);
+                let seq_control = seq.control_bytes().max(1);
+                let seq_nanos = seq.virtual_time.as_nanos().max(1);
+                rows.push(OpLogComparisonRow {
+                    topology: family.label().to_string(),
+                    delivery: delivery.label().to_string(),
+                    fault: fault.label().to_string(),
+                    oplog_messages: oplog.messages(),
+                    sequencer_messages: seq.messages(),
+                    oplog_control_bytes: oplog.control_bytes(),
+                    sequencer_control_bytes: seq.control_bytes(),
+                    control_ratio_vs_sequencer: oplog.control_bytes() as f64 / seq_control as f64,
+                    oplog_virtual_nanos: oplog.virtual_time.as_nanos(),
+                    sequencer_virtual_nanos: seq.virtual_time.as_nanos(),
+                    virtual_ratio_vs_sequencer: oplog.virtual_time.as_nanos() as f64
+                        / seq_nanos as f64,
+                });
+            }
+        }
+    }
+    rows
+}
+
 /// The delivery modes the large tier and the scaling sweep run: the full
 /// wire-efficiency stack with and without delta clock encoding. At scale
 /// the unswept modes add nothing — the baseline matrix already pins them
@@ -795,7 +897,7 @@ pub fn scenario_matrix_large(
                     );
                 }
             }
-            ProtocolKind::PramPartial | ProtocolKind::Sequential => {
+            ProtocolKind::PramPartial | ProtocolKind::Sequential | ProtocolKind::OpLog => {
                 if let Err(v) = pram_spot_check(&out.history) {
                     panic!(
                         "large-tier PRAM spot check failed: {}/{}/{}/{n}: {v:?}",
@@ -1298,17 +1400,23 @@ mod tests {
     fn efficiency_sweep_orders_protocols_as_the_paper_predicts() {
         let dist = Distribution::random(8, 12, 2, 1);
         let rows = efficiency_sweep_point(&dist, 8, 5);
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 5);
         let pram = &rows[0];
         let cpart = &rows[1];
         let cfull = &rows[2];
+        let oplog = &rows[4];
         assert_eq!(pram.protocol, ProtocolKind::PramPartial);
         assert_eq!(cpart.protocol, ProtocolKind::CausalPartial);
         assert_eq!(cfull.protocol, ProtocolKind::CausalFull);
+        assert_eq!(oplog.protocol, ProtocolKind::OpLog);
         assert!(pram.control_bytes < cpart.control_bytes);
         assert!(pram.control_bytes < cfull.control_bytes);
         // PRAM metadata never reaches more nodes than the replica set.
         assert!(pram.max_relevant_nodes <= 3);
+        // The op-log's append/echo/entry traffic stays between the shard
+        // owner and the replicas — both inside C(x) — so its metadata
+        // footprint matches PRAM's, not the sequencer's.
+        assert!(oplog.max_relevant_nodes <= 3);
         // Causal partial metadata reaches every node for some variable.
         assert_eq!(cpart.max_relevant_nodes, 8);
     }
@@ -1356,16 +1464,16 @@ mod tests {
             + cells * (standard_topologies().len() - 1) * per_sparse_cell)
             * ProtocolKind::ALL.len();
         assert_eq!(rows.len(), expected);
-        assert_eq!(expected, 1824);
+        assert_eq!(expected, 2280);
         // The fault-free subset is the PR-4 sweep grown by the two delta
-        // wire modes: 1248 rows.
-        assert_eq!(rows.iter().filter(|r| r.fault == "none").count(), 1248);
+        // wire modes and the op-log protocol: 1560 rows.
+        assert_eq!(rows.iter().filter(|r| r.fault == "none").count(), 1560);
         assert!(rows.iter().all(|r| r.messages > 0 || r.control_bytes == 0));
         // Within every (distribution, workload, latency, topology,
         // delivery) cell, PRAM partial never spends more control bytes
         // than causal partial — on sparse routed topologies and under
         // every delivery mode too.
-        for chunk in rows.chunks(4) {
+        for chunk in rows.chunks(5) {
             let pram = chunk
                 .iter()
                 .find(|r| r.protocol == ProtocolKind::PramPartial.name())
@@ -1425,7 +1533,7 @@ mod tests {
     #[test]
     fn fault_tolerance_sweep_quantifies_recovery_overhead() {
         let rows = fault_tolerance_sweep(8, 6, 3);
-        // Mesh, star, grid × four fault families × four protocols.
+        // Mesh, star, grid × four fault families × five protocols.
         assert_eq!(
             rows.len(),
             3 * standard_faults().len() * ProtocolKind::ALL.len()
@@ -1456,6 +1564,37 @@ mod tests {
                 let crash = cell(topo, "crash-restart", kind);
                 assert!(crash.crash_losses > 0, "{topo}/{kind}");
             }
+        }
+    }
+
+    /// E10: the op-log beats the centralized sequencer on control bytes
+    /// in every (topology, delivery, fault) cell — partial replication
+    /// keeps its entries inside each variable's replica set while the
+    /// sequencer broadcasts every ordered write to all nodes.
+    #[test]
+    fn op_log_vs_sequencer_sweep_shows_partial_replication_winning() {
+        let rows = op_log_vs_sequencer_sweep(8, 6, 3);
+        // Mesh, star, grid × two wire formats × four fault families.
+        assert_eq!(rows.len(), 3 * 2 * standard_faults().len());
+        let coords: std::collections::BTreeSet<(String, String, String)> = rows
+            .iter()
+            .map(|r| (r.topology.clone(), r.delivery.clone(), r.fault.clone()))
+            .collect();
+        assert_eq!(coords.len(), rows.len());
+        for row in &rows {
+            assert!(row.oplog_messages > 0 && row.sequencer_messages > 0);
+            assert!(row.oplog_virtual_nanos > 0 && row.sequencer_virtual_nanos > 0);
+            assert!(
+                row.oplog_control_bytes < row.sequencer_control_bytes,
+                "{}/{}/{}: op-log {} >= sequencer {}",
+                row.topology,
+                row.delivery,
+                row.fault,
+                row.oplog_control_bytes,
+                row.sequencer_control_bytes
+            );
+            assert!(row.control_ratio_vs_sequencer < 1.0);
+            assert!(row.virtual_ratio_vs_sequencer > 0.0);
         }
     }
 
@@ -1499,7 +1638,7 @@ mod tests {
     #[test]
     fn delivery_mode_sweep_quantifies_the_wire_savings() {
         let rows = delivery_mode_sweep(8, 6, 3);
-        // Star and grid × six modes × four protocols.
+        // Star and grid × six modes × five protocols.
         assert_eq!(
             rows.len(),
             2 * DeliveryMode::ALL.len() * ProtocolKind::ALL.len()
@@ -1561,11 +1700,13 @@ mod tests {
             let both = cell(topo, "multicast-batched", ProtocolKind::CausalPartial);
             assert!(both.control_ratio_vs_unicast <= batched.control_ratio_vs_unicast);
             // Batching alone cannot touch protocols without control-only
-            // records.
+            // records (the op-log's batching is structural — the
+            // flat-combining lane — and independent of the wire mode).
             for kind in [
                 ProtocolKind::PramPartial,
                 ProtocolKind::CausalFull,
                 ProtocolKind::Sequential,
+                ProtocolKind::OpLog,
             ] {
                 assert!(
                     (cell(topo, "batched", kind).control_ratio_vs_unicast - 1.0).abs() < 1e-12,
@@ -1586,7 +1727,11 @@ mod tests {
             assert!(all_three.control_ratio_vs_unicast <= both.control_ratio_vs_unicast);
             // …and is a no-op for the protocols whose wire metadata is
             // O(1) per message (sequence numbers, not clocks).
-            for kind in [ProtocolKind::PramPartial, ProtocolKind::Sequential] {
+            for kind in [
+                ProtocolKind::PramPartial,
+                ProtocolKind::Sequential,
+                ProtocolKind::OpLog,
+            ] {
                 assert!(
                     (cell(topo, "delta", kind).control_ratio_vs_unicast - 1.0).abs() < 1e-12,
                     "{topo}: delta must not change {kind}"

@@ -66,7 +66,7 @@ fn main() {
     // The recorded history satisfies the protocol's advertised criterion
     // (checked against the formal model, not against the protocol itself).
     let history = dsm.history();
-    let criterion: Criterion = kind.criterion();
+    let criterion: Criterion = kind.guaranteed_criterion();
     let report = check(&history, criterion);
     println!("recorded history:\n{}", history.pretty());
     println!("{criterion} consistent: {}", report.consistent);

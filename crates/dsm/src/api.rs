@@ -40,16 +40,24 @@ pub enum ProtocolKind {
     /// ordered stream out to every node (full replication). On a sparse
     /// topology both legs are relayed like any other logical send.
     Sequential,
+    /// Shared operation log with **partial replication**: each variable
+    /// shard is sequenced by its smallest-id replica (a flat-combining
+    /// append/echo lane per writer), and the writer replays the
+    /// sequenced entries to the shard's replicas in its own program
+    /// order — replicas subscribe only to the log prefix touching their
+    /// variables.
+    OpLog,
 }
 
 impl ProtocolKind {
     /// All protocols, in the order used by benchmark tables (cheapest
     /// control cost first, per the paper's prediction).
-    pub const ALL: [ProtocolKind; 4] = [
+    pub const ALL: [ProtocolKind; 5] = [
         ProtocolKind::PramPartial,
         ProtocolKind::CausalPartial,
         ProtocolKind::CausalFull,
         ProtocolKind::Sequential,
+        ProtocolKind::OpLog,
     ];
 
     /// Short display name used in benchmark output.
@@ -59,6 +67,7 @@ impl ProtocolKind {
             ProtocolKind::CausalPartial => "causal-partial",
             ProtocolKind::PramPartial => "pram-partial",
             ProtocolKind::Sequential => "sequential",
+            ProtocolKind::OpLog => "op-log",
         }
     }
 
@@ -72,21 +81,39 @@ impl ProtocolKind {
         matches!(self, ProtocolKind::CausalFull | ProtocolKind::Sequential)
     }
 
-    /// The consistency criterion the protocol advertises: the strongest
-    /// criterion of the paper's hierarchy its recorded histories always
-    /// satisfy.
+    /// The consistency criterion the protocol **always** guarantees: the
+    /// strongest criterion of the paper's hierarchy its recorded
+    /// histories satisfy on every workload, synchronized or not.
     ///
-    /// Note [`ProtocolKind::Sequential`]: the sequencer totally orders all
-    /// *writes*, but reads are wait-free against the local replica (like
-    /// every protocol in this crate), so two processes may each read `⊥`
-    /// for the other's in-flight write — a history no total order
-    /// explains. Its always-guaranteed criterion is therefore PRAM; on
-    /// settle-synchronized workloads its histories are additionally
-    /// sequentially consistent.
-    pub fn criterion(self) -> Criterion {
+    /// Note the write-ordering protocols ([`ProtocolKind::Sequential`],
+    /// [`ProtocolKind::OpLog`]): they totally order all *writes* (per
+    /// system or per shard), but reads are wait-free against the local
+    /// replica (like every protocol in this crate), so two processes may
+    /// each read `⊥` for the other's in-flight write — a history no
+    /// total order explains. Their always-guaranteed criterion is
+    /// therefore PRAM; see [`ProtocolKind::settled_criterion`] for what
+    /// the write order buys on settle-synchronized workloads.
+    pub fn guaranteed_criterion(self) -> Criterion {
         match self {
             ProtocolKind::CausalFull | ProtocolKind::CausalPartial => Criterion::Causal,
-            ProtocolKind::PramPartial | ProtocolKind::Sequential => Criterion::Pram,
+            ProtocolKind::PramPartial | ProtocolKind::Sequential | ProtocolKind::OpLog => {
+                Criterion::Pram
+            }
+        }
+    }
+
+    /// The consistency criterion the protocol reaches on
+    /// **settle-synchronized** workloads (every operation separated from
+    /// conflicting ones by a settle point, so no read races an in-flight
+    /// write). The write-ordering protocols are sequentially consistent
+    /// there: with the wait-free-read races gone, the total write order
+    /// explains every history. The other protocols gain nothing from
+    /// settling and keep their guaranteed criterion.
+    pub fn settled_criterion(self) -> Criterion {
+        match self {
+            ProtocolKind::CausalFull | ProtocolKind::CausalPartial => Criterion::Causal,
+            ProtocolKind::PramPartial => Criterion::Pram,
+            ProtocolKind::Sequential | ProtocolKind::OpLog => Criterion::Sequential,
         }
     }
 }
@@ -205,12 +232,40 @@ mod tests {
 
     #[test]
     fn advertised_criteria() {
-        assert_eq!(ProtocolKind::CausalFull.criterion(), Criterion::Causal);
-        assert_eq!(ProtocolKind::CausalPartial.criterion(), Criterion::Causal);
-        assert_eq!(ProtocolKind::PramPartial.criterion(), Criterion::Pram);
-        // Wait-free local reads cap the sequencer baseline's *guaranteed*
-        // criterion at PRAM (see `criterion()`'s doc).
-        assert_eq!(ProtocolKind::Sequential.criterion(), Criterion::Pram);
+        assert_eq!(
+            ProtocolKind::CausalFull.guaranteed_criterion(),
+            Criterion::Causal
+        );
+        assert_eq!(
+            ProtocolKind::CausalPartial.guaranteed_criterion(),
+            Criterion::Causal
+        );
+        assert_eq!(
+            ProtocolKind::PramPartial.guaranteed_criterion(),
+            Criterion::Pram
+        );
+        // Wait-free local reads cap the write-ordering protocols'
+        // *guaranteed* criterion at PRAM (see `guaranteed_criterion()`'s
+        // doc); the total write order upgrades them to sequential
+        // consistency at settle points.
+        assert_eq!(
+            ProtocolKind::Sequential.guaranteed_criterion(),
+            Criterion::Pram
+        );
+        assert_eq!(ProtocolKind::OpLog.guaranteed_criterion(), Criterion::Pram);
+        assert_eq!(
+            ProtocolKind::Sequential.settled_criterion(),
+            Criterion::Sequential
+        );
+        assert_eq!(
+            ProtocolKind::OpLog.settled_criterion(),
+            Criterion::Sequential
+        );
+        // Settling never weakens: the settled criterion is at least as
+        // strong as the guaranteed one for every protocol.
+        for kind in ProtocolKind::ALL {
+            assert!(kind.settled_criterion() <= kind.guaranteed_criterion());
+        }
     }
 
     #[test]
@@ -219,6 +274,8 @@ mod tests {
         assert!(ProtocolKind::Sequential.is_fully_replicated());
         assert!(!ProtocolKind::CausalPartial.is_fully_replicated());
         assert!(!ProtocolKind::PramPartial.is_fully_replicated());
+        // The op-log subscribes replicas only to their own shard prefixes.
+        assert!(!ProtocolKind::OpLog.is_fully_replicated());
     }
 
     #[test]

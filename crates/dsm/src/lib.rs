@@ -36,6 +36,7 @@
 //! | [`CausalPartial`] | causal | partial (data) | `O(n)` vector clock to replicas **plus** control-only records to everyone else |
 //! | [`PramPartial`] | PRAM | partial | per-writer sequence number, replicas only |
 //! | [`Sequential`] | sequential (baseline) | full | sequencer round trip + global sequence number |
+//! | [`OpLog`] | sequential at settle (PRAM always) | partial | per-shard flat-combining append/echo + shard sequence number, replicas only |
 //!
 //! The asymmetry between [`CausalPartial`] and [`PramPartial`] is the
 //! paper's result made measurable: causal consistency forces every node to
@@ -62,6 +63,7 @@ pub use protocol::causal_partial::{
     CausalPartial, CausalPartialMsg, CausalPartialNode, ControlRecord, MAX_BATCH,
     RECORD_DELTA_BYTES,
 };
+pub use protocol::op_log::{OpLog, OpLogMsg, OpLogNode};
 pub use protocol::pram_partial::{PramMsg, PramNode, PramPartial, PramPartialMsg};
 pub use protocol::sequential::{SeqMsg, Sequential, SequentialNode};
 pub use protocol::{McsNode, ProtocolSpec};

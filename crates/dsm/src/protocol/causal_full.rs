@@ -219,16 +219,30 @@ impl Node<CausalFullMsg> for CausalFullNode {
             }
             CausalFullMsg::CatchupReq { from, vc } => {
                 // Resend every own write the requester's clock is missing,
-                // with its original timestamp. Resends are charged dense
-                // even under delta delivery: the requester lost the FIFO
-                // prefix a delta would be decoded against.
+                // with its original timestamp. Under delta delivery the
+                // resends are chained through the cheaper-of-two encoder
+                // like live traffic: the first clock is encoded against
+                // the requester's restored clock — carried by the request,
+                // so it is exactly the base the decoder holds — and each
+                // later one against the previous resend, sound because
+                // the link delivers them FIFO.
+                let mut base = vc.clone();
+                let delta = self.delta;
                 let missing: Vec<CausalMsg> = self
                     .log
                     .iter()
                     .filter(|m| m.vc.get(self.me.index()) > vc.get(self.me.index()))
-                    .map(|m| CausalMsg {
-                        encoded: m.vc.wire_bytes(),
-                        ..m.clone()
+                    .map(|m| {
+                        let encoded = if delta {
+                            DeltaVc::encode(&base, &m.vc).wire_bytes()
+                        } else {
+                            m.vc.wire_bytes()
+                        };
+                        base.clone_from(&m.vc);
+                        CausalMsg {
+                            encoded,
+                            ..m.clone()
+                        }
                     })
                     .collect();
                 for m in missing {
@@ -504,32 +518,51 @@ mod tests {
     }
 
     #[test]
-    fn catchup_resends_are_charged_dense_under_delta_mode() {
+    fn catchup_resends_are_delta_chained_under_delta_mode() {
+        // Regression test: recovery resends used to be charged at the
+        // dense clock size even under delta delivery, although the
+        // requester's restored clock (carried by the request) is a sound
+        // decoder base and the FIFO link keeps the chain aligned.
         let dist = Distribution::full(3, 2);
-        let mut nodes = CausalFull::build_nodes(&dist, simnet::DeliveryMode::DELTA);
-        let mut ctx = NodeContext::new(NodeId(0), simnet::SimTime::ZERO);
-        for v in 1..=2 {
-            nodes[0].local_write(&mut ctx, VarId(0), v);
-        }
-        let mut resp_ctx = NodeContext::new(NodeId(0), simnet::SimTime::ZERO);
-        nodes[0].on_message(
-            &mut resp_ctx,
-            NodeId(2),
-            CausalFullMsg::CatchupReq {
-                from: 2,
-                vc: VectorClock::new(3),
-            },
-        );
-        // Both writes resend, each charged at the full dense clock size —
-        // the restarted node has no FIFO prefix to decode deltas against.
-        for o in resp_ctx.outgoing() {
-            match o {
-                simnet::Outgoing::One(_, CausalFullMsg::Update(m)) => {
-                    assert_eq!(m.encoded, m.vc.wire_bytes());
-                }
-                other => panic!("unexpected response {other:?}"),
+        let run = |mode: simnet::DeliveryMode| {
+            let mut nodes = CausalFull::build_nodes(&dist, mode);
+            let mut ctx = NodeContext::new(NodeId(0), simnet::SimTime::ZERO);
+            for v in 1..=2 {
+                nodes[0].local_write(&mut ctx, VarId(0), v);
             }
+            let mut resp_ctx = NodeContext::new(NodeId(0), simnet::SimTime::ZERO);
+            nodes[0].on_message(
+                &mut resp_ctx,
+                NodeId(2),
+                CausalFullMsg::CatchupReq {
+                    from: 2,
+                    vc: VectorClock::new(3),
+                },
+            );
+            let resent: Vec<CausalMsg> = resp_ctx
+                .outgoing()
+                .iter()
+                .map(|o| match o {
+                    simnet::Outgoing::One(NodeId(2), CausalFullMsg::Update(m)) => m.clone(),
+                    other => panic!("unexpected response {other:?}"),
+                })
+                .collect();
+            assert_eq!(resent.len(), 2);
+            resent
+        };
+        // Dense mode: both resends pay the full clock.
+        for m in run(simnet::DeliveryMode::UNICAST) {
+            assert_eq!(m.encoded, m.vc.wire_bytes());
         }
-        assert_eq!(resp_ctx.queued_messages(), 2);
+        // Delta mode: the chain starts at the requester's (empty) restored
+        // clock, so each resend pays one changed entry — and never more
+        // than the dense fallback.
+        let mut base = VectorClock::new(3);
+        for m in run(simnet::DeliveryMode::DELTA) {
+            assert_eq!(m.encoded, DeltaVc::encode(&base, &m.vc).wire_bytes());
+            assert!(m.encoded <= m.vc.wire_bytes());
+            assert_eq!(m.encoded, 4 + 12);
+            base.clone_from(&m.vc);
+        }
     }
 }

@@ -462,11 +462,22 @@ impl Node<CausalPartialMsg> for CausalPartialNode {
                     .filter(|(_, _, wvc)| wvc.get(me) > vc.get(me))
                     .cloned()
                     .collect();
-                // Resends are charged dense even under delta delivery:
-                // the requester lost the FIFO prefix a delta would be
-                // decoded against.
+                // Under delta delivery the resends are chained through the
+                // cheaper-of-two encoder like live traffic: the first
+                // clock is encoded against the requester's restored clock
+                // (carried by the request — exactly the base the decoder
+                // holds), each later one against the previous resend,
+                // whether that travelled as an update or a control
+                // record — both carry the clock, and the link delivers
+                // them FIFO.
+                let mut base = vc;
                 for (var, value, wvc) in missing {
-                    let encoded = wvc.wire_bytes();
+                    let encoded = if self.delta {
+                        DeltaVc::encode(&base, &wvc).wire_bytes()
+                    } else {
+                        wvc.wire_bytes()
+                    };
+                    base.clone_from(&wvc);
                     if self.dist.replicates(ProcId(from), var) {
                         self.control.charge_sent(var, encoded + 8);
                         ctx.send(
@@ -481,15 +492,14 @@ impl Node<CausalPartialMsg> for CausalPartialNode {
                             },
                         );
                     } else {
-                        let record = ControlRecord::dense(me, var, wvc);
-                        self.control.charge_sent(var, record.full_bytes());
+                        self.control.charge_sent(var, encoded + 8);
                         ctx.send(
                             NodeId(from),
                             CausalPartialMsg::Control {
                                 writer: me,
                                 var,
-                                vc: record.vc,
-                                encoded: record.encoded,
+                                vc: wvc,
+                                encoded,
                             },
                         );
                     }
@@ -937,5 +947,64 @@ mod tests {
         assert_eq!(dense_bytes, 15 * 4 * (16 * 8 + 8));
         // Delta: each consecutive write changes one entry → 4 + 12 + 8.
         assert_eq!(delta_bytes, 15 * 4 * (4 + 12 + 8));
+    }
+
+    #[test]
+    fn catchup_resends_are_delta_chained_under_delta_mode() {
+        // Regression test: recovery resends used to be charged dense even
+        // under delta delivery. The chain must span *both* resend kinds —
+        // updates for replicated variables and control records for the
+        // rest travel the same FIFO link, and both carry the clock.
+        let mut dist = Distribution::new(3, 2);
+        dist.assign(ProcId(0), VarId(0));
+        dist.assign(ProcId(1), VarId(0));
+        dist.assign(ProcId(0), VarId(1));
+        dist.assign(ProcId(2), VarId(1));
+        let run = |mode: DeliveryMode| {
+            let mut nodes = CausalPartial::build_nodes(&dist, mode);
+            let mut ctx = NodeContext::new(NodeId(0), SimTime::ZERO);
+            // p2 does not replicate x0 (control record) but does x1
+            // (full update): the catch-up answer mixes both kinds.
+            nodes[0].local_write(&mut ctx, VarId(0), 1);
+            nodes[0].local_write(&mut ctx, VarId(1), 2);
+            let mut resp_ctx = NodeContext::new(NodeId(0), SimTime::ZERO);
+            nodes[0].on_message(
+                &mut resp_ctx,
+                NodeId(2),
+                CausalPartialMsg::CatchupReq {
+                    from: 2,
+                    vc: VectorClock::new(3),
+                },
+            );
+            let resent: Vec<(VectorClock, usize)> = resp_ctx
+                .outgoing()
+                .iter()
+                .map(|o| match o {
+                    simnet::Outgoing::One(
+                        NodeId(2),
+                        CausalPartialMsg::Control { vc, encoded, .. }
+                        | CausalPartialMsg::Update { vc, encoded, .. },
+                    ) => (vc.clone(), *encoded),
+                    other => panic!("unexpected response {other:?}"),
+                })
+                .collect();
+            assert_eq!(resent.len(), 2);
+            resent
+        };
+        // Dense mode: both resends pay the full clock.
+        for (vc, encoded) in run(DeliveryMode::UNICAST) {
+            assert_eq!(encoded, vc.wire_bytes());
+        }
+        // Delta mode: the chain starts at the requester's (empty)
+        // restored clock and threads through the control record into the
+        // update — each resend pays one changed entry, never more than
+        // the dense fallback.
+        let mut base = VectorClock::new(3);
+        for (vc, encoded) in run(DeliveryMode::DELTA) {
+            assert_eq!(encoded, DeltaVc::encode(&base, &vc).wire_bytes());
+            assert!(encoded <= vc.wire_bytes());
+            assert_eq!(encoded, 4 + 12);
+            base.clone_from(&vc);
+        }
     }
 }

@@ -11,9 +11,11 @@
 //! | [`causal_partial`] | causal | partial | vector clock per update to replicas **plus** control-only records to every other node |
 //! | [`pram_partial`] | PRAM | partial | per-writer sequence number, sent only to replicas |
 //! | [`sequential`] | sequential (baseline) | full | sequencer round trip + global sequence number |
+//! | [`op_log`] | sequential at settle (PRAM always) | partial | per-shard log append/echo + shard sequence number to replicas |
 
 pub mod causal_full;
 pub mod causal_partial;
+pub mod op_log;
 pub mod pram_partial;
 pub mod sequential;
 

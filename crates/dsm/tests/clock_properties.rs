@@ -173,6 +173,60 @@ proptest! {
         prop_assert_eq!(DeltaVc::encode(&next, &next).wire_bytes(), 4);
     }
 
+    /// The crash-recovery path charges its catch-up resends through the
+    /// same cheaper-of-two encoder, *chained*: the first delta is decoded
+    /// against the requester's restored clock (carried by the catch-up
+    /// request), each later one against the previous resend on the same
+    /// FIFO link. The whole chain round-trips losslessly from exactly the
+    /// state the requester holds at each step, and its total wire cost
+    /// never exceeds the dense resends it replaced.
+    #[test]
+    fn delta_vc_chained_recovery_resends_round_trip_and_never_exceed_dense(
+        restored in proptest::collection::vec(0u64..6, 2..12),
+        writer_runs in proptest::collection::vec(1u64..4, 1..8),
+        merges in proptest::collection::vec((0usize..12, 0u64..3), 0..8),
+    ) {
+        let n = restored.len();
+        let restored = clock(restored);
+        // The writer's missing log suffix: every entry grows the previous
+        // clock by the writer's own increments plus whatever it merged
+        // from others between writes.
+        let mut log: Vec<VectorClock> = Vec::new();
+        let mut cur = restored.clone();
+        let writer = 0usize;
+        let mut merges = merges.into_iter();
+        for own in writer_runs {
+            for _ in 0..own {
+                cur.increment(writer);
+            }
+            if let Some((i, by)) = merges.next() {
+                for _ in 0..by {
+                    cur.increment(i % n);
+                }
+            }
+            log.push(cur.clone());
+        }
+        // Chain exactly like the protocols' CatchupReq handlers do.
+        let mut base = restored.clone();
+        let mut chained = 0usize;
+        let mut dense = 0usize;
+        for next in &log {
+            let delta = DeltaVc::encode(&base, next);
+            prop_assert_eq!(
+                &delta.decode(&base), next,
+                "each resend must decode from the requester's running state"
+            );
+            prop_assert!(delta.wire_bytes() <= next.wire_bytes());
+            chained += delta.wire_bytes();
+            dense += next.wire_bytes();
+            base.clone_from(next);
+        }
+        prop_assert!(
+            chained <= dense,
+            "chained recovery wire {chained} exceeds dense {dense}"
+        );
+    }
+
     /// Control accounting: totals equal the sum of per-variable charges and
     /// the relevant-node sets are exactly the nodes that tracked a variable.
     #[test]

@@ -365,6 +365,18 @@ where
                         });
                     }
                     Ctl::Stop => {
+                        // A run can end without a final settle (via
+                        // `into_nodes()` or drop): report the counters one
+                        // last time so teardown can fold them into the
+                        // coordinator's caches instead of losing every
+                        // event since the previous settle.
+                        let mut pool = self.outbox_pool.stats();
+                        pool.merge(self.timer_pool.stats());
+                        let _ = self.reports.send(WorkerReport {
+                            stats: self.stats.clone(),
+                            pool,
+                            fabric: self.fabric,
+                        });
                         let _ = self.nodes_out.send((self.me.index(), self.node));
                         return;
                     }
@@ -1160,6 +1172,10 @@ where
     }
 
     fn shutdown(&mut self) -> Vec<N> {
+        // Discard reports left over from an interrupted collection (a
+        // dead-worker bailout mid-settle), so the teardown merge below
+        // only folds the final per-worker snapshots.
+        while self.reports.try_recv().is_ok() {}
         for i in 0..self.n {
             self.ctl.to(NodeId(i), Ctl::Stop);
         }
@@ -1177,6 +1193,31 @@ where
         for handle in &mut self.handles {
             if let Some(handle) = handle.take() {
                 let _ = handle.join();
+            }
+        }
+        // Every worker sends a final report before returning its node, so
+        // after the joins the channel holds one complete teardown
+        // snapshot per live worker. Fold it into the caches: a run that
+        // ends without a settle would otherwise lose every counter since
+        // the previous one. Replay mode keeps the oracle's
+        // (simnet-identical) accounting, and a partial report set (some
+        // workers died) keeps the last complete settle snapshot instead
+        // of an under-counting merge.
+        if self.oracle.is_none() {
+            let mut stats = NetworkStats::with_nodes(self.n);
+            let mut pool = PoolStats::default();
+            let mut fabric = FabricStats::default();
+            let mut got = 0;
+            while let Ok(report) = self.reports.try_recv() {
+                stats.merge(&report.stats);
+                pool.merge(report.pool);
+                fabric.merge(&report.fabric);
+                got += 1;
+            }
+            if got == self.n {
+                self.stats_cache = stats;
+                self.pool_cache = pool;
+                self.fabric_cache = fabric;
             }
         }
         pairs.sort_by_key(|&(i, _)| i);
@@ -1268,6 +1309,52 @@ mod tests {
             fabric.batches,
             fabric.batch_hist.iter().sum::<u64>(),
             "every batch lands in exactly one histogram bucket"
+        );
+    }
+
+    /// Regression test: a free-running run that never settles used to
+    /// lose every stats/pool/fabric counter on teardown — the merge only
+    /// happened inside `settle()`. The workers now report one final
+    /// snapshot on `Ctl::Stop` and `shutdown()` folds it into the caches.
+    #[test]
+    fn teardown_merges_counters_for_a_settle_free_run() {
+        let mut net = net(ThreadedMode::FreeRunning, 3);
+        for round in 0..20 {
+            for to in 1..3usize {
+                net.with_node(NodeId(0), move |_, ctx| {
+                    // control = 1: counted on arrival, never echoed, so
+                    // the traffic is exactly 40 deliveries.
+                    ctx.send(NodeId(to), RawPayload::new(round, 1));
+                });
+            }
+        }
+        // Wait for the workers to drain everything — but never settle, so
+        // no collection round runs before teardown.
+        let watchdog = clock::Watchdog::standard();
+        while net.pending() > 0 {
+            assert!(!watchdog.expired(), "settle-free run stalled");
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            net.fabric_stats().batches,
+            0,
+            "no settle ran, so the caches must still be empty"
+        );
+        let nodes = net.shutdown();
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(nodes[1].seen + nodes[2].seen, 40);
+        // The teardown reports carried everything the run did.
+        assert_eq!(net.stats().total_messages(), 40);
+        let fabric = net.fabric_stats();
+        assert!(
+            fabric.batches > 0,
+            "drains must survive teardown: {fabric:?}"
+        );
+        assert!(fabric.batched_messages >= fabric.batches);
+        let pool = net.pool_stats();
+        assert!(
+            pool.hits + pool.misses > 0,
+            "pooled-context accounting must survive teardown: {pool:?}"
         );
     }
 
